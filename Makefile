@@ -1,0 +1,35 @@
+# Convenience targets for the repro repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-tables examples modelcheck clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q --ignore=tests/modelcheck
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every experiment table (what EXPERIMENTS.md records).
+bench-tables:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done; echo "all examples ran clean"
+
+modelcheck:
+	$(PYTHON) -m repro modelcheck --n 4
+	$(PYTHON) -m repro modelcheck --n 5 --exhaustive --max-states 300000
+
+clean:
+	rm -rf .pytest_cache .hypothesis build dist src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

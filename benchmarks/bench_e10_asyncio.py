@@ -1,0 +1,63 @@
+"""E10 -- The one-round read survives the trip to real sockets.
+
+The simulator measures protocol rounds; this bench deploys the same state
+machines on an asyncio TCP cluster (localhost) and measures wall-clock
+operation latency, confirming that reads cost about half a write (one round
+trip vs two) outside the simulator too.
+"""
+
+import asyncio
+import time
+
+from repro.metrics import format_table
+from repro.runtime import LocalCluster
+
+from benchmarks.conftest import emit
+
+OPS = 30
+
+
+async def timed_ops(algorithm: str):
+    cluster = LocalCluster(algorithm, f=1)
+    await cluster.start()
+    try:
+        writer = cluster.client("w000")
+        reader = cluster.client("r000")
+        await writer.connect()
+        await reader.connect()
+        write_times, read_times = [], []
+        for i in range(OPS):
+            start = time.perf_counter()
+            await writer.write(b"x" * 64)
+            write_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            value = await reader.read()
+            read_times.append(time.perf_counter() - start)
+            assert value == b"x" * 64
+        return (sum(read_times) / OPS, sum(write_times) / OPS)
+    finally:
+        await cluster.stop()
+
+
+def run_experiment():
+    rows = []
+    for algorithm in ("bsr", "bcsr"):
+        read_mean, write_mean = asyncio.run(timed_ops(algorithm))
+        rows.append((algorithm, read_mean * 1000, write_mean * 1000,
+                     read_mean / write_mean))
+    return rows
+
+
+def test_e10_asyncio_latency(benchmark, once_per_session):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    if "e10" not in once_per_session:
+        once_per_session.add("e10")
+        emit(format_table(
+            ("algorithm", "read mean(ms)", "write mean(ms)", "read/write"),
+            rows,
+            title=f"E10: TCP localhost latency over {OPS} ops",
+        ))
+    for algorithm, read_ms, write_ms, ratio in rows:
+        # One round vs two: reads well under write latency.  Localhost
+        # scheduling is noisy, so only the coarse shape is asserted.
+        assert ratio < 0.95

@@ -1,0 +1,95 @@
+"""E12 -- Ablation: bounded server history vs the history-read variant.
+
+The paper's servers keep the full write history ``L`` (unbounded); the
+one-shot *regular* variant (Section III-C a) reads that history.  This
+repository adds a ``max_history`` GC knob, and this bench quantifies the
+trade it makes:
+
+* **Space**: per-server history bytes after a stream of writes, with and
+  without the bound.
+* **Correctness coverage**: replaying the Theorem-3 schedule against the
+  history variant while sweeping ``max_history`` -- a depth of 1 degenerates
+  to plain BSR (regularity lost); enough depth restores it.  Plain BSR is
+  unaffected at any depth (it only serves the newest pair).
+"""
+
+from repro.consistency import check_regularity
+from repro.core.messages import PutData
+from repro.core.register import RegisterSystem
+from repro.metrics import format_table
+from repro.sim.delays import ConstantDelay, RuleBasedDelays, UniformDelay
+from repro.types import server_id, writer_id
+
+from benchmarks.conftest import emit
+
+WRITES = 50
+VALUE_SIZE = 256
+
+
+def history_footprint(max_history):
+    system = RegisterSystem("bsr-history", f=1, seed=2,
+                            delay_model=UniformDelay(0.2, 0.8),
+                            max_history=max_history)
+    for i in range(WRITES):
+        system.write(bytes([i % 256]) * VALUE_SIZE, writer=i % 2, at=i * 5.0)
+    system.run()
+    per_server = [protocol.history_bytes()
+                  for protocol in system.server_protocols.values()]
+    return max(per_server)
+
+
+def theorem3_with_bound(max_history):
+    """Theorem-3 schedule against bsr-history at the given history bound."""
+    delays = RuleBasedDelays(fallback=ConstantDelay(0.1))
+    for i in range(1, 5):
+        writer, fast_server = writer_id(i), server_id(i)
+
+        def match(src, dst, msg, writer=writer, fast_server=fast_server):
+            return (isinstance(msg, PutData) and src == writer
+                    and dst != fast_server)
+
+        delays.hold(match)
+    system = RegisterSystem("bsr-history", f=1, n=5, num_writers=5,
+                            num_readers=1, seed=0, delay_model=delays,
+                            initial_value=b"v0", max_history=max_history)
+    system.write(b"v1", writer=0, at=0.0)
+    for i in range(1, 5):
+        system.write(f"v{i + 1}".encode(), writer=i, at=10.0)
+    read = system.read(reader=0, at=20.0)
+    trace = system.run()
+    regular = check_regularity(trace, initial_value=b"v0").ok
+    return read.value, regular
+
+
+def run_experiment():
+    rows = []
+    for max_history in (1, 2, 4, None):
+        footprint = history_footprint(max_history)
+        read_value, regular = theorem3_with_bound(max_history)
+        rows.append((
+            "unbounded" if max_history is None else max_history,
+            footprint,
+            read_value.decode(),
+            "yes" if regular else "NO",
+        ))
+    return rows
+
+
+def test_e12_history_gc_ablation(benchmark, once_per_session):
+    rows = benchmark(run_experiment)
+    if "e12" not in once_per_session:
+        once_per_session.add("e12")
+        emit(format_table(
+            ("max_history", f"history bytes after {WRITES} writes",
+             "Thm-3 read", "regular"),
+            rows,
+            title="E12: history GC vs regularity coverage (bsr-history)",
+        ))
+    by_bound = {row[0]: row for row in rows}
+    # Depth 1 degenerates to plain BSR: the Theorem-3 read is stale again.
+    assert by_bound[1][2] == "v0" and by_bound[1][3] == "NO"
+    # Unbounded (and any depth >= 2 here) keeps regularity.
+    assert by_bound["unbounded"][3] == "yes"
+    assert by_bound[2][3] == "yes"
+    # The GC actually reclaims space.
+    assert by_bound[1][1] < by_bound["unbounded"][1] / 10

@@ -1,0 +1,73 @@
+"""E13 -- Coding pays off on bandwidth-limited networks (§I-C).
+
+Paper claim: the erasure-coded register "will be particularly useful when
+network has limited bandwidth or the data is too large" -- each coded
+element is ``1/k`` of the value, so serialization time shrinks accordingly.
+
+The experiment runs one write + one read of increasing value sizes over a
+network whose per-message delay is ``base + bytes / bandwidth``
+(1 MB/s, 50 ms propagation), comparing replication (BSR) against the
+``[11, 6]`` coded register (BCSR) at identical n = 11, f = 1:
+
+* tiny values: the two are indistinguishable (propagation dominates);
+* large values: BCSR approaches a ``k``-fold write-latency advantage.
+"""
+
+from repro.core.register import RegisterSystem
+from repro.metrics import format_table
+from repro.sim.delays import SizeDependentDelay
+
+from benchmarks.conftest import emit
+
+N, F = 11, 1                      # k = n - 5f = 6
+SIZES = (1_000, 10_000, 100_000, 1_000_000)
+BANDWIDTH = 1_000_000.0           # bytes/second
+BASE = 0.05                       # propagation seconds
+
+
+def one_pair(algorithm: str, size: int):
+    system = RegisterSystem(
+        algorithm, f=F, n=N, seed=1,
+        delay_model=SizeDependentDelay(base=BASE, bytes_per_second=BANDWIDTH),
+    )
+    value = b"x" * size
+    write = system.write(value, writer=0, at=0.0)
+    read = system.read(reader=0, at=10_000.0)
+    system.run()
+    assert read.value == value
+    return write.latency, read.latency
+
+
+def run_experiment():
+    rows = []
+    for size in SIZES:
+        bsr_write, bsr_read = one_pair("bsr", size)
+        bcsr_write, bcsr_read = one_pair("bcsr", size)
+        rows.append((size, bsr_write, bcsr_write, bsr_write / bcsr_write,
+                     bsr_read, bcsr_read))
+    return rows
+
+
+def test_e13_bandwidth_crossover(benchmark, once_per_session):
+    # One round: the 1 MB encode/decode work makes repeated rounds slow.
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    if "e13" not in once_per_session:
+        once_per_session.add("e13")
+        emit(format_table(
+            ("value bytes", "BSR write(s)", "BCSR write(s)", "write speedup",
+             "BSR read(s)", "BCSR read(s)"),
+            rows,
+            title=f"E13: latency vs value size at {BANDWIDTH/1e6:.0f} MB/s "
+                  f"(n={N}, f={F}, k={N - 5 * F})",
+        ))
+    smallest, largest = rows[0], rows[-1]
+    # Small values: propagation dominates, speedup ~1.
+    assert smallest[3] < 1.3
+    # Large values: the coded write approaches the k-fold advantage.
+    k = N - 5 * F
+    assert largest[3] > k * 0.5
+    # The advantage grows monotonically with value size.
+    speedups = [row[3] for row in rows]
+    assert speedups == sorted(speedups)
+    # Reads gain too (the reply carries 1/k of the value).
+    assert largest[5] < largest[4]

@@ -1,0 +1,62 @@
+"""E1 -- One-shot reads vs the reliable-broadcast baseline.
+
+Paper claims (Abstract, Section I-B, Remark 1):
+
+* BSR reads complete in **one** client-to-server round; writes in two.
+* Reliable broadcast costs ~**1.5 rounds extra** per write, so RB-based
+  writes are ~1.5x slower than BSR writes under the same network.
+
+The experiment runs an identical write+read pair over both algorithms for a
+sweep of per-message delays and reports the measured latencies; the BSR/RB
+write ratio should sit at ~1.5 across the sweep.
+"""
+
+from repro.core.register import RegisterSystem
+from repro.metrics import format_table
+from repro.sim.delays import ConstantDelay
+
+from benchmarks.conftest import emit
+
+DELAYS = (0.5, 1.0, 2.0)
+
+
+def one_pair(algorithm: str, delay: float):
+    system = RegisterSystem(algorithm, f=1, seed=1,
+                            delay_model=ConstantDelay(delay))
+    write = system.write(b"e1-value", writer=0, at=0.0)
+    read = system.read(reader=0, at=100.0)
+    system.run()
+    return write.latency, read.latency
+
+
+def run_sweep():
+    rows = []
+    for delay in DELAYS:
+        bsr_write, bsr_read = one_pair("bsr", delay)
+        rb_write, rb_read = one_pair("rb", delay)
+        rows.append((
+            delay,
+            bsr_read, rb_read,
+            bsr_write, rb_write,
+            rb_write / bsr_write,
+        ))
+    return rows
+
+
+def test_e1_read_latency(benchmark, once_per_session):
+    rows = benchmark(run_sweep)
+    if "e1" not in once_per_session:
+        once_per_session.add("e1")
+        emit(format_table(
+            ("delay(s)", "BSR read", "RB read", "BSR write", "RB write",
+             "RB/BSR write"),
+            rows,
+            title="E1: operation latency, BSR vs reliable-broadcast baseline",
+        ))
+    for delay, bsr_read, rb_read, bsr_write, rb_write, ratio in rows:
+        # One-shot read: exactly one round trip.
+        assert abs(bsr_read - 2 * delay) < 1e-9
+        # Two-round write.
+        assert abs(bsr_write - 4 * delay) < 1e-9
+        # The paper's 1.5x blow-up, exactly, under synchronous delays.
+        assert abs(ratio - 1.5) < 0.01

@@ -1,0 +1,79 @@
+"""E2 -- The n >= 4f + 1 bound for BSR is tight (Theorems 2 and 5).
+
+Two sides of the coin:
+
+* **Below the bound** (n = 4f): the scripted Theorem-5 adversary makes a
+  completed read return a superseded value -- a safety violation.
+* **At the bound** (n = 4f + 1): the *same* adversary fails, and a battery
+  of randomized Byzantine executions never violates safety.
+"""
+
+from repro.byzantine.scenarios import theorem5_bsr_below_bound
+from repro.consistency import check_safety
+from repro.core.register import RegisterSystem
+from repro.metrics import format_table
+from repro.sim.delays import UniformDelay
+from repro.sim.failures import random_failure_schedule
+from repro.sim.rng import SimRng
+from repro.workloads import WorkloadSpec, apply_schedule, generate_schedule
+
+RANDOM_TRIALS = 20
+
+
+def scripted_rows():
+    rows = []
+    for f in (1, 2):
+        for n in (4 * f, 4 * f + 1):
+            result = theorem5_bsr_below_bound(n=n, f=f)
+            rows.append((f, n, "yes" if n == 4 * f else "no",
+                         result.read_value.decode(),
+                         "VIOLATED" if not result.safety.ok else "safe"))
+    return rows
+
+
+def random_violation_rate(n: int, f: int, trials: int = RANDOM_TRIALS) -> float:
+    violations = 0
+    for seed in range(trials):
+        rng = SimRng(seed, "e2")
+        schedule = random_failure_schedule(
+            [f"s{i:03d}" for i in range(n)], f, rng, byzantine_count=f,
+        )
+        system = RegisterSystem(
+            "bsr", f=f, n=n, seed=seed, num_writers=2, num_readers=2,
+            initial_value=b"v0",
+            byzantine={e.pid: e.behavior for e in schedule.events},
+            delay_model=UniformDelay(0.1, 2.0),
+        )
+        spec = WorkloadSpec(num_ops=20, read_ratio=0.6, num_writers=2,
+                            num_readers=2)
+        apply_schedule(system, generate_schedule(spec, rng.fork("wl")))
+        trace = system.run()
+        if not check_safety(trace, initial_value=b"v0").ok:
+            violations += 1
+    return violations / trials
+
+
+def run_experiment():
+    return scripted_rows(), random_violation_rate(5, 1)
+
+
+def test_e2_bsr_resilience(benchmark, once_per_session):
+    (rows, rate) = benchmark(run_experiment)
+    if "e2" not in once_per_session:
+        once_per_session.add("e2")
+        emit_rows = rows + [("1", "5", "no",
+                             f"{RANDOM_TRIALS} random adversaries",
+                             f"violation rate {rate:.0%}")]
+        from benchmarks.conftest import emit
+        from repro.metrics import format_table
+        emit(format_table(
+            ("f", "n", "below bound", "read returned / trials", "safety"),
+            emit_rows,
+            title="E2: BSR resilience across the n = 4f + 1 boundary",
+        ))
+    for f, n, below, _, verdict in rows:
+        if below == "yes":
+            assert verdict == "VIOLATED"
+        else:
+            assert verdict == "safe"
+    assert rate == 0.0

@@ -1,0 +1,77 @@
+"""E3 -- The n >= 5f + 1 bound for BCSR is tight (Lemma 4 and Theorem 6).
+
+* **Below the bound** (n = 5f): the Theorem-6 adversary leaves the reader
+  with more erroneous coded elements than ``N >= k + 2e`` tolerates; the
+  read returns a wrong/initial value -- a safety violation.
+* **At the bound** (n = 5f + 1): the same adversary is decoded away, and
+  randomized Byzantine executions never violate safety.
+"""
+
+from repro.byzantine.scenarios import theorem6_bcsr_below_bound
+from repro.consistency import check_safety
+from repro.core.register import RegisterSystem
+from repro.metrics import format_table
+from repro.sim.delays import UniformDelay
+from repro.sim.failures import random_failure_schedule
+from repro.sim.rng import SimRng
+from repro.workloads import WorkloadSpec, apply_schedule, generate_schedule
+
+from benchmarks.conftest import emit
+
+RANDOM_TRIALS = 15
+
+
+def scripted_rows():
+    rows = []
+    for f in (1, 2):
+        for n in (5 * f, 5 * f + 1):
+            result = theorem6_bcsr_below_bound(n=n, f=f)
+            rows.append((f, n, "yes" if n == 5 * f else "no",
+                         result.read_value.decode(errors="replace"),
+                         "VIOLATED" if not result.safety.ok else "safe"))
+    return rows
+
+
+def random_violation_rate(n: int, f: int, trials: int = RANDOM_TRIALS) -> float:
+    violations = 0
+    for seed in range(trials):
+        rng = SimRng(seed, "e3")
+        schedule = random_failure_schedule(
+            [f"s{i:03d}" for i in range(n)], f, rng, byzantine_count=f,
+            behaviors=("silent", "stale", "corrupt_value", "forge_tag"),
+        )
+        system = RegisterSystem(
+            "bcsr", f=f, n=n, seed=seed, num_writers=1, num_readers=2,
+            initial_value=b"v0",
+            byzantine={e.pid: e.behavior for e in schedule.events},
+            delay_model=UniformDelay(0.1, 2.0),
+        )
+        spec = WorkloadSpec(num_ops=15, read_ratio=0.7, num_writers=1,
+                            num_readers=2)
+        apply_schedule(system, generate_schedule(spec, rng.fork("wl")))
+        trace = system.run()
+        if not check_safety(trace, initial_value=b"v0").ok:
+            violations += 1
+    return violations / trials
+
+
+def run_experiment():
+    return scripted_rows(), random_violation_rate(6, 1)
+
+
+def test_e3_bcsr_resilience(benchmark, once_per_session):
+    rows, rate = benchmark(run_experiment)
+    if "e3" not in once_per_session:
+        once_per_session.add("e3")
+        emit(format_table(
+            ("f", "n", "below bound", "read returned", "safety"),
+            rows + [("1", "6", "no", f"{RANDOM_TRIALS} random adversaries",
+                     f"violation rate {rate:.0%}")],
+            title="E3: BCSR resilience across the n = 5f + 1 boundary",
+        ))
+    for f, n, below, _, verdict in rows:
+        if below == "yes":
+            assert verdict == "VIOLATED"
+        else:
+            assert verdict == "safe"
+    assert rate == 0.0

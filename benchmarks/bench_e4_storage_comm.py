@@ -1,0 +1,72 @@
+"""E4 -- MDS coding cuts storage and bandwidth to ~n/k of the value size.
+
+Paper claim (Section I-C): an ``[n, k]`` code stores one size-``1/k``
+element per server, for a total of ``n/k`` units versus replication's ``n``
+units; write bandwidth scales the same way.
+
+The experiment writes the same value through BSR (replication) and BCSR
+(``k = n - 5f``) at several system sizes and reports:
+
+* total bytes stored across servers,
+* bytes of PUT-DATA payload on the wire,
+* the measured replication/coding ratio, which should approach ``k``.
+"""
+
+from repro.core.register import RegisterSystem
+from repro.metrics import format_table
+from repro.sim.delays import ConstantDelay
+
+from benchmarks.conftest import emit
+
+VALUE_SIZE = 4096
+CONFIGS = ((6, 1), (11, 1), (16, 2), (21, 3))  # (n, f); k = n - 5f
+
+
+def put_data_bytes(system) -> int:
+    return system.network_stats().per_type_bytes.get("PutData", 0)
+
+
+def run_config(n: int, f: int):
+    value = b"d" * VALUE_SIZE
+    bsr = RegisterSystem("bsr", f=f, n=n, seed=1, delay_model=ConstantDelay(1.0))
+    bsr.write(value, at=0.0)
+    bsr.run()
+    bcsr = RegisterSystem("bcsr", f=f, n=n, seed=1, delay_model=ConstantDelay(1.0))
+    bcsr.write(value, at=0.0)
+    bcsr.run()
+    k = n - 5 * f
+    bsr_storage = sum(bsr.storage_bytes().values())
+    bcsr_storage = sum(bcsr.storage_bytes().values())
+    return (n, f, k, bsr_storage, bcsr_storage,
+            bsr_storage / bcsr_storage,
+            put_data_bytes(bsr), put_data_bytes(bcsr))
+
+
+def run_experiment():
+    return [run_config(n, f) for n, f in CONFIGS]
+
+
+def test_e4_storage_and_communication(benchmark, once_per_session):
+    rows = benchmark(run_experiment)
+    if "e4" not in once_per_session:
+        once_per_session.add("e4")
+        emit(format_table(
+            ("n", "f", "k", "repl stored(B)", "coded stored(B)",
+             "storage ratio", "repl PUT(B)", "coded PUT(B)"),
+            rows,
+            title=f"E4: storage & write bandwidth, {VALUE_SIZE}-byte value",
+        ))
+    for n, f, k, repl_stored, coded_stored, ratio, repl_put, coded_put in rows:
+        # Replication stores n full copies.
+        assert repl_stored == n * VALUE_SIZE
+        # Coding stores ~n/k of the value (plus tiny framing overhead).
+        assert coded_stored <= (n * (VALUE_SIZE + 4 * k)) // k + n
+        # The ratio approaches k (within framing slack).
+        assert ratio > k * 0.9
+        # Bandwidth shrinks the same way -- for k = 1 the code degenerates
+        # to replication cost (one full-size element per server), which is
+        # exactly the paper's point that coding only pays off for k > 1.
+        if k > 1:
+            assert coded_put < repl_put / (k * 0.9)
+        else:
+            assert coded_put <= repl_put * 1.05

@@ -1,0 +1,61 @@
+"""E5 -- BSR is not regular; both Section III-C extensions are.
+
+Runs the exact Theorem-3 execution (n = 5, f = 1, five writers whose
+PUT-DATA scatters one value per server) against all three read protocols and
+reports what the read returned and the checker verdicts.  Also reports the
+read-message cost of each variant: the price of regularity is either larger
+replies (history) or an extra round (two-round reads).
+"""
+
+from repro.byzantine.scenarios import theorem3_regularity_violation
+from repro.metrics import format_table
+
+from benchmarks.conftest import emit
+
+VARIANTS = ("bsr", "bsr-history", "bsr-2round")
+
+
+def run_experiment():
+    rows = []
+    for algorithm in VARIANTS:
+        result = theorem3_regularity_violation(algorithm)
+        reply_bytes = sum(
+            result.system.network_stats().per_type_bytes.get(kind, 0)
+            for kind in ("DataReply", "HistoryReply", "TagHistoryReply",
+                         "ValueReply")
+        )
+        rows.append((
+            algorithm,
+            result.read_value.decode(),
+            result.read.rounds,
+            "yes" if result.safety.ok else "NO",
+            "yes" if result.regularity.ok else "NO",
+            reply_bytes,
+        ))
+    return rows
+
+
+def test_e5_regularity(benchmark, once_per_session):
+    rows = benchmark(run_experiment)
+    if "e5" not in once_per_session:
+        once_per_session.add("e5")
+        emit(format_table(
+            ("variant", "read returned", "read rounds", "safe", "regular",
+             "read-reply bytes"),
+            rows,
+            title="E5: the Theorem-3 execution against all three read protocols",
+        ))
+    by_name = {row[0]: row for row in rows}
+    # Plain BSR: stale v0, safe, NOT regular, one round.
+    assert by_name["bsr"][1] == "v0"
+    assert by_name["bsr"][3] == "yes" and by_name["bsr"][4] == "NO"
+    assert by_name["bsr"][2] == 1
+    # History variant: fresh value, regular, still one round, bigger replies.
+    assert by_name["bsr-history"][1] != "v0"
+    assert by_name["bsr-history"][4] == "yes"
+    assert by_name["bsr-history"][2] == 1
+    assert by_name["bsr-history"][5] > by_name["bsr"][5]
+    # Two-round variant: fresh value, regular, two rounds.
+    assert by_name["bsr-2round"][1] != "v0"
+    assert by_name["bsr-2round"][4] == "yes"
+    assert by_name["bsr-2round"][2] == 2

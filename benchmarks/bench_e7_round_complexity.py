@@ -1,0 +1,58 @@
+"""E7 -- Round complexity of every operation of every algorithm.
+
+Paper claims: BSR/BCSR reads are one-shot (Definition 3) and writes take two
+rounds (Figs 1-5); the regular two-round variant trades one extra read
+round; ABD needs two rounds for both.  This bench measures rounds directly
+from the operation state machines (not inferred from timing) over a mixed
+workload and regenerates the table.
+"""
+
+from repro.core.register import RegisterSystem
+from repro.metrics import format_table, summarize_trace
+from repro.sim.delays import UniformDelay
+from repro.sim.rng import SimRng
+from repro.workloads import WorkloadSpec, apply_schedule, generate_schedule
+
+from benchmarks.conftest import emit
+
+EXPECTED_READ_ROUNDS = {
+    "bsr": 1, "bsr-history": 1, "bcsr": 1, "bsr-2round": 2, "abd": 2, "rb": 1,
+}
+ALGORITHMS = tuple(EXPECTED_READ_ROUNDS)
+
+
+def measure(algorithm: str):
+    spec = WorkloadSpec(num_ops=60, read_ratio=0.7, num_writers=2,
+                        num_readers=2, mean_interarrival=4.0)
+    system = RegisterSystem(algorithm, f=1, seed=3, num_writers=2,
+                            num_readers=2,
+                            delay_model=UniformDelay(0.3, 1.0))
+    handles = apply_schedule(system, generate_schedule(spec, SimRng(3, "e7")))
+    trace = system.run()
+    assert all(handle.done for handle in handles)
+    summary = summarize_trace(trace)
+    return (algorithm,
+            summary["read"].mean_rounds, summary["write"].mean_rounds,
+            summary["read"].latency.mean, summary["write"].latency.mean)
+
+
+def run_experiment():
+    return [measure(a) for a in ALGORITHMS]
+
+
+def test_e7_round_complexity(benchmark, once_per_session):
+    rows = benchmark(run_experiment)
+    if "e7" not in once_per_session:
+        once_per_session.add("e7")
+        emit(format_table(
+            ("algorithm", "read rounds", "write rounds",
+             "read latency(s)", "write latency(s)"),
+            rows,
+            title="E7: measured rounds and latency per operation kind",
+        ))
+    for algorithm, read_rounds, write_rounds, read_lat, write_lat in rows:
+        assert read_rounds == EXPECTED_READ_ROUNDS[algorithm]
+        assert write_rounds == 2.0
+        if EXPECTED_READ_ROUNDS[algorithm] == 1 and algorithm != "rb":
+            # one-shot reads are strictly cheaper than the same system's writes
+            assert read_lat < write_lat

@@ -1,0 +1,100 @@
+"""E8 -- Ablation: the (f+1)-th-highest tag rule vs naive max.
+
+Fig 1 line 4 has writers adopt the ``(f+1)``-th highest tag from their
+``get-tag`` quorum.  The obvious alternative -- take the maximum, as
+crash-only ABD does -- lets a single Byzantine server inflate every
+subsequent tag without bound ("incorrect timestamp values", Section II-A).
+
+The experiment runs a chain of writes against ``f`` tag-forging servers
+under both selection rules and reports the final tag number.  With the
+paper's rule the tag grows by exactly 1 per write; with max-selection it
+absorbs the forged boost on every write.
+"""
+
+from typing import List
+
+from repro.core.bsr import BSRWriteOperation
+from repro.core.messages import PutData
+from repro.core.quorum import kth_highest
+from repro.core.register import RegisterSystem
+from repro.metrics import format_table
+from repro.sim.delays import ConstantDelay
+from repro.types import Envelope, ProcessId
+
+from benchmarks.conftest import emit
+
+NUM_WRITES = 5
+BOOST = 1000
+
+
+class MaxTagWriteOperation(BSRWriteOperation):
+    """Ablated writer: adopts the *maximum* tag (no Byzantine filtering)."""
+
+    def _on_tag_reply(self, sender: ProcessId, message) -> List[Envelope]:
+        from repro.core.tags import Tag
+        if not isinstance(message.tag, Tag):
+            return []
+        self._tag_replies.add(sender, message)
+        if len(self._tag_replies) < self.quorum:
+            return []
+        tags = [reply.tag for reply in self._tag_replies.values()]
+        self._tag = kth_highest(tags, 1).next_for(self.client_id)  # max
+        self._phase = "put-data"
+        self.rounds = 2
+        return self.broadcast(PutData(op_id=self.op_id, tag=self._tag,
+                                      payload=self.value))
+
+
+def chain_of_writes(op_class) -> int:
+    """Run NUM_WRITES sequential writes; returns the final tag number."""
+    system = RegisterSystem("bsr", f=1, seed=1,
+                            delay_model=ConstantDelay(0.5),
+                            byzantine={0: "forge_tag"})
+    final_tag_num = 0
+    for i in range(NUM_WRITES):
+        handle = system.write(f"w{i}".encode(), writer=0, at=i * 10.0)
+        # Swap the operation class for the ablated rule.
+        if op_class is not BSRWriteOperation:
+            original_factory = system.clients["w000"]._pending[-1][2]
+
+            def ablated_factory(original=original_factory):
+                op = original()
+                op.__class__ = op_class
+                return op
+
+            entry = system.clients["w000"]._pending[-1]
+            system.clients["w000"]._pending[-1] = (
+                entry[0], entry[1], ablated_factory, entry[3],
+            )
+    system.run()
+    return max(
+        (w.value.num for w in system.handles if w.kind == "write" and w.done),
+        default=0,
+    )
+
+
+def run_experiment():
+    paper_rule = chain_of_writes(BSRWriteOperation)
+    max_rule = chain_of_writes(MaxTagWriteOperation)
+    return paper_rule, max_rule
+
+
+def test_e8_tag_selection_ablation(benchmark, once_per_session):
+    paper_rule, max_rule = benchmark(run_experiment)
+    if "e8" not in once_per_session:
+        once_per_session.add("e8")
+        emit(format_table(
+            ("selection rule", f"final tag num after {NUM_WRITES} writes",
+             "growth per write"),
+            [
+                ("(f+1)-th highest (paper)", paper_rule,
+                 paper_rule / NUM_WRITES),
+                ("max (ablation)", max_rule, max_rule / NUM_WRITES),
+            ],
+            title="E8: tag inflation under one tag-forging Byzantine server",
+        ))
+    # Paper's rule: tags advance by exactly one per write.
+    assert paper_rule == NUM_WRITES
+    # Max rule: the forged boost (~1e6 per ForgeTagBehavior default) is
+    # absorbed into the tag chain -- unbounded inflation.
+    assert max_rule > 1_000_000

@@ -1,0 +1,82 @@
+"""E9 -- The decoder corrects exactly up to the N >= k + 2e boundary.
+
+Section IV-A requires an ``[n, k]`` MDS code that decodes from ``N = n - f``
+elements with up to ``e = 2f`` erroneous ones, i.e. ``k = n - f - 2e``.
+This bench sweeps the number of erroneous elements across that boundary for
+the BCSR production shape (n = 11, f = 2, k = 1) and a higher-rate shape,
+reporting decode success and the exact failure edge, plus decoder timing.
+"""
+
+import pytest
+
+from repro.erasure.rs import ReedSolomon
+from repro.errors import DecodingError
+from repro.metrics import format_table
+from repro.sim.rng import SimRng
+
+from benchmarks.conftest import emit
+
+SHAPES = ((11, 2), (16, 2))  # (n, f) with k = n - 5f
+
+
+def decode_outcome(rs: ReedSolomon, received_count: int, errors: int,
+                   seed: int = 1) -> bool:
+    rng = SimRng(seed, f"e9-{rs.n}-{rs.k}-{errors}")
+    message = [rng.randint(0, 255) for _ in range(rs.k)]
+    codeword = rs.encode(message)
+    positions = rng.sample(range(rs.n), received_count)
+    wrong = set(rng.sample(positions, errors))
+    received = [(p, codeword[p] ^ 0x7E if p in wrong else codeword[p])
+                for p in positions]
+    try:
+        return rs.decode(received) == message
+    except DecodingError:
+        return False
+
+
+def run_experiment():
+    rows = []
+    for n, f in SHAPES:
+        k = n - 5 * f
+        rs = ReedSolomon(n, k)
+        received = n - f
+        budget = (received - k) // 2
+        for errors in range(0, budget + 2):
+            ok = all(decode_outcome(rs, received, errors, seed)
+                     for seed in range(5))
+            rows.append((f"[{n},{k}] f={f}", received, errors, budget,
+                         "ok" if ok else "FAIL"))
+    return rows
+
+
+def test_e9_decoder_boundary(benchmark, once_per_session):
+    rows = benchmark(run_experiment)
+    if "e9" not in once_per_session:
+        once_per_session.add("e9")
+        emit(format_table(
+            ("code", "elements", "errors", "budget (N-k)/2", "decode"),
+            rows,
+            title="E9: Berlekamp-Welch success across the k + 2e boundary",
+        ))
+    for code, received, errors, budget, verdict in rows:
+        if errors <= budget:
+            assert verdict == "ok", f"{code} failed inside budget ({errors})"
+        else:
+            assert verdict == "FAIL", f"{code} decoded beyond budget ({errors})"
+    # The paper's regime sits exactly at the edge: budget == 2f.
+    n, f = SHAPES[0]
+    assert ((n - f) - (n - 5 * f)) // 2 == 2 * f
+
+
+def test_e9_decode_throughput(benchmark):
+    """Time one decode of the production shape with max errors."""
+    n, f = 11, 2
+    rs = ReedSolomon(n, n - 5 * f)
+    rng = SimRng(9, "e9-timing")
+    message = [rng.randint(0, 255) for _ in range(rs.k)]
+    codeword = rs.encode(message)
+    positions = list(range(n - f))
+    received = [(p, codeword[p] ^ 0x55 if p < 2 * f else codeword[p])
+                for p in positions]
+    result = benchmark(lambda: rs.decode(received, max_errors=2 * f))
+    assert result == message

@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark prints the table of numbers that backs one of the paper's
+quantitative claims (run with ``-s`` to see them; they are also recorded in
+EXPERIMENTS.md), and uses pytest-benchmark to time the underlying run so
+regressions in the simulator or the protocols show up as timing changes.
+"""
+
+import pytest
+
+
+def emit(table: str) -> None:
+    """Print an experiment table, flushing so it interleaves cleanly."""
+    print("\n" + table + "\n", flush=True)
+
+
+@pytest.fixture(scope="session")
+def once_per_session():
+    """Registry letting a parametrised bench print its table only once."""
+    return set()

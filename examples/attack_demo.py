@@ -1,0 +1,77 @@
+"""Replaying the paper's adversarial executions, end to end.
+
+Three attacks, each the executable form of one proof:
+
+1. **Theorem 3** -- five concurrent writes scatter values across servers;
+   a plain BSR read finds no ``f + 1`` witnesses and falls back to ``v0``
+   (safe, but not regular).  The two Section III-C extensions survive it.
+2. **Theorem 5** -- with only ``n = 4f`` servers, a history-replaying
+   Byzantine server gets a *superseded* value accepted by a completed read.
+3. **Theorem 6** -- the coded register at ``n = 5f`` faces more erroneous
+   coded elements than Berlekamp-Welch can fix.
+
+Run with::
+
+    python examples/attack_demo.py
+"""
+
+from repro.byzantine.scenarios import (
+    theorem3_regularity_violation,
+    theorem5_bsr_below_bound,
+    theorem6_bcsr_below_bound,
+)
+
+
+def banner(text: str) -> None:
+    print("\n" + "=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def report(result) -> None:
+    print(result.description)
+    print("-" * 60)
+    print(result.trace.format())
+    print(f"\nthe read returned: {result.read_value!r}")
+    print(f"  {result.safety}")
+    print(f"  {result.regularity}")
+    for violation in result.safety.violations + result.regularity.violations:
+        print(f"    - {violation}")
+
+
+def main() -> None:
+    banner("Attack 1: Theorem 3 -- BSR is safe but NOT regular")
+    bsr = theorem3_regularity_violation("bsr")
+    report(bsr)
+    assert bsr.safety.ok and not bsr.regularity.ok
+
+    print("\n  ... the same schedule against the two regular variants:")
+    for variant in ("bsr-history", "bsr-2round"):
+        fixed = theorem3_regularity_violation(variant)
+        print(f"  {variant:12s} read={fixed.read_value!r} "
+              f"regular={'yes' if fixed.regularity.ok else 'NO'}")
+        assert fixed.regularity.ok
+
+    banner("Attack 2: Theorem 5 -- BSR below n = 4f + 1 loses safety")
+    broken = theorem5_bsr_below_bound(n=4, f=1)
+    report(broken)
+    assert not broken.safety.ok
+    survived = theorem5_bsr_below_bound(n=5, f=1)
+    print(f"\n  same adversary at n = 4f + 1: read={survived.read_value!r}, "
+          f"safety={'ok' if survived.safety.ok else 'VIOLATED'}")
+    assert survived.safety.ok
+
+    banner("Attack 3: Theorem 6 -- BCSR below n = 5f + 1 loses safety")
+    broken = theorem6_bcsr_below_bound(n=5, f=1)
+    report(broken)
+    assert not broken.safety.ok
+    survived = theorem6_bcsr_below_bound(n=6, f=1)
+    print(f"\n  same adversary at n = 5f + 1: read={survived.read_value!r}, "
+          f"safety={'ok' if survived.safety.ok else 'VIOLATED'}")
+    assert survived.safety.ok
+
+    banner("All three proofs reproduced mechanically.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Crash recovery: a TCP cluster survives a full restart from snapshots.
+
+Every server node checkpoints its history after each accepted write;
+restarting the cluster against the same snapshot directory restores state.
+Losing up to ``f`` snapshots is harmless -- a server restored from nothing
+is just a slow replica the protocol already tolerates.
+
+Run with::
+
+    python examples/crash_recovery.py
+"""
+
+import asyncio
+import os
+import tempfile
+
+from repro.runtime import LocalCluster
+
+
+async def first_life(snapshot_dir: str) -> None:
+    cluster = LocalCluster("bsr", f=1, snapshot_dir=snapshot_dir)
+    await cluster.start()
+    try:
+        writer = cluster.client("w000")
+        await writer.connect()
+        for i, value in enumerate((b"alpha", b"beta", b"gamma")):
+            tag = await writer.write(value)
+            print(f"  wrote {value!r} under tag {tag}")
+    finally:
+        await cluster.stop()
+    print(f"  cluster stopped; snapshots on disk: "
+          f"{sorted(os.listdir(snapshot_dir))}")
+
+
+async def second_life(snapshot_dir: str) -> None:
+    # Simulate losing one server's disk entirely (f = 1 budget).
+    lost = os.path.join(snapshot_dir, "s002.snapshot")
+    os.remove(lost)
+    print("  simulated disk loss: removed s002.snapshot")
+
+    cluster = LocalCluster("bsr", f=1, snapshot_dir=snapshot_dir)
+    await cluster.start()
+    try:
+        reader = cluster.client("r000")
+        await reader.connect()
+        value = await reader.read()
+        print(f"  after restart, read returned: {value!r}")
+        assert value == b"gamma", "the freshest pre-crash write must survive"
+    finally:
+        await cluster.stop()
+
+
+async def main() -> None:
+    with tempfile.TemporaryDirectory() as snapshot_dir:
+        print("life 1: write three values, checkpointing each")
+        await first_life(snapshot_dir)
+        print("\nlife 2: full restart from disk, one snapshot lost")
+        await second_life(snapshot_dir)
+        print("\nRecovery held: the register's durable state outlives its "
+              "processes,\nand a lost disk within the f budget is absorbed "
+              "like any slow server.")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,27 @@
+"""Baseline register emulations the paper compares against.
+
+* :mod:`repro.baselines.rb_register`: the prior-work design (Section I-B,
+  e.g. Kanjani et al. [15]) -- ``n >= 3f + 1`` servers, writes disseminated
+  through Bracha reliable broadcast with server-to-server relay.  Fewer
+  servers than BSR, but every write pays ~1.5 extra rounds and reads may
+  have to wait out the relay.
+* :mod:`repro.baselines.abd`: the classic crash-tolerant ABD atomic register
+  (``n >= 2f + 1``, two-round reads and writes) as a non-Byzantine sanity
+  baseline for the workload experiments.
+"""
+
+from repro.baselines.abd import ABDReadOperation, ABDServer, ABDWriteOperation
+from repro.baselines.rb_register import (
+    RBRegisterServer,
+    RBReadOperation,
+    RBWriteOperation,
+)
+
+__all__ = [
+    "RBRegisterServer",
+    "RBWriteOperation",
+    "RBReadOperation",
+    "ABDServer",
+    "ABDWriteOperation",
+    "ABDReadOperation",
+]

@@ -1,0 +1,233 @@
+"""The prior-work baseline: a register built on reliable broadcast.
+
+Models the design family the paper contrasts itself with (Section I-B;
+Kanjani et al. [15]): ``n >= 3f + 1`` servers -- *f fewer machines than BSR*
+-- but writes are disseminated with Bracha reliable broadcast among the
+servers, and servers *relay* newly delivered values to readers with pending
+queries.  The consequences the experiments measure:
+
+* A write's ``put-data`` phase costs one client-to-server hop **plus** the
+  ECHO and READY server-to-server hops before any server acks -- the
+  "1.5 rounds" blow-up of Section I-B.
+* A read cannot always terminate on its first ``n - f`` replies; it waits
+  until some pair is witnessed by ``f + 1`` servers *and* is at least as
+  fresh as the ``(f+1)``-th highest tag seen.  Relay guarantees this
+  eventually happens, but "eventually" may span extra server hops.
+
+The RB layer gives the register regularity-grade freshness with fewer
+servers; the price is latency, which is exactly the trade-off of the paper.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.broadcast.bracha import BrachaInstance
+from repro.core.messages import (
+    DataReply,
+    PushData,
+    PutAck,
+    PutData,
+    QueryData,
+    QueryTag,
+    RBEcho,
+    RBReady,
+    RBSend,
+    TagReply,
+)
+from repro.core.operation import ClientOperation, ReplyCollector
+from repro.core.quorum import kth_highest, validate_rb_config, witness_threshold
+from repro.core.tags import TAG_ZERO, Tag, TaggedValue
+from repro.types import Envelope, ProcessId
+
+
+class RBRegisterServer:
+    """A baseline server: BSR-like storage + Bracha participation + relay."""
+
+    def __init__(self, server_id: ProcessId, peers: Sequence[ProcessId], f: int,
+                 initial_value: Any = b"") -> None:
+        validate_rb_config(len(peers), f)
+        self.server_id = server_id
+        self.peers = list(peers)
+        self.f = f
+        self.history: List[TaggedValue] = [TaggedValue(TAG_ZERO, initial_value)]
+        self.bracha = BrachaInstance(server_id, self.peers, f)
+        #: reader -> op_id of its most recent (assumed pending) query.
+        self._pending_readers: Dict[ProcessId, int] = {}
+        #: broadcast instances we already acked, to dedupe deliveries.
+        self._acked: Set[Any] = set()
+
+    @property
+    def latest(self) -> TaggedValue:
+        """The stored pair with the highest tag."""
+        return self.history[-1]
+
+    @property
+    def max_tag(self) -> Tag:
+        """The highest stored tag."""
+        return self.history[-1].tag
+
+    def storage_bytes(self) -> int:
+        """Bytes of user data stored (full replication, like BSR)."""
+        value = self.latest.value
+        return len(value) if isinstance(value, (bytes, bytearray)) else len(repr(value))
+
+    # -- message handling ---------------------------------------------------
+    def handle(self, sender: ProcessId, message: Any) -> List[Envelope]:
+        """Dispatch one incoming message; returns outgoing envelopes."""
+        if isinstance(message, QueryTag):
+            return [(sender, TagReply(op_id=message.op_id, tag=self.max_tag))]
+        if isinstance(message, QueryData):
+            self._pending_readers[sender] = message.op_id
+            latest = self.latest
+            return [(sender, DataReply(op_id=message.op_id, tag=latest.tag,
+                                       payload=latest.value))]
+        if isinstance(message, RBSend):
+            return self._rb_outputs(
+                message, self.bracha.on_send(self._key(message),
+                                             (message.tag, message.payload)))
+        if isinstance(message, RBEcho):
+            return self._rb_outputs(
+                message, self.bracha.on_echo(self._key(message),
+                                             (message.tag, message.payload), sender))
+        if isinstance(message, RBReady):
+            return self._rb_outputs(
+                message, self.bracha.on_ready(self._key(message),
+                                              (message.tag, message.payload), sender))
+        return []
+
+    @staticmethod
+    def _key(message: Any) -> Tuple[str, int]:
+        return (message.source, message.op_id)
+
+    def _rb_outputs(self, message: Any, outputs) -> List[Envelope]:
+        envelopes: List[Envelope] = []
+        for action, arg1, arg2 in outputs:
+            if action == "broadcast":
+                phase, payload = arg1, arg2
+                cls = RBEcho if phase == "echo" else RBReady
+                relayed = cls(op_id=message.op_id, tag=payload[0], payload=payload[1],
+                              source=message.source)
+                envelopes.extend((peer, relayed) for peer in self.peers)
+            elif action == "deliver":
+                tag, value = arg1
+                envelopes.extend(self._deliver(message, tag, value))
+        return envelopes
+
+    def _deliver(self, message: Any, tag: Tag, value: Any) -> List[Envelope]:
+        envelopes: List[Envelope] = []
+        if tag > self.max_tag:
+            self.history.append(TaggedValue(tag, value))
+            # Relay: push the fresh pair to every reader with a pending query
+            # so stuck reads can converge on f + 1 witnesses.
+            for reader, read_op_id in self._pending_readers.items():
+                envelopes.append(
+                    (reader, PushData(op_id=read_op_id, tag=tag, payload=value))
+                )
+        key = self._key(message)
+        if key not in self._acked:
+            self._acked.add(key)
+            envelopes.append(
+                (message.source, PutAck(op_id=message.op_id, tag=tag))
+            )
+        return envelopes
+
+
+class RBWriteOperation(ClientOperation):
+    """Baseline write: ``get-tag`` like BSR, then reliable-broadcast the data."""
+
+    kind = "write"
+
+    def __init__(self, client_id: ProcessId, servers: Sequence[ProcessId], f: int,
+                 value: Any) -> None:
+        super().__init__(client_id, servers, f)
+        validate_rb_config(self.n, f)
+        self.value = value
+        self._phase = "idle"
+        self._tag_replies = ReplyCollector(self.servers)
+        self._acks = ReplyCollector(self.servers)
+        self._tag: Optional[Tag] = None
+
+    def start(self) -> List[Envelope]:
+        self._phase = "get-tag"
+        self.rounds = 1
+        return self.broadcast(QueryTag(op_id=self.op_id))
+
+    def on_reply(self, sender: ProcessId, message: Any) -> List[Envelope]:
+        if not self.accepts(message) or self.done:
+            return []
+        if self._phase == "get-tag" and isinstance(message, TagReply):
+            if not isinstance(message.tag, Tag):
+                return []
+            self._tag_replies.add(sender, message)
+            if len(self._tag_replies) < self.quorum:
+                return []
+            tags = [reply.tag for reply in self._tag_replies.values()]
+            self._tag = kth_highest(tags, self.f + 1).next_for(self.client_id)
+            self._phase = "put-data"
+            # The RB dissemination happens server-side; from the client's
+            # point of view this is still its second round, but acks only
+            # come back after ECHO + READY complete.
+            self.rounds = 2
+            return self.broadcast(RBSend(op_id=self.op_id, tag=self._tag,
+                                         payload=self.value, source=self.client_id))
+        if self._phase == "put-data" and isinstance(message, PutAck):
+            if message.tag == self._tag:
+                self._acks.add(sender, message)
+                if len(self._acks) >= self.quorum:
+                    self._complete(self._tag)
+        return []
+
+
+class RBReadOperation(ClientOperation):
+    """Baseline read: wait for a witnessed pair at least as fresh as the
+    ``(f+1)``-th highest tag; relayed pushes may be needed to get there."""
+
+    kind = "read"
+
+    def __init__(self, client_id: ProcessId, servers: Sequence[ProcessId], f: int,
+                 initial_value: Any = b"") -> None:
+        super().__init__(client_id, servers, f)
+        validate_rb_config(self.n, f)
+        self.initial_value = initial_value
+        #: server -> freshest (tag, value) heard from it (query reply or push)
+        self._latest: Dict[ProcessId, TaggedValue] = {}
+
+    def start(self) -> List[Envelope]:
+        self.rounds = 1
+        return self.broadcast(QueryData(op_id=self.op_id))
+
+    def on_reply(self, sender: ProcessId, message: Any) -> List[Envelope]:
+        if self.done or not self.accepts(message):
+            return []
+        if not isinstance(message, (DataReply, PushData)):
+            return []
+        if not isinstance(message.tag, Tag) or sender not in self.servers:
+            return []
+        pair = TaggedValue(message.tag, message.payload)
+        current = self._latest.get(sender)
+        if current is None or pair.tag > current.tag:
+            self._latest[sender] = pair
+        self._try_finish()
+        return []
+
+    def _try_finish(self) -> None:
+        if len(self._latest) < self.quorum:
+            return
+        # Freshness bar: the (f+1)-th highest tag cannot be Byzantine-forged.
+        tags = [pair.tag for pair in self._latest.values()]
+        bar = kth_highest(tags, self.f + 1)
+        counts: Counter = Counter()
+        for pair in self._latest.values():
+            try:
+                counts[pair] += 1
+            except TypeError:
+                continue
+        threshold = witness_threshold(self.f)
+        witnessed = [pair for pair, count in counts.items()
+                     if count >= threshold and pair.tag >= bar]
+        if witnessed:
+            best = max(witnessed, key=lambda tv: tv.tag)
+            self._tag = best.tag
+            self._complete(best.value)

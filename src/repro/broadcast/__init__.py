@@ -1,0 +1,11 @@
+"""Reliable broadcast (Bracha) -- the primitive the paper's algorithms avoid.
+
+Provided so the repository can implement the *prior-work baseline* the paper
+compares against (Section I-B): an ``n >= 3f + 1`` register whose writes go
+through reliable broadcast, paying the extra ~1.5 rounds of server-to-server
+communication per write.
+"""
+
+from repro.broadcast.bracha import BrachaInstance, BrachaState
+
+__all__ = ["BrachaInstance", "BrachaState"]

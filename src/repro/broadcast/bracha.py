@@ -1,0 +1,130 @@
+"""Bracha's asynchronous reliable broadcast among servers.
+
+Classic three-phase protocol [Bracha 1987] for ``n >= 3f + 1`` servers:
+
+1. The source sends ``SEND(m)`` to every server.
+2. On first ``SEND(m)``: broadcast ``ECHO(m)``.
+3. On ``ceil((n + f + 1) / 2)`` ``ECHO(m)``: broadcast ``READY(m)``.
+4. On ``f + 1`` ``READY(m)`` (amplification): broadcast ``READY(m)`` too.
+5. On ``2f + 1`` ``READY(m)``: **deliver** ``m``.
+
+Guarantees: if the source is correct every correct server delivers ``m``;
+if any correct server delivers ``m`` every correct server eventually
+delivers ``m`` (the "all or none" property); no two correct servers deliver
+different messages for the same instance.
+
+Counting rounds: SEND is the client's own round; ECHO and READY add the
+"1.5 rounds" of extra latency the paper attributes to RB (two server-to-
+server hops, overlapping in the optimistic case).
+
+This module is deliberately *payload-agnostic*: each broadcast instance is
+identified by an opaque key (source + operation id for register writes) and
+tracks message counts per payload digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import ProcessId
+
+#: Phases of the protocol, used as message markers by the register baseline.
+SEND, ECHO, READY = "send", "echo", "ready"
+
+
+def echo_threshold(n: int, f: int) -> int:
+    """Echoes required before sending READY: ``ceil((n + f + 1) / 2)``."""
+    return (n + f + 2) // 2
+
+
+def ready_amplify_threshold(f: int) -> int:
+    """Readies that trigger READY amplification: ``f + 1``."""
+    return f + 1
+
+
+def deliver_threshold(f: int) -> int:
+    """Readies required to deliver: ``2f + 1``."""
+    return 2 * f + 1
+
+
+@dataclass
+class BrachaState:
+    """Per-(instance, server) protocol state."""
+
+    sent_echo: bool = False
+    sent_ready: bool = False
+    delivered: bool = False
+    #: payload -> set of servers whose ECHO we counted
+    echoes: Dict[Any, Set[ProcessId]] = field(default_factory=dict)
+    #: payload -> set of servers whose READY we counted
+    readies: Dict[Any, Set[ProcessId]] = field(default_factory=dict)
+
+
+class BrachaInstance:
+    """One server's view of all broadcast instances it participates in.
+
+    The register baseline drives this object: it feeds in SEND/ECHO/READY
+    events and receives two kinds of outputs -- messages to broadcast to the
+    other servers, and local deliveries.
+    """
+
+    def __init__(self, server_id: ProcessId, peers: List[ProcessId], f: int) -> None:
+        n = len(peers)
+        if n < 3 * f + 1:
+            raise ConfigurationError(
+                f"Bracha reliable broadcast requires n >= 3f + 1, got n={n}, f={f}"
+            )
+        if server_id not in peers:
+            raise ConfigurationError("server must be among the peers")
+        self.server_id = server_id
+        self.peers = list(peers)
+        self.n = n
+        self.f = f
+        self._instances: Dict[Any, BrachaState] = {}
+
+    def _state(self, key: Any) -> BrachaState:
+        if key not in self._instances:
+            self._instances[key] = BrachaState()
+        return self._instances[key]
+
+    # Outputs: ("broadcast", phase, payload) to all peers, or
+    #          ("deliver", payload) locally.
+    def on_send(self, key: Any, payload: Any) -> List[Tuple[str, Any, Any]]:
+        """Handle the source's SEND for instance ``key``."""
+        state = self._state(key)
+        if state.sent_echo:
+            return []
+        state.sent_echo = True
+        return [("broadcast", ECHO, payload)]
+
+    def on_echo(self, key: Any, payload: Any, sender: ProcessId) -> List[Tuple[str, Any, Any]]:
+        """Handle a peer's ECHO; may trigger our READY."""
+        state = self._state(key)
+        state.echoes.setdefault(payload, set()).add(sender)
+        outputs: List[Tuple[str, Any, Any]] = []
+        if (not state.sent_ready
+                and len(state.echoes[payload]) >= echo_threshold(self.n, self.f)):
+            state.sent_ready = True
+            outputs.append(("broadcast", READY, payload))
+        return outputs
+
+    def on_ready(self, key: Any, payload: Any, sender: ProcessId) -> List[Tuple[str, Any, Any]]:
+        """Handle a peer's READY; may amplify and/or deliver."""
+        state = self._state(key)
+        state.readies.setdefault(payload, set()).add(sender)
+        outputs: List[Tuple[str, Any, Any]] = []
+        count = len(state.readies[payload])
+        if not state.sent_ready and count >= ready_amplify_threshold(self.f):
+            state.sent_ready = True
+            outputs.append(("broadcast", READY, payload))
+        if not state.delivered and count >= deliver_threshold(self.f):
+            state.delivered = True
+            outputs.append(("deliver", payload, None))
+        return outputs
+
+    def delivered(self, key: Any) -> bool:
+        """Whether instance ``key`` has delivered at this server."""
+        state = self._instances.get(key)
+        return bool(state and state.delivered)

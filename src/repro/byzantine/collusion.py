@@ -1,0 +1,114 @@
+"""Coordinated (colluding) Byzantine strategies.
+
+The behaviours in :mod:`repro.byzantine.behaviors` act independently per
+server.  Real Byzantine adversaries coordinate: the paper's fault model is
+a single adversary controlling all ``f`` faulty servers at once.  This
+module provides that coordination through a shared :class:`CollusionState`
+that every colluding server consults, enabling attacks no independent
+strategy can mount:
+
+* :class:`ColludingStaleBehavior` -- all colluders agree on one historical
+  version and replay exactly it, maximising the witness count of a single
+  stale pair (the strongest form of the Theorem 5 lie).
+* :class:`SplitWorldBehavior` -- colluders partition the clients and show
+  each partition a *different* consistent story, attacking the cross-read
+  agreement clause of regularity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.byzantine.behaviors import Behavior
+from repro.core.messages import DataReply, QueryData, QueryTag, TagReply
+from repro.core.tags import Tag, TaggedValue
+from repro.types import Envelope, ProcessId
+
+
+class CollusionState:
+    """Shared blackboard for one coalition of Byzantine servers.
+
+    The first colluder to answer a read picks the story; every other
+    colluder repeats it, so the coalition always presents a consistent
+    (and therefore maximally credible) lie.
+    """
+
+    def __init__(self) -> None:
+        #: The historical pair the coalition replays, once chosen.
+        self.agreed_pair: Optional[TaggedValue] = None
+        #: client -> story index, for the split-world attack.
+        self.assignments: Dict[ProcessId, int] = {}
+
+    def agree_on(self, candidate: TaggedValue) -> TaggedValue:
+        """Adopt ``candidate`` as the coalition's story if none is set."""
+        if self.agreed_pair is None:
+            self.agreed_pair = candidate
+        return self.agreed_pair
+
+    def side_of(self, client: ProcessId) -> int:
+        """Deterministically split clients into two worlds (0 / 1)."""
+        if client not in self.assignments:
+            self.assignments[client] = len(self.assignments) % 2
+        return self.assignments[client]
+
+
+class ColludingStaleBehavior(Behavior):
+    """All coalition members replay the *same* superseded pair.
+
+    Independent stale servers might replay different old versions and
+    split their witness votes; sharing a :class:`CollusionState` focuses
+    all ``f`` Byzantine witnesses on one stale pair.  Against BSR at
+    ``n >= 4f + 1`` this still fails (the pair gains at most ``f``
+    witnesses beyond its honest holders) -- which the tests assert.
+    """
+
+    name = "colluding_stale"
+
+    def __init__(self, state: CollusionState, offset: int = 1) -> None:
+        self.state = state
+        self.offset = offset
+
+    def on_message(self, server, sender, message, correct_replies):
+        if isinstance(message, QueryData):
+            index = max(0, len(server.history) - 1 - self.offset)
+            pair = self.state.agree_on(server.history[index])
+            return [(sender, DataReply(op_id=message.op_id, tag=pair.tag,
+                                       payload=pair.value))]
+        return correct_replies
+
+
+class SplitWorldBehavior(Behavior):
+    """Show half the clients one forged value and half another.
+
+    Both stories carry the same forged tag, so if the coalition could make
+    either story reach ``f + 1`` witnesses, two readers would disagree on
+    the write order -- a textbook regularity violation.  Witness counting
+    over ``>= f + 1`` servers caps the coalition's contribution at ``f``
+    per story, defeating it.
+    """
+
+    name = "split_world"
+
+    def __init__(self, state: CollusionState, tag_boost: int = 700_000) -> None:
+        self.state = state
+        self.tag_boost = tag_boost
+
+    def _story(self, side: int) -> bytes:
+        return f"world-{side}".encode()
+
+    def on_message(self, server, sender, message, correct_replies):
+        if isinstance(message, QueryData):
+            side = self.state.side_of(sender)
+            forged = Tag(server.max_tag.num + self.tag_boost, server.server_id)
+            return [(sender, DataReply(op_id=message.op_id, tag=forged,
+                                       payload=self._story(side)))]
+        if isinstance(message, QueryTag):
+            forged = Tag(server.max_tag.num + self.tag_boost, server.server_id)
+            return [(sender, TagReply(op_id=message.op_id, tag=forged))]
+        return correct_replies
+
+
+def make_coalition(behavior_cls, count: int, **kwargs) -> List[Behavior]:
+    """Build ``count`` behaviours sharing one fresh :class:`CollusionState`."""
+    state = CollusionState()
+    return [behavior_cls(state, **kwargs) for _ in range(count)]

@@ -1,0 +1,204 @@
+"""Scripted adversarial executions reproducing the paper's proofs.
+
+Each function builds a :class:`~repro.core.register.RegisterSystem`, scripts
+the exact message schedule and Byzantine lies of one proof, runs it, and
+returns a :class:`ScenarioResult` with the consistency-checker verdicts:
+
+* :func:`theorem3_regularity_violation` -- BSR is safe but **not** regular
+  (Theorem 3: five concurrent writes scatter values across servers so the
+  witness set is empty and the read falls back to ``v0``).  Running the same
+  schedule with ``algorithm="bsr-history"`` or ``"bsr-2round"`` shows the
+  regular variants surviving it.
+* :func:`theorem5_bsr_below_bound` -- with only ``n = 4f`` servers a
+  history-replaying Byzantine server makes a stale value collect ``f + 1``
+  witnesses and BSR violates safety (Theorem 5).  The same adversary against
+  ``n = 4f + 1`` fails.
+* :func:`theorem6_bcsr_below_bound` -- with ``n = 5f`` servers the decoder
+  faces more erroneous coded elements than ``N >= k + 2e`` allows and the
+  coded register violates safety (Theorem 6).  The same adversary against
+  ``n = 5f + 1`` fails.
+
+These are the executable forms of benchmarks E2, E3 and E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.byzantine.behaviors import HistoryReplayBehavior
+from repro.consistency.result import CheckResult
+from repro.consistency.regularity import check_regularity
+from repro.consistency.safety import check_safety
+from repro.core.messages import DataReply, HistoryReply, PutData, TagHistoryReply
+from repro.core.register import OpHandle, RegisterSystem
+from repro.sim.delays import HOLD, RuleBasedDelays, ConstantDelay
+from repro.sim.trace import Trace
+from repro.types import reader_id, server_id, writer_id
+
+#: Fast-path delay used by all scripted schedules.
+FAST = 0.1
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scripted execution."""
+
+    description: str
+    system: RegisterSystem
+    trace: Trace
+    read: OpHandle
+    safety: CheckResult
+    regularity: CheckResult
+
+    @property
+    def read_value(self) -> Any:
+        """The value the scripted read returned."""
+        return self.read.value if self.read.done else None
+
+
+def _result(description: str, system: RegisterSystem, read: OpHandle,
+            initial_value: bytes = b"v0") -> ScenarioResult:
+    trace = system.trace
+    return ScenarioResult(
+        description=description,
+        system=system,
+        trace=trace,
+        read=read,
+        safety=check_safety(trace, initial_value=initial_value),
+        regularity=check_regularity(trace, initial_value=initial_value),
+    )
+
+
+def theorem3_regularity_violation(algorithm: str = "bsr",
+                                  seed: int = 0) -> ScenarioResult:
+    """The Theorem 3 execution: n=5, f=1, five writers, one reader.
+
+    Writer ``w0`` completes a write of ``v1`` everywhere.  Writers
+    ``w1..w4`` then each start a write whose ``PUT-DATA`` reaches exactly
+    one distinct server quickly while every other copy is held in the
+    network.  A read then finds five different latest values -- one per
+    server -- and (for plain BSR) no pair reaches ``f + 1`` witnesses, so
+    it returns ``v0``: safe, but not regular.
+
+    Pass ``algorithm="bsr-history"`` or ``"bsr-2round"`` to run the same
+    schedule against the regular variants (which return a fresh value).
+    """
+    delays = RuleBasedDelays(fallback=ConstantDelay(FAST))
+    # Writer w00{i}'s PUT-DATA is fast only toward server s00{i}; all other
+    # copies are held until after the read (released at end of run).
+    for i in range(1, 5):
+        writer, fast_server = writer_id(i), server_id(i)
+
+        def match(src, dst, msg, writer=writer, fast_server=fast_server):
+            return (isinstance(msg, PutData) and src == writer
+                    and dst != fast_server)
+
+        delays.hold(match, label=f"hold PUT-DATA of {writer} except {fast_server}")
+
+    system = RegisterSystem(algorithm, f=1, n=5, num_writers=5, num_readers=1,
+                            seed=seed, delay_model=delays, initial_value=b"v0")
+    system.write(b"v1", writer=0, at=0.0)
+    for i in range(1, 5):
+        system.write(f"v{i + 1}".encode(), writer=i, at=10.0)
+    read = system.read(reader=0, at=20.0)
+    system.run()
+    return _result(
+        f"Theorem 3 schedule against {algorithm} (n=5, f=1)", system, read,
+    )
+
+
+def _two_write_adversary_delays(n: int, f: int) -> RuleBasedDelays:
+    """The shared schedule of the Theorem 5 / Theorem 6 proofs, any ``f``.
+
+    * ``W1``'s PUT-DATA never reaches the *last* ``f`` servers in time
+      (W1 still completes: the other ``n - f`` ack).
+    * ``W2``'s PUT-DATA never reaches servers ``s_f .. s_{2f-1}`` in time --
+      ``f`` *correct* servers are left holding the superseded ``v1``
+      (W2 still completes: the other ``n - f`` ack).
+    * The last ``f`` servers answer read queries slowly, so the reader
+      decides from the first ``n - f`` repliers: ``f`` Byzantine liars
+      replaying ``v1``, ``f`` honestly-stale servers, and the rest fresh.
+    """
+    delays = RuleBasedDelays(fallback=ConstantDelay(FAST))
+    last_servers = {server_id(i) for i in range(n - f, n)}
+    stale_servers = {server_id(i) for i in range(f, 2 * f)}
+    delays.hold(
+        lambda src, dst, msg: (isinstance(msg, PutData)
+                               and src == writer_id(0) and dst in last_servers),
+        label="W1 misses the last f servers",
+    )
+    delays.hold(
+        lambda src, dst, msg: (isinstance(msg, PutData)
+                               and src == writer_id(1) and dst in stale_servers),
+        label="W2 misses f correct servers",
+    )
+    delays.add_rule(
+        lambda src, dst, msg: (src in last_servers
+                               and isinstance(msg, (DataReply, HistoryReply,
+                                                    TagHistoryReply))),
+        50.0, label="last f servers reply slowly to reads",
+    )
+    return delays
+
+
+def theorem5_bsr_below_bound(n: Optional[int] = None, f: int = 1,
+                             seed: int = 0) -> ScenarioResult:
+    """The Theorem 5 execution: BSR with ``n = 4f`` servers breaks.
+
+    ``W1`` writes ``v1`` reaching servers ``s0..s(n-2)`` (its messages to
+    the last server are held); ``W2`` then writes ``v2`` reaching all but
+    ``s1``; a read contacts ``s0, s1, ..`` where Byzantine ``s0`` replays
+    the stale ``v1``.  With ``n = 4f`` the stale pair collects ``f + 1``
+    witnesses and wins.  Call with ``n = 4f + 1`` to watch the identical
+    adversary fail.
+    """
+    if n is None:
+        n = 4 * f
+    delays = _two_write_adversary_delays(n, f)
+    system = RegisterSystem(
+        "bsr", f=f, n=n, num_writers=2, num_readers=1, seed=seed,
+        delay_model=delays, initial_value=b"v0", enforce_bounds=False,
+        byzantine={i: HistoryReplayBehavior(offset=1) for i in range(f)},
+    )
+    system.write(b"v1", writer=0, at=0.0)
+    system.write(b"v2", writer=1, at=10.0)
+    read = system.read(reader=0, at=20.0)
+    system.run()
+    return _result(
+        f"Theorem 5 schedule against BSR (n={n}, f={f})", system, read,
+    )
+
+
+def theorem6_bcsr_below_bound(n: Optional[int] = None, f: int = 1,
+                              seed: int = 0) -> ScenarioResult:
+    """The Theorem 6 execution: the coded register with ``n = 5f`` breaks.
+
+    Same write/read schedule as Theorem 5 but against BCSR.  The read
+    receives ``n - f`` coded elements of which ``2f`` are stale (the liar
+    ``s0`` plus the servers ``W2`` missed), and with ``n = 5f`` the
+    Berlekamp-Welch condition ``N >= k + 2e`` cannot hold, so the decode
+    returns the wrong value or fails to ``v0``.  With ``n = 5f + 1`` the
+    identical adversary is corrected away.
+
+    At ``n = 5f`` the paper's dimension ``k = n - 5f`` is zero, so the
+    smallest usable code ``k = 1`` is used; any larger ``k`` is strictly
+    worse for the defender.
+    """
+    if n is None:
+        n = 5 * f
+    delays = _two_write_adversary_delays(n, f)
+    k = n - 5 * f if n > 5 * f else 1
+    system = RegisterSystem(
+        "bcsr", f=f, n=n, num_writers=2, num_readers=1, seed=seed,
+        delay_model=delays, initial_value=b"v0", enforce_bounds=False,
+        bcsr_k=k,
+        byzantine={i: HistoryReplayBehavior(offset=1) for i in range(f)},
+    )
+    system.write(b"value-one", writer=0, at=0.0)
+    system.write(b"value-two", writer=1, at=10.0)
+    read = system.read(reader=0, at=20.0)
+    system.run()
+    return _result(
+        f"Theorem 6 schedule against BCSR (n={n}, f={f}, k={k})", system, read,
+    )

@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands:
+
+* ``demo``      -- run a tiny write/read execution of any algorithm.
+* ``scenario``  -- replay one of the paper's proof executions (t3, t5, t6).
+* ``workload``  -- run a synthetic workload and print latency statistics.
+* ``algorithms`` -- list the implemented algorithms and their bounds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.byzantine.scenarios import (
+    theorem3_regularity_violation,
+    theorem5_bsr_below_bound,
+    theorem6_bcsr_below_bound,
+)
+from repro.consistency import check_regularity, check_safety
+from repro.core.register import ALGORITHMS, RegisterSystem
+from repro.metrics import format_table, summarize_trace
+from repro.sim.delays import UniformDelay
+from repro.sim.rng import SimRng
+from repro.modelcheck import ModelChecker
+from repro.modelcheck.scenarios import all_quorum_pairs, bsr_read_stage
+from repro.workloads import WorkloadSpec, apply_schedule, generate_schedule
+
+
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    rows = [
+        ("bsr", "4f + 1", "1", "MWMR safe (Section III)"),
+        ("bsr-history", "4f + 1", "1", "MWMR regular, history reads (III-C a)"),
+        ("bsr-2round", "4f + 1", "2", "MWMR regular, slow reads (III-C b)"),
+        ("bcsr", "5f + 1", "1", "SWMR safe, MDS-coded (Section IV)"),
+        ("rb", "3f + 1", "1+relay", "prior work: reliable-broadcast baseline"),
+        ("abd", "2f + 1", "2", "crash-only ABD atomic register"),
+    ]
+    print(format_table(("algorithm", "min servers", "read rounds", "summary"), rows))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    system = RegisterSystem(args.algorithm, f=args.f, seed=args.seed,
+                            delay_model=UniformDelay(0.5, 2.0))
+    system.write(b"paper", writer=0, at=0.0)
+    system.write(b"rocks", writer=1, at=10.0)
+    read = system.read(reader=0, at=20.0)
+    trace = system.run()
+    print(trace.format())
+    print(f"\nread returned: {read.value!r} in {read.rounds} round(s), "
+          f"{read.latency:.2f}s simulated")
+    print(check_safety(trace))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.name == "t3":
+        result = theorem3_regularity_violation(args.algorithm or "bsr",
+                                               seed=args.seed)
+    elif args.name == "t5":
+        result = theorem5_bsr_below_bound(n=args.n, seed=args.seed)
+    else:
+        result = theorem6_bcsr_below_bound(n=args.n, seed=args.seed)
+    print(result.description)
+    print(result.trace.format())
+    print(f"\nread returned: {result.read_value!r}")
+    print(result.safety)
+    print(result.regularity)
+    for violation in result.safety.violations + result.regularity.violations:
+        print(f"  - {violation}")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(num_ops=args.ops, read_ratio=args.read_ratio,
+                        value_size=args.value_size,
+                        mean_interarrival=args.interarrival)
+    rng = SimRng(args.seed, "cli-workload")
+    schedule = generate_schedule(spec, rng)
+    system = RegisterSystem(args.algorithm, f=args.f, seed=args.seed,
+                            num_writers=spec.num_writers,
+                            num_readers=spec.num_readers,
+                            delay_model=UniformDelay(0.5, 2.0))
+    apply_schedule(system, schedule)
+    trace = system.run()
+    summaries = summarize_trace(trace)
+    rows = []
+    for kind, summary in summaries.items():
+        lat = summary.latency
+        rows.append((kind, lat.count, f"{lat.mean:.3f}", f"{lat.p50:.3f}",
+                     f"{lat.p99:.3f}", f"{summary.mean_rounds:.2f}"))
+    print(format_table(
+        ("op", "count", "mean(s)", "p50(s)", "p99(s)", "rounds"), rows,
+        title=f"{args.algorithm}: {args.ops} ops, {args.read_ratio:.1%} reads",
+    ))
+    safety = check_safety(trace)
+    print(safety)
+    return 0 if safety.ok else 1
+
+
+def _cmd_modelcheck(args: argparse.Namespace) -> int:
+    n, f = args.n, args.f
+    print(f"model-checking the BSR read stage at n={n}, f={f} "
+          f"(bound: n >= {4 * f + 1})")
+    rows = []
+    violating = 0
+    for w1, w2 in all_quorum_pairs(n, f):
+        factory, predicate = bsr_read_stage(n, f, w1, w2)
+        checker = ModelChecker(factory, predicate, max_states=args.max_states)
+        if args.exhaustive:
+            report = checker.verify()
+            outcome = ("OK" if report.ok else "VIOLATED")
+            if report.truncated:
+                outcome += " (truncated)"
+            detail = f"{report.states_explored} states"
+        else:
+            found = checker.find_violation()
+            outcome = "VIOLATION FOUND" if found else "safe"
+            detail = found[0] if found else ""
+        if "VIOLAT" in outcome:
+            violating += 1
+        rows.append((str(w1), str(w2), outcome, detail))
+    print(format_table(("W1 quorum", "W2 quorum", "outcome", "detail"), rows))
+    print(f"\n{violating} of {len(rows)} quorum pairs admit a violation")
+    return 0 if (violating == 0) == (n >= 4 * f + 1) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semi-fast Byzantine-tolerant shared registers "
+                    "(ICDCS 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("algorithms", help="list implemented algorithms")
+
+    demo = sub.add_parser("demo", help="run a tiny write/read execution")
+    demo.add_argument("--algorithm", default="bsr", choices=ALGORITHMS)
+    demo.add_argument("--f", type=int, default=1)
+    demo.add_argument("--seed", type=int, default=0)
+
+    scenario = sub.add_parser("scenario", help="replay a proof execution")
+    scenario.add_argument("name", choices=("t3", "t5", "t6"))
+    scenario.add_argument("--algorithm", default=None,
+                          help="register variant for t3 (bsr / bsr-history / "
+                               "bsr-2round)")
+    scenario.add_argument("--n", type=int, default=None,
+                          help="server count for t5/t6 (default: below the bound)")
+    scenario.add_argument("--seed", type=int, default=0)
+
+    workload = sub.add_parser("workload", help="run a synthetic workload")
+    workload.add_argument("--algorithm", default="bsr", choices=ALGORITHMS)
+    workload.add_argument("--f", type=int, default=1)
+    workload.add_argument("--ops", type=int, default=200)
+    workload.add_argument("--read-ratio", type=float, default=0.9)
+    workload.add_argument("--value-size", type=int, default=64)
+    workload.add_argument("--interarrival", type=float, default=1.0)
+    workload.add_argument("--seed", type=int, default=0)
+
+    modelcheck = sub.add_parser(
+        "modelcheck",
+        help="exhaustively explore read-stage schedules (Theorem 5)",
+    )
+    modelcheck.add_argument("--n", type=int, default=4,
+                            help="server count (default 4 = below the bound)")
+    modelcheck.add_argument("--f", type=int, default=1)
+    modelcheck.add_argument("--exhaustive", action="store_true",
+                            help="full verification instead of directed search")
+    modelcheck.add_argument("--max-states", type=int, default=100_000)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "algorithms": _cmd_algorithms,
+        "demo": _cmd_demo,
+        "scenario": _cmd_scenario,
+        "workload": _cmd_workload,
+        "modelcheck": _cmd_modelcheck,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Consistency checkers over execution traces.
+
+Implements the paper's Definition 1 (MWMR safety) and Definition 2 (MWMR
+regularity) as mechanical checks on :class:`repro.sim.trace.Trace` objects,
+plus a tag-based atomicity check for the ABD baseline.  Every integration
+test and resilience experiment funnels its execution through these.
+"""
+
+from repro.consistency.result import CheckResult, Violation
+from repro.consistency.safety import admissible_read_values, check_safety
+from repro.consistency.regularity import check_regularity, fresh_read_values
+from repro.consistency.atomicity import check_atomicity_by_tags
+from repro.consistency.liveness import check_liveness
+from repro.consistency.registers import (
+    check_safety_per_register,
+    split_trace_by_register,
+)
+
+__all__ = [
+    "CheckResult",
+    "Violation",
+    "check_safety",
+    "check_regularity",
+    "check_atomicity_by_tags",
+    "check_liveness",
+    "admissible_read_values",
+    "fresh_read_values",
+    "split_trace_by_register",
+    "check_safety_per_register",
+]

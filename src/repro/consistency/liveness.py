@@ -1,0 +1,37 @@
+"""Liveness accounting: which operations never completed, and why that's ok.
+
+Liveness (Theorem 1) guarantees termination only while at most ``f``
+servers are unresponsive and the client stays up.  This checker does not
+try to prove termination -- it reports which operations remain incomplete
+at the end of a finite run so tests and benchmarks can assert the *right*
+operations completed.
+
+``allowed_incomplete`` names clients whose operations were expected to die
+(crashed clients, stranded partitions); any other incomplete operation is a
+violation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.consistency.result import CheckResult
+from repro.sim.trace import Trace
+from repro.types import ProcessId
+
+
+def check_liveness(trace: Trace,
+                   allowed_incomplete: Iterable[ProcessId] = ()) -> CheckResult:
+    """Flag incomplete operations from clients expected to finish."""
+    allowed: Set[ProcessId] = set(allowed_incomplete)
+    result = CheckResult(condition="liveness (finite-run)")
+    for record in trace:
+        if record.kind.value == "read":
+            result.reads_checked += 1
+        if record.complete or record.client in allowed:
+            continue
+        result.record(
+            f"{record.kind} by {record.client} invoked at "
+            f"{record.invoked_at:.3f} never completed", record,
+        )
+    return result

@@ -1,0 +1,94 @@
+"""Definition 2: MWMR regularity.
+
+    A MWMR register is *regular* if it satisfies safety and the
+    linearization of any two reads agree on the ordering of all writes that
+    began before both the reads complete.
+
+The checker decomposes this into two mechanically verifiable pieces:
+
+1. **Per-read freshness** (the substance of Theorem 3's counterexample):
+   every complete read must return the value of some write that *began*
+   before the read completed and is not superseded by a write that
+   completed before the read began.  The initial value is only admissible
+   while no write has completed before the read began.  (Under safety alone
+   a read concurrent with *any* write may return *anything* in the domain,
+   including ``v0`` -- regularity forbids exactly that staleness.)
+
+2. **Cross-read write ordering**: writes carry unique tags in all our
+   algorithms, and two reads agree on the induced write order iff the tag
+   order is a single total order -- which it is by construction (Lemma 2).
+   The checker verifies the preconditions it relies on: distinct complete
+   writes never share a tag, and a read's tag (when recorded) matches the
+   tag of the write whose value it returned.
+
+The checker assumes each written value identifies its write (use distinct
+values per write in experiments; the workload generator guarantees this).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Set
+
+from repro.consistency.result import CheckResult
+from repro.sim.trace import OperationRecord, Trace
+
+
+def fresh_read_values(read: OperationRecord, trace: Trace,
+                      initial_value: Any = b"") -> Set[Any]:
+    """Values regularity permits the read to return."""
+    writes = trace.writes(completed_only=False)
+    began_before = [w for w in writes if w.invoked_at < (read.responded_at or float("inf"))]
+    completed_before_read_began = [w for w in writes if w.precedes(read)]
+    allowed: Set[Any] = set()
+    for write in began_before:
+        superseded = any(
+            other is not write and other.complete
+            and write.precedes(other) and other.precedes(read)
+            for other in writes
+        )
+        if not superseded:
+            allowed.add(write.value)
+    if not completed_before_read_began:
+        allowed.add(initial_value)
+    return allowed
+
+
+def check_regularity(trace: Trace, initial_value: Any = b"") -> CheckResult:
+    """Check Definition 2 over every complete read in ``trace``."""
+    result = CheckResult(condition="MWMR regularity")
+
+    # Precondition for the ordering clause: complete writes have unique tags.
+    by_tag: Dict[Any, List[OperationRecord]] = defaultdict(list)
+    for write in trace.writes(completed_only=True):
+        if write.tag is not None:
+            by_tag[write.tag].append(write)
+    for tag, writes in by_tag.items():
+        if len(writes) > 1:
+            result.record(
+                f"two distinct complete writes share tag {tag}; reads cannot "
+                "agree on a single write order", *writes,
+            )
+
+    value_to_write = {
+        w.value: w for w in trace.writes(completed_only=False)
+    }
+    for read in trace.reads(completed_only=True):
+        result.reads_checked += 1
+        allowed = fresh_read_values(read, trace, initial_value)
+        if read.value not in allowed:
+            result.record(
+                f"read returned stale/invalid value {read.value!r}; "
+                f"regularity allows only {allowed!r}", read,
+            )
+            continue
+        # Tag consistency: the read's recorded tag must match the tag of the
+        # write it returned (when both sides recorded tags).
+        source = value_to_write.get(read.value)
+        if (source is not None and read.tag is not None
+                and source.tag is not None and read.tag != source.tag):
+            result.record(
+                f"read returned value {read.value!r} under tag {read.tag} but "
+                f"the write used tag {source.tag}", read, source,
+            )
+    return result

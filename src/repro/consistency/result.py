@@ -1,0 +1,54 @@
+"""Check results shared by all consistency checkers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ConsistencyViolation
+from repro.sim.trace import OperationRecord
+
+
+@dataclass
+class Violation:
+    """One offending operation with a human-readable explanation."""
+
+    message: str
+    operations: Tuple[OperationRecord, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ops = "; ".join(str(op) for op in self.operations)
+        return f"{self.message} [{ops}]" if ops else self.message
+
+
+@dataclass
+class CheckResult:
+    """Outcome of running one consistency check over a trace."""
+
+    condition: str
+    violations: List[Violation] = field(default_factory=list)
+    reads_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation was found."""
+        return not self.violations
+
+    def record(self, message: str, *operations: OperationRecord) -> None:
+        """Append a violation."""
+        self.violations.append(Violation(message, tuple(operations)))
+
+    def raise_if_violated(self) -> "CheckResult":
+        """Raise :class:`ConsistencyViolation` on failure; else return self."""
+        if self.violations:
+            first = self.violations[0]
+            raise ConsistencyViolation(
+                f"{self.condition} violated ({len(self.violations)} violation(s)); "
+                f"first: {first}",
+                operations=first.operations,
+            )
+        return self
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"{self.condition}: {status} over {self.reads_checked} read(s)"

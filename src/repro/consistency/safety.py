@@ -1,0 +1,99 @@
+"""Definition 1: MWMR safety.
+
+    A MWMR register is *safe* if (i) a read r that is not concurrent with
+    any write returns the value of some write w that precedes r, as long as
+    no other write falls completely between w and r; (ii) otherwise the
+    value returned is within the register's allowed range of values.
+
+Operationally, for each complete read ``r``:
+
+* ``r`` is concurrent with a write ``w`` when neither precedes the other.
+  An *incomplete* write that was invoked before ``r`` responded counts as
+  concurrent (it never precedes anything, and ``r`` precedes it only if
+  ``r`` responded before its invocation).
+* If ``r`` is concurrent with no write, its value must come from an
+  *admissible* preceding write: one whose response is before ``r``'s
+  invocation and that is not *superseded* (no other complete write starts
+  after it finishes and finishes before ``r`` starts).  When no write
+  precedes ``r`` at all, the initial value is the only admissible one.
+* Otherwise ``r`` may return anything in the value domain.  We take the
+  domain to be every value ever passed to a write plus the initial value
+  (plus any extra values the caller declares); a Byzantine-fabricated value
+  outside that set violates clause (ii) -- this is the "validity" Lemma 5
+  speaks about.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Set
+
+from repro.consistency.result import CheckResult
+from repro.sim.trace import OperationRecord, Trace
+
+
+def _began_writes(trace: Trace) -> List[OperationRecord]:
+    return trace.writes(completed_only=False)
+
+
+def _is_concurrent_with_some_write(read: OperationRecord,
+                                   writes: List[OperationRecord]) -> bool:
+    return any(read.concurrent_with(write) for write in writes)
+
+
+def _superseded(write: OperationRecord, read: OperationRecord,
+                writes: List[OperationRecord]) -> bool:
+    """Whether another complete write falls completely between ``write``
+    and ``read``."""
+    return any(
+        other is not write and other.complete
+        and write.precedes(other) and other.precedes(read)
+        for other in writes
+    )
+
+
+def admissible_read_values(read: OperationRecord, trace: Trace,
+                           initial_value: Any = b"") -> Set[Any]:
+    """Values clause (i) permits for a read not concurrent with any write."""
+    writes = _began_writes(trace)
+    preceding = [w for w in writes if w.precedes(read)]
+    if not preceding:
+        return {initial_value}
+    return {
+        w.value for w in preceding if not _superseded(w, read, writes)
+    }
+
+
+def value_domain(trace: Trace, initial_value: Any = b"",
+                 extra_values: Iterable[Any] = ()) -> Set[Any]:
+    """The register's allowed range: everything written plus the initial
+    value (clause ii)."""
+    domain: Set[Any] = {initial_value}
+    domain.update(extra_values)
+    for write in _began_writes(trace):
+        domain.add(write.value)
+    return domain
+
+
+def check_safety(trace: Trace, initial_value: Any = b"",
+                 extra_values: Iterable[Any] = ()) -> CheckResult:
+    """Check Definition 1 over every complete read in ``trace``."""
+    result = CheckResult(condition="MWMR safety")
+    writes = _began_writes(trace)
+    domain = value_domain(trace, initial_value, extra_values)
+    for read in trace.reads(completed_only=True):
+        result.reads_checked += 1
+        if _is_concurrent_with_some_write(read, writes):
+            # Clause (ii): anything in the domain is fine.
+            if read.value not in domain:
+                result.record(
+                    f"read returned {read.value!r}, which is outside the "
+                    f"register's value domain (validity violation)", read,
+                )
+            continue
+        allowed = admissible_read_values(read, trace, initial_value)
+        if read.value not in allowed:
+            result.record(
+                f"read not concurrent with any write returned {read.value!r}; "
+                f"clause (i) allows only {allowed!r}", read,
+            )
+    return result

@@ -1,0 +1,234 @@
+"""Protocol messages for BSR, BCSR, the regular variants and the baselines.
+
+Every request carries an ``op_id`` unique per client so replies can be
+matched to the operation that triggered them (clients run one operation at a
+time, but stale replies from earlier operations may still arrive -- the
+channels reorder).
+
+Each message knows its approximate wire size so the network layer can do
+byte accounting for the communication-cost experiments (E4): a fixed header
+per message plus the payload (values, coded elements, histories).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.core.tags import Tag, TaggedValue
+from repro.erasure.striping import CodedElement
+
+#: Fixed per-message overhead charged by ``wire_size`` (type, ids, framing).
+HEADER_BYTES = 24
+
+#: Charged per tag on the wire (an int plus a short writer id).
+TAG_BYTES = 12
+
+
+def payload_size(value: Any) -> int:
+    """Approximate byte size of a value or coded element on the wire."""
+    if value is None:
+        return 0
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, CodedElement):
+        return len(value.data) + 4
+    if isinstance(value, str):
+        return len(value.encode())
+    if isinstance(value, TaggedValue):
+        return TAG_BYTES + payload_size(value.value)
+    return len(repr(value))
+
+
+@dataclass(frozen=True)
+class BaseMessage:
+    """Common shape: every protocol message has an originating ``op_id``."""
+
+    op_id: int
+
+    def wire_size(self) -> int:
+        """Approximate on-the-wire size in bytes."""
+        return HEADER_BYTES
+
+
+# --------------------------------------------------------------------------
+# Write path (Figs 1, 3, 4, 6)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class QueryTag(BaseMessage):
+    """``QUERY-TAG``: first phase of a write (Fig 1 line 2)."""
+
+
+@dataclass(frozen=True)
+class TagReply(BaseMessage):
+    """Server's ``get-tag-resp``: its highest stored tag (Fig 3 line 3)."""
+
+    tag: Tag
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + TAG_BYTES
+
+
+@dataclass(frozen=True)
+class PutData(BaseMessage):
+    """``PUT-DATA``: second phase of a write (Fig 1 line 7 / Fig 4 line 7).
+
+    ``payload`` is the full value for BSR and a :class:`CodedElement` for
+    BCSR.
+    """
+
+    tag: Tag
+    payload: Any
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + TAG_BYTES + payload_size(self.payload)
+
+
+@dataclass(frozen=True)
+class PutAck(BaseMessage):
+    """Server acknowledgement of a ``PUT-DATA`` (Fig 3 line 7)."""
+
+    tag: Tag
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + TAG_BYTES
+
+
+# --------------------------------------------------------------------------
+# Read path (Figs 2, 3, 5, 6)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class QueryData(BaseMessage):
+    """``QUERY-DATA``: the single round of a one-shot read (Fig 2 line 3)."""
+
+
+@dataclass(frozen=True)
+class DataReply(BaseMessage):
+    """Server's ``get-data-resp``: its highest ``(tag, value)`` pair.
+
+    For BCSR the ``payload`` is the server's coded element.
+    """
+
+    tag: Tag
+    payload: Any
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + TAG_BYTES + payload_size(self.payload)
+
+
+# --------------------------------------------------------------------------
+# Regular-register extensions (Section III-C)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class QueryHistory(BaseMessage):
+    """Variant (a): one-shot read requesting the full write history."""
+
+
+@dataclass(frozen=True)
+class HistoryReply(BaseMessage):
+    """Variant (a): the server's entire write history ``L``."""
+
+    history: Tuple[TaggedValue, ...]
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + sum(
+            TAG_BYTES + payload_size(tv.value) for tv in self.history
+        )
+
+
+@dataclass(frozen=True)
+class QueryTagHistory(BaseMessage):
+    """Variant (b) round 1: ask for all tags the server has seen."""
+
+
+@dataclass(frozen=True)
+class TagHistoryReply(BaseMessage):
+    """Variant (b) round 1 response: every tag in ``L``."""
+
+    tags: Tuple[Tag, ...]
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + TAG_BYTES * len(self.tags)
+
+
+@dataclass(frozen=True)
+class QueryValue(BaseMessage):
+    """Variant (b) round 2: ask for the value written under ``tag``."""
+
+    tag: Tag
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + TAG_BYTES
+
+
+@dataclass(frozen=True)
+class ValueReply(BaseMessage):
+    """Variant (b) round 2 response: the requested ``(tag, value)``.
+
+    ``payload`` is ``None`` when the server does not hold the tag.
+    """
+
+    tag: Tag
+    payload: Any
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + TAG_BYTES + payload_size(self.payload)
+
+
+# --------------------------------------------------------------------------
+# Reliable-broadcast baseline (Bracha phases + relayed data)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RBSend(BaseMessage):
+    """Bracha SEND from the broadcast source."""
+
+    tag: Tag
+    payload: Any
+    source: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + TAG_BYTES + payload_size(self.payload)
+
+
+@dataclass(frozen=True)
+class RBEcho(BaseMessage):
+    """Bracha ECHO (server-to-server)."""
+
+    tag: Tag
+    payload: Any
+    source: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + TAG_BYTES + payload_size(self.payload)
+
+
+@dataclass(frozen=True)
+class RBReady(BaseMessage):
+    """Bracha READY (server-to-server)."""
+
+    tag: Tag
+    payload: Any
+    source: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + TAG_BYTES + payload_size(self.payload)
+
+
+@dataclass(frozen=True)
+class PushData(BaseMessage):
+    """Unsolicited server-to-reader update (the baseline's *relay*).
+
+    Sent to readers with a pending query when a newer value arrives, so that
+    baseline reads terminate even when the initial reply set never
+    accumulates ``f + 1`` matching pairs.
+    """
+
+    tag: Tag
+    payload: Any
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + TAG_BYTES + payload_size(self.payload)

@@ -1,0 +1,168 @@
+"""Multi-register namespaces: many named registers per deployment.
+
+The paper emulates a single shared register; real deployments (the
+key-value stores of Section I) need many.  Because every algorithm here is
+a pure state machine, multiplexing is a thin, protocol-agnostic wrapper:
+
+* :class:`NamespacedMessage` tags any protocol message with a register name.
+* :class:`NamespacedServer` routes each tagged message to a per-register
+  server instance (created on demand from a factory) and tags the replies.
+  A Byzantine behaviour, when present, is applied *per register server*, so
+  every strategy from :mod:`repro.byzantine.behaviors` works unchanged.
+* :class:`NamespacedOperation` wraps a client operation so its outgoing
+  messages carry the register name and incoming replies are unwrapped.
+
+Safety/regularity guarantees are per register: operations on different
+names never interact (they touch disjoint server state), which mirrors how
+per-key consistency is stated for production KV stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.messages import BaseMessage, HEADER_BYTES
+from repro.types import Envelope, ProcessId
+
+#: Name used when the caller does not pick one.
+DEFAULT_REGISTER = "default"
+
+
+@dataclass(frozen=True)
+class NamespacedMessage:
+    """A protocol message addressed to one named register."""
+
+    register: str
+    inner: Any
+
+    @property
+    def op_id(self):
+        """Expose the inner operation id (for tracing and matching)."""
+        return getattr(self.inner, "op_id", None)
+
+    def wire_size(self) -> int:
+        """Inner size plus the register-name overhead."""
+        inner_size = (self.inner.wire_size()
+                      if hasattr(self.inner, "wire_size") else HEADER_BYTES)
+        return inner_size + len(self.register)
+
+
+class NamespacedServer:
+    """Route namespaced messages to per-register server state machines.
+
+    ``factory(register_name)`` builds a fresh server protocol the first
+    time a register name is seen.  ``behavior`` (optional) is the Byzantine
+    strategy applied to every register hosted by this server -- it sees the
+    per-register server instance, exactly as in the single-register case.
+    """
+
+    def __init__(self, server_id: ProcessId,
+                 factory: Callable[[str], Any],
+                 behavior: Optional[Any] = None) -> None:
+        self.server_id = server_id
+        self._factory = factory
+        self.behavior = behavior
+        self.registers: Dict[str, Any] = {}
+
+    def register_server(self, name: str) -> Any:
+        """The per-register server for ``name`` (created on first use)."""
+        if name not in self.registers:
+            self.registers[name] = self._factory(name)
+        return self.registers[name]
+
+    def storage_bytes(self) -> int:
+        """Total bytes stored across all hosted registers."""
+        return sum(
+            server.storage_bytes()
+            for server in self.registers.values()
+            if hasattr(server, "storage_bytes")
+        )
+
+    def handle(self, sender: ProcessId, message: Any) -> List[Envelope]:
+        """Unwrap, route, re-wrap.  Non-namespaced messages are ignored."""
+        if not isinstance(message, NamespacedMessage):
+            return []
+        inner_server = self.register_server(message.register)
+        replies = inner_server.handle(sender, message.inner)
+        if self.behavior is not None:
+            replies = self.behavior.on_message(
+                inner_server, sender, message.inner, replies
+            )
+        return [
+            (dest, NamespacedMessage(register=message.register, inner=reply))
+            for dest, reply in replies
+        ]
+
+
+class NamespacedOperation:
+    """Adapt a client operation to speak to one named register.
+
+    Exposes the :class:`~repro.core.operation.ClientOperation` surface the
+    runtimes rely on (``start`` / ``on_reply`` / ``done`` / ``result`` /
+    ``rounds`` / ``kind``), delegating to the wrapped operation.
+    """
+
+    def __init__(self, register: str, operation: Any) -> None:
+        self.register = register
+        self.operation = operation
+
+    # -- delegated protocol surface ------------------------------------------
+    @property
+    def kind(self) -> str:
+        """The wrapped operation's kind ("read" or "write")."""
+        return self.operation.kind
+
+    @property
+    def op_id(self) -> int:
+        """The wrapped operation's id."""
+        return self.operation.op_id
+
+    @property
+    def done(self) -> bool:
+        """Whether the wrapped operation completed."""
+        return self.operation.done
+
+    @property
+    def result(self) -> Any:
+        """The wrapped operation's result."""
+        return self.operation.result
+
+    @property
+    def result_tag(self):
+        """The wrapped operation's tag, if any."""
+        return self.operation.result_tag
+
+    @property
+    def rounds(self) -> int:
+        """Client-to-server rounds used so far."""
+        return self.operation.rounds
+
+    @property
+    def value(self):
+        """The value being written (write operations only)."""
+        return getattr(self.operation, "value", None)
+
+    # -- message flow ------------------------------------------------------------
+    def _wrap(self, envelopes: List[Envelope]) -> List[Envelope]:
+        return [
+            (dest, NamespacedMessage(register=self.register, inner=message))
+            for dest, message in envelopes
+        ]
+
+    def start(self) -> List[Envelope]:
+        """Start the wrapped operation; tags every outgoing message."""
+        return self._wrap(self.operation.start())
+
+    def on_reply(self, sender: ProcessId, message: Any) -> List[Envelope]:
+        """Unwrap a namespaced reply and feed it to the wrapped operation.
+
+        Replies for other registers (or bare messages) are ignored -- a
+        Byzantine server cannot cross-wire two registers because the reader
+        only accepts replies tagged for the register it asked about.
+        """
+        if not isinstance(message, NamespacedMessage):
+            return []
+        if message.register != self.register:
+            return []
+        return self._wrap(self.operation.on_reply(sender, message.inner))

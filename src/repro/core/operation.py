@@ -1,0 +1,126 @@
+"""Client-operation state machines.
+
+A :class:`ClientOperation` is the transport-agnostic core of a register
+operation: ``start()`` yields the initial batch of request messages, and
+``on_reply(sender, message)`` consumes one reply and yields any follow-up
+messages (e.g. the ``put-data`` phase of a write).  The surrounding runtime
+-- simulated or asyncio -- moves the messages.
+
+Operations track their round count so the round-complexity experiment (E7)
+can read it off directly instead of inferring it from timings.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ProtocolError
+from repro.types import Envelope, ProcessId
+
+_op_counter = itertools.count(1)
+
+
+def next_op_id() -> int:
+    """Globally unique operation identifier (process-wide)."""
+    return next(_op_counter)
+
+
+class ClientOperation(abc.ABC):
+    """Base class for read/write operation state machines."""
+
+    kind: str = "op"
+
+    def __init__(self, client_id: ProcessId, servers: Sequence[ProcessId], f: int) -> None:
+        if f < 0:
+            raise ValueError("f must be non-negative")
+        if len(servers) <= f:
+            raise ValueError("need more than f servers")
+        self.client_id = client_id
+        self.servers = tuple(servers)
+        self.f = f
+        self.n = len(servers)
+        self.op_id = next_op_id()
+        self.rounds = 0
+        self._done = False
+        self._result: Any = None
+
+    # -- lifecycle --------------------------------------------------------
+    @abc.abstractmethod
+    def start(self) -> List[Envelope]:
+        """Begin the operation; returns the first batch of requests."""
+
+    @abc.abstractmethod
+    def on_reply(self, sender: ProcessId, message: Any) -> List[Envelope]:
+        """Consume one reply; returns any follow-up requests."""
+
+    @property
+    def done(self) -> bool:
+        """Whether the operation has completed."""
+        return self._done
+
+    @property
+    def result(self) -> Any:
+        """The operation's return value (reads: the value; writes: the tag)."""
+        if not self._done:
+            raise ProtocolError(f"operation {self.op_id} not complete yet")
+        return self._result
+
+    @property
+    def result_tag(self):
+        """Tag associated with the completed operation, if any."""
+        return getattr(self, "_tag", None)
+
+    def _complete(self, result: Any) -> None:
+        self._done = True
+        self._result = result
+
+    # -- helpers ------------------------------------------------------------
+    def broadcast(self, message: Any) -> List[Envelope]:
+        """Address ``message`` to every server."""
+        return [(server, message) for server in self.servers]
+
+    def accepts(self, message: Any) -> bool:
+        """Whether ``message`` belongs to this operation."""
+        return getattr(message, "op_id", None) == self.op_id
+
+    @property
+    def quorum(self) -> int:
+        """Replies to wait for: ``n - f``."""
+        return self.n - self.f
+
+
+class ReplyCollector:
+    """Collects at most one reply per server, ignoring duplicates.
+
+    Byzantine servers may reply several times; only the first reply counts,
+    which matches the "waits for responses from n - f servers" phrasing of
+    the pseudocode (a set of servers, not a multiset of messages).
+    """
+
+    def __init__(self, expected_servers: Sequence[ProcessId]) -> None:
+        self._expected = set(expected_servers)
+        self._replies: Dict[ProcessId, Any] = {}
+
+    def add(self, sender: ProcessId, message: Any) -> bool:
+        """Record the reply; returns True if it was fresh and expected."""
+        if sender not in self._expected or sender in self._replies:
+            return False
+        self._replies[sender] = message
+        return True
+
+    def __len__(self) -> int:
+        return len(self._replies)
+
+    def __contains__(self, sender: ProcessId) -> bool:
+        return sender in self._replies
+
+    @property
+    def replies(self) -> Dict[ProcessId, Any]:
+        """Mapping of server id to its (first) reply."""
+        return dict(self._replies)
+
+    def values(self) -> List[Any]:
+        """All collected reply messages."""
+        return list(self._replies.values())

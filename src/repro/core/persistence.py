@@ -1,0 +1,86 @@
+"""Server state persistence: snapshot and restore across crashes.
+
+Production storage servers restart; the paper's model treats a restarted
+server as having been "slow" (its state must survive).  This module
+serialises a server's durable state -- the history list ``L`` -- through
+the same wire codec used for messages, so a deployment can checkpoint to
+disk and recover.
+
+Byzantine-safety note: a snapshot is local state, not a protocol message;
+restoring a *stale* snapshot turns the server into an honestly-slow replica,
+which the protocols already tolerate (at most ``f`` of them, like any
+slow/faulty server).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.baselines.abd import ABDServer
+from repro.core.bcsr import BCSRServer
+from repro.core.bsr import BSRServer
+from repro.core.regular import RegularBSRServer
+from repro.core.tags import TaggedValue
+from repro.erasure.striping import StripedCodec
+from repro.errors import ProtocolError
+from repro.transport import codec as wire
+
+#: Server classes persistence understands, by stable type name.
+_SERVER_TYPES = {
+    "BSRServer": BSRServer,
+    "RegularBSRServer": RegularBSRServer,
+    "ABDServer": ABDServer,
+    "BCSRServer": BCSRServer,
+}
+
+
+def snapshot_server(server: Any) -> bytes:
+    """Serialise a server's durable state to bytes.
+
+    Works for every server class in :mod:`repro.core` and
+    :mod:`repro.baselines` whose state is the history list ``L``.
+    """
+    type_name = type(server).__name__
+    if type_name not in _SERVER_TYPES:
+        raise ProtocolError(f"cannot snapshot server type {type_name}")
+    payload = {
+        "type": type_name,
+        "server_id": server.server_id,
+        "max_history": getattr(server, "max_history", None),
+        "history": [wire._to_jsonable(pair) for pair in server.history],
+    }
+    if isinstance(server, BCSRServer):
+        payload["index"] = server.index
+        payload["codec"] = {"n": server.codec.n, "k": server.codec.k}
+    return json.dumps(payload, separators=(",", ":")).encode()
+
+
+def restore_server(snapshot: bytes, codec: Optional[StripedCodec] = None) -> Any:
+    """Rebuild a server from :func:`snapshot_server` output.
+
+    ``codec`` overrides the recorded ``[n, k]`` shape for BCSR servers
+    (useful when the codec object is shared across a deployment); by
+    default the recorded shape is reconstructed.
+    """
+    try:
+        payload = json.loads(snapshot.decode())
+        cls = _SERVER_TYPES[payload["type"]]
+        history = [wire._from_jsonable(pair) for pair in payload["history"]]
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"malformed server snapshot: {exc}") from exc
+    if not history or not all(isinstance(p, TaggedValue) for p in history):
+        raise ProtocolError("snapshot history is empty or malformed")
+    if cls is BCSRServer:
+        if codec is None:
+            shape = payload["codec"]
+            codec = StripedCodec(int(shape["n"]), int(shape["k"]))
+        server = BCSRServer(payload["server_id"], int(payload["index"]), codec,
+                            max_history=payload.get("max_history"))
+    else:
+        server = cls(payload["server_id"],
+                     max_history=payload.get("max_history"))
+    server.history = history
+    return server

@@ -1,0 +1,77 @@
+"""Tags: the logical timestamps ordering writes.
+
+A tag is a pair ``(num, writer)`` (Fig. 1, line 6 of the paper).  Tags are
+totally ordered lexicographically: first by the integer ``num``, then by the
+writer identifier, using the total order on process IDs the system model
+assumes.  Ties between concurrent writes that picked the same ``num`` are
+thereby broken deterministically (Lemma 2, Case 2).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.types import ProcessId
+
+
+@functools.total_ordering
+@dataclass(frozen=True)
+class Tag:
+    """A write timestamp ``(num, writer)`` with lexicographic total order."""
+
+    num: int
+    writer: ProcessId
+
+    def __post_init__(self) -> None:
+        if self.num < 0:
+            raise ValueError(f"tag number must be non-negative, got {self.num}")
+
+    def _key(self) -> Tuple[int, ProcessId]:
+        return (self.num, self.writer)
+
+    def __lt__(self, other: "Tag") -> bool:
+        if not isinstance(other, Tag):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def next_for(self, writer: ProcessId) -> "Tag":
+        """The tag a write by ``writer`` creates after observing this tag."""
+        return Tag(self.num + 1, writer)
+
+    def to_wire(self) -> Tuple[int, str]:
+        """Serializable representation (used by the asyncio codec)."""
+        return (self.num, self.writer)
+
+    @classmethod
+    def from_wire(cls, wire: Tuple[int, str]) -> "Tag":
+        """Inverse of :meth:`to_wire`."""
+        num, writer = wire
+        return cls(int(num), str(writer))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.num},{self.writer})"
+
+
+#: The tag of the initial value ``v0`` -- smaller than every real write's
+#: tag because real writers have non-empty IDs and write numbers >= 1.
+TAG_ZERO = Tag(0, "")
+
+
+@dataclass(frozen=True)
+class TaggedValue:
+    """A ``(tag, value)`` pair as stored by servers and exchanged on the wire.
+
+    ``value`` must be hashable (bytes recommended) so readers can count
+    witnesses per distinct pair.
+    """
+
+    tag: Tag
+    value: Any
+
+    def __lt__(self, other: "TaggedValue") -> bool:
+        return self.tag < other.tag
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.tag}:{self.value!r}"

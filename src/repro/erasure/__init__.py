@@ -1,0 +1,18 @@
+"""MDS erasure-coding substrate (Section IV-A of the paper).
+
+Implements an ``[n, k]`` Reed-Solomon code over GF(2^8) with a
+Berlekamp-Welch decoder that corrects both *erasures* (missing coded
+elements, e.g. slow or crashed servers) and *errors* (wrong coded elements,
+e.g. Byzantine corruption or stale versions).  Reed-Solomon codes are MDS:
+any ``k`` correct coded elements determine the value, and a decoder given
+``N`` elements of which at most ``e`` are erroneous succeeds whenever
+``N >= k + 2e`` -- exactly the property Lemma 4 of the paper relies on with
+``k = n - 5f``, ``N = n - f`` and ``e = 2f``.
+"""
+
+from repro.erasure.gf256 import GF256
+from repro.erasure.poly import Poly
+from repro.erasure.rs import ReedSolomon
+from repro.erasure.striping import CodedElement, StripedCodec
+
+__all__ = ["GF256", "Poly", "ReedSolomon", "StripedCodec", "CodedElement"]

@@ -1,0 +1,103 @@
+"""Arithmetic in the finite field GF(2^8).
+
+Elements are integers 0..255.  Addition is XOR; multiplication is polynomial
+multiplication modulo the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1
+(0x11D).  Multiplication and inversion go through exponential/logarithm
+tables built once at import time, giving O(1) field operations.
+
+The field size caps Reed-Solomon codeword length at 255 coded elements,
+which is ample: the paper's systems have tens of servers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Primitive polynomial for GF(2^8): x^8 + x^4 + x^3 + x^2 + 1.
+PRIMITIVE_POLY = 0x11D
+
+#: Multiplicative order of the field's generator.
+ORDER = 255
+
+
+def _build_tables() -> tuple:
+    exp: List[int] = [0] * (2 * ORDER)
+    log: List[int] = [0] * 256
+    x = 1
+    for i in range(ORDER):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= PRIMITIVE_POLY
+    for i in range(ORDER, 2 * ORDER):
+        exp[i] = exp[i - ORDER]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+class GF256:
+    """Namespace of GF(2^8) field operations on plain ints.
+
+    All methods are static; the class exists purely to group the operations
+    and their shared tables under one importable name.
+    """
+
+    order = ORDER
+    size = 256
+
+    @staticmethod
+    def validate(a: int) -> int:
+        """Check that ``a`` is a field element; returns it unchanged."""
+        if not isinstance(a, int) or not 0 <= a <= 255:
+            raise ValueError(f"{a!r} is not a GF(256) element")
+        return a
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Field addition (XOR).  Subtraction is identical in GF(2^8)."""
+        return a ^ b
+
+    #: Subtraction equals addition in characteristic-2 fields.
+    sub = add
+
+    @staticmethod
+    def mul(a: int, b: int) -> int:
+        """Field multiplication via log/exp tables."""
+        if a == 0 or b == 0:
+            return 0
+        return _EXP[_LOG[a] + _LOG[b]]
+
+    @staticmethod
+    def div(a: int, b: int) -> int:
+        """Field division; raises ZeroDivisionError for b == 0."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(256)")
+        if a == 0:
+            return 0
+        return _EXP[(_LOG[a] - _LOG[b]) % ORDER]
+
+    @staticmethod
+    def inv(a: int) -> int:
+        """Multiplicative inverse; raises ZeroDivisionError for 0."""
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        return _EXP[ORDER - _LOG[a]]
+
+    @staticmethod
+    def pow(a: int, exponent: int) -> int:
+        """``a`` raised to an integer power (negative powers allowed)."""
+        if a == 0:
+            if exponent > 0:
+                return 0
+            if exponent == 0:
+                return 1
+            raise ZeroDivisionError("0 to a negative power in GF(256)")
+        return _EXP[(_LOG[a] * exponent) % ORDER]
+
+    @staticmethod
+    def generator_power(i: int) -> int:
+        """The ``i``-th power of the field generator (0x02)."""
+        return _EXP[i % ORDER]

@@ -1,0 +1,163 @@
+"""Polynomial algebra over GF(2^8).
+
+Polynomials are immutable and stored as coefficient tuples in *ascending*
+power order (``coeffs[i]`` multiplies ``x**i``).  The zero polynomial is the
+empty tuple and has degree -1 by convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.erasure.gf256 import GF256
+
+
+class Poly:
+    """An immutable polynomial over GF(256)."""
+
+    __slots__ = ("coeffs",)
+
+    def __init__(self, coeffs: Iterable[int] = ()) -> None:
+        trimmed: List[int] = list(coeffs)
+        while trimmed and trimmed[-1] == 0:
+            trimmed.pop()
+        for c in trimmed:
+            GF256.validate(c)
+        self.coeffs: Tuple[int, ...] = tuple(trimmed)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def zero(cls) -> "Poly":
+        """The zero polynomial (degree -1)."""
+        return cls(())
+
+    @classmethod
+    def constant(cls, c: int) -> "Poly":
+        """The constant polynomial ``c``."""
+        return cls((c,))
+
+    @classmethod
+    def monomial(cls, degree: int, coeff: int = 1) -> "Poly":
+        """``coeff * x**degree``."""
+        if degree < 0:
+            raise ValueError("degree must be non-negative")
+        return cls([0] * degree + [coeff])
+
+    @classmethod
+    def interpolate(cls, points: Sequence[Tuple[int, int]]) -> "Poly":
+        """Lagrange interpolation through ``(x, y)`` points with distinct x.
+
+        Returns the unique polynomial of degree < len(points) passing through
+        all the points.  O(k^2) field operations.
+        """
+        xs = [x for x, _ in points]
+        if len(set(xs)) != len(xs):
+            raise ValueError("interpolation points must have distinct x")
+        result = cls.zero()
+        for i, (xi, yi) in enumerate(points):
+            if yi == 0:
+                continue
+            # Build the Lagrange basis polynomial l_i with l_i(xi)=1.
+            basis = cls.constant(1)
+            denom = 1
+            for j, (xj, _) in enumerate(points):
+                if i == j:
+                    continue
+                basis = basis * cls((xj, 1))  # (x - xj) == (x + xj) in GF(2^8)
+                denom = GF256.mul(denom, GF256.add(xi, xj))
+            scale = GF256.div(yi, denom)
+            result = result + basis.scale(scale)
+        return result
+
+    # -- basic queries -------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """Degree; -1 for the zero polynomial."""
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        """True for the zero polynomial."""
+        return not self.coeffs
+
+    def coefficient(self, power: int) -> int:
+        """Coefficient of ``x**power`` (0 beyond the stored degree)."""
+        if 0 <= power < len(self.coeffs):
+            return self.coeffs[power]
+        return 0
+
+    def evaluate(self, x: int) -> int:
+        """Evaluate at ``x`` by Horner's rule."""
+        acc = 0
+        for c in reversed(self.coeffs):
+            acc = GF256.add(GF256.mul(acc, x), c)
+        return acc
+
+    # -- arithmetic -----------------------------------------------------------
+    def __add__(self, other: "Poly") -> "Poly":
+        longer, shorter = (self.coeffs, other.coeffs)
+        if len(shorter) > len(longer):
+            longer, shorter = shorter, longer
+        summed = list(longer)
+        for i, c in enumerate(shorter):
+            summed[i] = GF256.add(summed[i], c)
+        return Poly(summed)
+
+    #: Subtraction equals addition in characteristic 2.
+    __sub__ = __add__
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        if self.is_zero() or other.is_zero():
+            return Poly.zero()
+        product = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                if b:
+                    product[i + j] = GF256.add(product[i + j], GF256.mul(a, b))
+        return Poly(product)
+
+    def scale(self, factor: int) -> "Poly":
+        """Multiply every coefficient by the scalar ``factor``."""
+        if factor == 0:
+            return Poly.zero()
+        return Poly([GF256.mul(c, factor) for c in self.coeffs])
+
+    def divmod(self, divisor: "Poly") -> Tuple["Poly", "Poly"]:
+        """Polynomial long division; returns ``(quotient, remainder)``."""
+        if divisor.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        remainder = list(self.coeffs)
+        dd = divisor.degree
+        lead_inv = GF256.inv(divisor.coeffs[-1])
+        quotient = [0] * max(len(remainder) - dd, 0)
+        for shift in range(len(remainder) - dd - 1, -1, -1):
+            coeff = GF256.mul(remainder[shift + dd], lead_inv)
+            if coeff == 0:
+                continue
+            quotient[shift] = coeff
+            for i, dc in enumerate(divisor.coeffs):
+                remainder[shift + i] = GF256.add(
+                    remainder[shift + i], GF256.mul(dc, coeff)
+                )
+        return Poly(quotient), Poly(remainder)
+
+    def __floordiv__(self, divisor: "Poly") -> "Poly":
+        return self.divmod(divisor)[0]
+
+    def __mod__(self, divisor: "Poly") -> "Poly":
+        return self.divmod(divisor)[1]
+
+    # -- dunder plumbing -------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Poly) and self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return hash(self.coeffs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_zero():
+            return "Poly(0)"
+        terms = [f"{c}*x^{i}" if i else str(c)
+                 for i, c in enumerate(self.coeffs) if c]
+        return "Poly(" + " + ".join(terms) + ")"

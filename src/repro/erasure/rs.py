@@ -1,0 +1,278 @@
+"""Systematic [n, k] Reed-Solomon code with error-and-erasure decoding.
+
+Encoding: the ``k`` message symbols are interpolated into the unique
+polynomial ``p`` of degree < k with ``p(x_i) = m_i`` for the first ``k``
+evaluation points, and the codeword is ``(p(x_1), ..., p(x_n))``.  The code
+is *systematic* (the first ``k`` coded elements are the message) and *MDS*
+(any ``k`` correct elements reconstruct ``p``).
+
+Decoding uses the Berlekamp-Welch algorithm: given ``N`` received points of
+which at most ``e`` are wrong, it recovers ``p`` whenever ``N >= k + 2e``.
+Missing points (erasures) simply reduce ``N``.  This is the decoder contract
+Section IV-A of the paper assumes with ``k = n - f - 2e``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.erasure.gf256 import GF256
+from repro.erasure.poly import Poly
+from repro.errors import ConfigurationError, DecodingError
+
+
+def solve_linear_system(matrix: List[List[int]], rhs: List[int]) -> Optional[List[int]]:
+    """Solve ``matrix . x = rhs`` over GF(256) by Gaussian elimination.
+
+    Returns one solution (free variables set to 0) or ``None`` when the
+    system is inconsistent.  ``matrix`` is modified in place; callers pass
+    fresh copies.
+    """
+    rows = len(matrix)
+    cols = len(matrix[0]) if rows else 0
+    pivot_of_col: List[Optional[int]] = [None] * cols
+    row = 0
+    for col in range(cols):
+        pivot = next((r for r in range(row, rows) if matrix[r][col] != 0), None)
+        if pivot is None:
+            continue
+        matrix[row], matrix[pivot] = matrix[pivot], matrix[row]
+        rhs[row], rhs[pivot] = rhs[pivot], rhs[row]
+        inv = GF256.inv(matrix[row][col])
+        matrix[row] = [GF256.mul(v, inv) for v in matrix[row]]
+        rhs[row] = GF256.mul(rhs[row], inv)
+        for r in range(rows):
+            if r != row and matrix[r][col] != 0:
+                factor = matrix[r][col]
+                matrix[r] = [
+                    GF256.add(a, GF256.mul(factor, b))
+                    for a, b in zip(matrix[r], matrix[row])
+                ]
+                rhs[r] = GF256.add(rhs[r], GF256.mul(factor, rhs[row]))
+        pivot_of_col[col] = row
+        row += 1
+        if row == rows:
+            break
+    # Inconsistency: a zero row with non-zero RHS.
+    for r in range(row, rows):
+        if rhs[r] != 0 and all(v == 0 for v in matrix[r]):
+            return None
+    solution = [0] * cols
+    for col, pivot_row in enumerate(pivot_of_col):
+        if pivot_row is not None:
+            solution[col] = rhs[pivot_row]
+    return solution
+
+
+class ReedSolomon:
+    """A systematic ``[n, k]`` Reed-Solomon code over GF(2^8)."""
+
+    def __init__(self, n: int, k: int) -> None:
+        if not 1 <= k <= n:
+            raise ConfigurationError(f"need 1 <= k <= n, got [n={n}, k={k}]")
+        if n > GF256.order:
+            raise ConfigurationError(
+                f"GF(256) supports codewords up to {GF256.order} symbols, got n={n}"
+            )
+        self.n = n
+        self.k = k
+        #: Distinct non-zero evaluation points, one per coded element.
+        self.points: Tuple[int, ...] = tuple(range(1, n + 1))
+        self._parity_matrix: Optional[List[List[int]]] = None
+        #: position-tuple -> (recovery matrix, verification matrix) cache
+        #: for the errorless fast path; bounded, see _recovery_for.
+        self._recovery_cache: dict = {}
+
+    def _parity(self) -> List[List[int]]:
+        """``(n-k) x k`` generator columns for the parity positions.
+
+        ``parity[j][i] = l_i(x_{k+j})`` where ``l_i`` is the i-th Lagrange
+        basis polynomial over the first ``k`` points.  Computed once, so
+        encoding a stripe is a plain matrix-vector product instead of a
+        fresh interpolation -- the hot path when striping large values.
+        """
+        if self._parity_matrix is None:
+            matrix: List[List[int]] = []
+            for j in range(self.k, self.n):
+                row = []
+                for i in range(self.k):
+                    unit = [0] * self.k
+                    unit[i] = 1
+                    basis = Poly.interpolate(
+                        list(zip(self.points[: self.k], unit)))
+                    row.append(basis.evaluate(self.points[j]))
+                matrix.append(row)
+            self._parity_matrix = matrix
+        return self._parity_matrix
+
+    # -- encoding ----------------------------------------------------------
+    def message_polynomial(self, message: Sequence[int]) -> Poly:
+        """Interpolate the degree-<k polynomial encoding ``message``."""
+        if len(message) != self.k:
+            raise ValueError(f"message must have k={self.k} symbols, got {len(message)}")
+        return Poly.interpolate(list(zip(self.points[: self.k], message)))
+
+    def encode(self, message: Sequence[int]) -> List[int]:
+        """Encode ``k`` symbols into ``n`` coded elements (systematic)."""
+        if len(message) != self.k:
+            raise ValueError(f"message must have k={self.k} symbols, got {len(message)}")
+        codeword = list(message[: self.k])
+        for row in self._parity():
+            acc = 0
+            for coeff, symbol in zip(row, message):
+                if coeff and symbol:
+                    acc = GF256.add(acc, GF256.mul(coeff, symbol))
+            codeword.append(acc)
+        return codeword
+
+    @property
+    def max_correctable_errors(self) -> int:
+        """Errors correctable from a full codeword: ``(n - k) // 2``."""
+        return (self.n - self.k) // 2
+
+    # -- decoding ------------------------------------------------------------
+    def decode(self, received: Sequence[Tuple[int, int]],
+               max_errors: Optional[int] = None) -> List[int]:
+        """Recover the message from ``(position, symbol)`` pairs.
+
+        ``received`` holds distinct zero-based codeword positions with their
+        (possibly corrupted) symbols.  At most
+        ``max_errors`` (default ``(N - k) // 2``) of them may be wrong.
+        Raises :class:`DecodingError` when no consistent codeword exists
+        within the error budget.
+        """
+        received = list(received)
+        positions = [pos for pos, _ in received]
+        if len(set(positions)) != len(positions):
+            raise ValueError("received positions must be distinct")
+        for pos in positions:
+            if not 0 <= pos < self.n:
+                raise ValueError(f"position {pos} outside codeword of length {self.n}")
+        n_received = len(received)
+        if n_received < self.k:
+            raise DecodingError(
+                f"need at least k={self.k} coded elements, got {n_received}"
+            )
+        budget = (n_received - self.k) // 2
+        if max_errors is not None:
+            budget = min(budget, max_errors)
+        points = [(self.points[pos], symbol) for pos, symbol in received]
+        # Ascending error counts: the clean/e=0 case is a cheap Lagrange
+        # interpolation and dominates in practice.  Correctness is kept by
+        # the agreement check inside each attempt -- a candidate accepted at
+        # error count e agrees with >= N - e points, and with N >= k + 2e'
+        # for the budget e' two distinct degree-<k codewords cannot both
+        # clear that bar, so the first accepted candidate is the codeword.
+        for e in range(0, budget + 1):
+            p = self._berlekamp_welch(points, e)
+            if p is not None:
+                return [p.evaluate(x) for x in self.points[: self.k]]
+        raise DecodingError(
+            f"cannot decode: {n_received} elements with error budget {budget} "
+            f"admit no consistent degree-<{self.k} codeword"
+        )
+
+    def decode_value(self, received: Sequence[Tuple[int, int]],
+                     max_errors: Optional[int] = None) -> List[int]:
+        """Alias of :meth:`decode` kept for API symmetry with encoders."""
+        return self.decode(received, max_errors=max_errors)
+
+    def _berlekamp_welch(self, points: Sequence[Tuple[int, int]], e: int) -> Optional[Poly]:
+        """One Berlekamp-Welch attempt assuming at most ``e`` errors.
+
+        Finds ``E`` (monic, degree e) and ``Q`` (degree < k+e) with
+        ``Q(x_i) = y_i * E(x_i)`` for every received point, then returns
+        ``Q / E`` if it is a clean degree-<k polynomial agreeing with all but
+        at most ``e`` points.
+        """
+        k = self.k
+        if e == 0:
+            candidate = Poly.interpolate(list(points[:k]))
+            if candidate.degree >= k:
+                return None
+            if all(candidate.evaluate(x) == y for x, y in points):
+                return candidate
+            return None
+        return self._berlekamp_welch_with_errors(points, e)
+
+    def _recovery_for(self, positions: Tuple[int, ...]):
+        """Cached matrices for the errorless decode of a position set.
+
+        ``recover[i][j]``: contribution of received symbol ``j`` (of the
+        first ``k``) to message symbol ``i``.  ``verify[v][j]``: predicted
+        symbol at extra received position ``v`` from the same inputs.  The
+        cache is keyed by the exact received-position tuple -- constant
+        across the stripes of one value, which is the hot path.
+        """
+        cached = self._recovery_cache.get(positions)
+        if cached is not None:
+            return cached
+        base_points = [self.points[p] for p in positions[: self.k]]
+        extra_points = [self.points[p] for p in positions[self.k:]]
+        recover: List[List[int]] = [[0] * self.k for _ in range(self.k)]
+        verify: List[List[int]] = [[0] * self.k for _ in range(len(extra_points))]
+        for j in range(self.k):
+            unit = [0] * self.k
+            unit[j] = 1
+            basis = Poly.interpolate(list(zip(base_points, unit)))
+            for i in range(self.k):
+                recover[i][j] = basis.evaluate(self.points[i])
+            for v, x in enumerate(extra_points):
+                verify[v][j] = basis.evaluate(x)
+        if len(self._recovery_cache) > 64:
+            self._recovery_cache.clear()
+        self._recovery_cache[positions] = (recover, verify)
+        return recover, verify
+
+    def decode_fast(self, positions: Tuple[int, ...],
+                    symbols: Sequence[int]) -> Optional[List[int]]:
+        """Errorless decode of one stripe using cached matrices.
+
+        Returns the message if every received symbol is consistent with a
+        single codeword, else ``None`` (caller falls back to
+        :meth:`decode`).  ``positions`` are distinct codeword positions,
+        ``symbols`` the received symbols in the same order.
+        """
+        if len(positions) < self.k:
+            return None
+        recover, verify = self._recovery_for(tuple(positions))
+        base = symbols[: self.k]
+        message = []
+        for row in recover:
+            acc = 0
+            for coeff, symbol in zip(row, base):
+                if coeff and symbol:
+                    acc = GF256.add(acc, GF256.mul(coeff, symbol))
+            message.append(acc)
+        for v, row in enumerate(verify):
+            acc = 0
+            for coeff, symbol in zip(row, base):
+                if coeff and symbol:
+                    acc = GF256.add(acc, GF256.mul(coeff, symbol))
+            if acc != symbols[self.k + v]:
+                return None
+        return message
+
+    def _berlekamp_welch_with_errors(self, points: Sequence[Tuple[int, int]],
+                                     e: int) -> Optional[Poly]:
+        k = self.k
+        num_q = k + e
+        matrix: List[List[int]] = []
+        rhs: List[int] = []
+        for x, y in points:
+            row = [GF256.pow(x, j) for j in range(num_q)]
+            row.extend(GF256.mul(y, GF256.pow(x, l)) for l in range(e))
+            matrix.append(row)
+            rhs.append(GF256.mul(y, GF256.pow(x, e)))
+        solution = solve_linear_system(matrix, rhs)
+        if solution is None:
+            return None
+        q = Poly(solution[:num_q])
+        locator = Poly(list(solution[num_q:]) + [1])  # monic degree e
+        quotient, remainder = q.divmod(locator)
+        if not remainder.is_zero() or quotient.degree >= k:
+            return None
+        disagreements = sum(1 for x, y in points if quotient.evaluate(x) != y)
+        if disagreements > e:
+            return None
+        return quotient

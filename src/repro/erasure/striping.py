@@ -1,0 +1,147 @@
+"""Encoding arbitrary byte strings with an [n, k] code.
+
+A register value is an arbitrary ``bytes`` object; the field only holds
+single bytes, so values are processed in *stripes* of ``k`` bytes.  Stripe
+``s`` of the value encodes into codeword ``s``, and server ``i`` stores the
+concatenation of symbol ``i`` from every codeword -- its *coded element*.
+
+The element each server stores (and each PUT-DATA message carries) therefore
+has size ``ceil(len(value') / k)`` bytes where ``value'`` is the padded
+value, realising the ``1/k`` per-server storage/bandwidth cost of
+Section I-C.
+
+Framing: a 4-byte big-endian length prefix precedes the value so padding can
+be stripped after decoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.erasure.rs import ReedSolomon
+from repro.errors import DecodingError
+
+_LENGTH_PREFIX = 4
+
+
+@dataclass(frozen=True)
+class CodedElement:
+    """One server's share of an encoded value."""
+
+    index: int
+    data: bytes
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class StripedCodec:
+    """Encode/decode byte values through an ``[n, k]`` Reed-Solomon code."""
+
+    def __init__(self, n: int, k: int) -> None:
+        self.code = ReedSolomon(n, k)
+        self.n = n
+        self.k = k
+
+    # -- encoding ------------------------------------------------------------
+    def _frame(self, value: bytes) -> bytes:
+        framed = len(value).to_bytes(_LENGTH_PREFIX, "big") + value
+        if len(framed) % self.k:
+            framed += b"\x00" * (self.k - len(framed) % self.k)
+        return framed
+
+    def encode(self, value: bytes) -> List[CodedElement]:
+        """Split ``value`` into ``n`` coded elements of ``~len(value)/k`` bytes."""
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError(f"values must be bytes, got {type(value).__name__}")
+        framed = self._frame(bytes(value))
+        stripes = [framed[off:off + self.k] for off in range(0, len(framed), self.k)]
+        shares: List[bytearray] = [bytearray() for _ in range(self.n)]
+        for stripe in stripes:
+            codeword = self.code.encode(list(stripe))
+            for i, symbol in enumerate(codeword):
+                shares[i].append(symbol)
+        return [CodedElement(index=i, data=bytes(share))
+                for i, share in enumerate(shares)]
+
+    def element_size(self, value_len: int) -> int:
+        """Size in bytes of each coded element for a value of ``value_len``."""
+        framed_len = value_len + _LENGTH_PREFIX
+        stripes = (framed_len + self.k - 1) // self.k
+        return stripes
+
+    # -- decoding ------------------------------------------------------------
+    def decode(self, elements: Sequence[CodedElement],
+               max_errors: Optional[int] = None) -> bytes:
+        """Reconstruct the value from coded elements.
+
+        Tolerates missing elements (erasures) and corrupted/stale elements
+        (errors) within the Berlekamp-Welch budget
+        ``#errors <= (#received - k) // 2`` per stripe.  Raises
+        :class:`DecodingError` when reconstruction is impossible.
+        """
+        by_index: Dict[int, bytes] = {}
+        for element in elements:
+            if not 0 <= element.index < self.n:
+                raise ValueError(f"element index {element.index} out of range")
+            if element.index in by_index:
+                raise ValueError(f"duplicate coded element for index {element.index}")
+            by_index[element.index] = element.data
+        if len(by_index) < self.k:
+            raise DecodingError(
+                f"need at least k={self.k} coded elements, got {len(by_index)}"
+            )
+        lengths = {len(data) for data in by_index.values()}
+        if len(lengths) != 1:
+            # Corrupt elements may have bogus lengths; keep only the majority
+            # length so honest stripes still line up.
+            majority = max(lengths, key=lambda ln: sum(
+                1 for d in by_index.values() if len(d) == ln))
+            by_index = {i: d for i, d in by_index.items() if len(d) == majority}
+            if len(by_index) < self.k:
+                raise DecodingError("too few equal-length coded elements to decode")
+        stripe_count = len(next(iter(by_index.values())))
+        framed = bytearray()
+        # Fixed position order across stripes lets the errorless fast path
+        # reuse its cached recovery matrices.
+        ordered = sorted(by_index.items())
+        positions = tuple(index for index, _ in ordered)
+        error_budget = ((len(positions) - self.k) // 2 if max_errors is None
+                        else min(max_errors, (len(positions) - self.k) // 2))
+        #: Corruption is per *element* (per server), so positions found
+        #: erroneous in one stripe are prime suspects in every stripe:
+        #: excluding them turns the expensive error correction back into a
+        #: cheap erasure decode.  Sound because if all remaining positions
+        #: agree on one codeword, at least k of them are honest
+        #: (|remaining| - budget >= k by the [n, k] arithmetic), which pins
+        #: the codeword uniquely.
+        suspected: set = set()
+        for stripe in range(stripe_count):
+            symbols = [data[stripe] for _, data in ordered]
+            fast = self.code.decode_fast(positions, symbols)
+            if fast is not None:
+                framed.extend(fast)
+                continue
+            if suspected and len(positions) - len(suspected) - error_budget >= self.k:
+                kept = [(p, s) for p, s in zip(positions, symbols)
+                        if p not in suspected]
+                reduced = self.code.decode_fast(
+                    tuple(p for p, _ in kept), [s for _, s in kept])
+                if reduced is not None:
+                    framed.extend(reduced)
+                    continue
+            received = list(zip(positions, symbols))
+            message = self.code.decode(received, max_errors=max_errors)
+            codeword = self.code.encode(message)
+            suspected.update(p for p, s in received if codeword[p] != s)
+            framed.extend(message)
+        if len(framed) < _LENGTH_PREFIX:
+            raise DecodingError("decoded frame shorter than its length prefix")
+        value_len = int.from_bytes(framed[:_LENGTH_PREFIX], "big")
+        if value_len > len(framed) - _LENGTH_PREFIX:
+            raise DecodingError(
+                f"decoded length prefix {value_len} exceeds frame size; "
+                "the element set is inconsistent"
+            )
+        return bytes(framed[_LENGTH_PREFIX:_LENGTH_PREFIX + value_len])

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime protocol failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A system was configured with invalid parameters.
+
+    Examples: ``n < 4f + 1`` for BSR, a non-positive number of servers, or an
+    erasure code with ``k < 1``.
+    """
+
+
+class QuorumError(ConfigurationError):
+    """Quorum arithmetic is unsatisfiable for the given ``n`` and ``f``."""
+
+
+class ProtocolError(ReproError):
+    """A message violated the protocol (unknown type, bad fields)."""
+
+
+class AuthenticationError(ProtocolError):
+    """A message failed signature verification."""
+
+
+class DecodingError(ReproError):
+    """An erasure-coded value could not be decoded.
+
+    Raised by the Reed-Solomon decoder when the received coded elements
+    contain more errors/erasures than the ``[n, k]`` code can correct.
+    """
+
+
+class OperationAborted(ReproError):
+    """A client operation was aborted (e.g. the client crashed mid-flight)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class LivenessError(SimulationError):
+    """An operation failed to terminate within the simulated horizon.
+
+    Per Theorem 1 / Lemma 6 liveness only holds while at most ``f`` servers
+    are unresponsive; this error surfaces executions that exceed that budget.
+    """
+
+
+class ConsistencyViolation(ReproError):
+    """A recorded execution violates the consistency condition being checked.
+
+    Carries a human-readable explanation of the offending operations so that
+    test failures point directly at the violating read/write pair.
+    """
+
+    def __init__(self, message: str, *, operations: tuple = ()) -> None:
+        super().__init__(message)
+        self.operations = operations

@@ -1,0 +1,18 @@
+"""Measurement collection and report formatting for the experiments."""
+
+from repro.metrics.collectors import (
+    LatencySummary,
+    OperationSummary,
+    summarize_latencies,
+    summarize_trace,
+)
+from repro.metrics.report import format_markdown_table, format_table
+
+__all__ = [
+    "LatencySummary",
+    "OperationSummary",
+    "summarize_latencies",
+    "summarize_trace",
+    "format_table",
+    "format_markdown_table",
+]

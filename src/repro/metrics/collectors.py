@@ -1,0 +1,90 @@
+"""Latency/round statistics extracted from execution traces."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.trace import OpKind, Trace
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Order statistics of a latency sample (simulated seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """Summary of an empty sample (all zeros)."""
+        return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0,
+                   minimum=0.0, maximum=0.0)
+
+
+def percentile(sorted_sample: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending sample."""
+    if not sorted_sample:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    rank = max(0, math.ceil(fraction * len(sorted_sample)) - 1)
+    return sorted_sample[rank]
+
+
+def summarize_latencies(latencies: Sequence[float]) -> LatencySummary:
+    """Summarize a latency sample."""
+    if not latencies:
+        return LatencySummary.empty()
+    ordered = sorted(latencies)
+    return LatencySummary(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=percentile(ordered, 0.50),
+        p95=percentile(ordered, 0.95),
+        p99=percentile(ordered, 0.99),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+    )
+
+
+@dataclass
+class OperationSummary:
+    """Aggregate statistics for one operation kind within a trace."""
+
+    kind: str
+    latency: LatencySummary
+    rounds: Dict[int, int] = field(default_factory=dict)
+    incomplete: int = 0
+
+    @property
+    def mean_rounds(self) -> float:
+        """Average rounds per completed operation."""
+        total = sum(count for count in self.rounds.values())
+        if not total:
+            return 0.0
+        return sum(r * c for r, c in self.rounds.items()) / total
+
+
+def summarize_trace(trace: Trace) -> Dict[str, OperationSummary]:
+    """Per-kind latency and round statistics for a whole execution."""
+    summaries: Dict[str, OperationSummary] = {}
+    for kind in (OpKind.READ, OpKind.WRITE):
+        records = [op for op in trace if op.kind is kind]
+        completed = [op for op in records if op.complete]
+        rounds: Dict[int, int] = {}
+        for op in completed:
+            rounds[op.rounds] = rounds.get(op.rounds, 0) + 1
+        summaries[kind.value] = OperationSummary(
+            kind=kind.value,
+            latency=summarize_latencies([op.latency for op in completed]),
+            rounds=rounds,
+            incomplete=len(records) - len(completed),
+        )
+    return summaries

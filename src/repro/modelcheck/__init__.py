@@ -1,0 +1,20 @@
+"""Bounded exhaustive model checking of register executions.
+
+The scripted scenarios in :mod:`repro.byzantine.scenarios` replay the *one*
+adversarial schedule each proof describes.  This package goes further: for
+small configurations it explores **every** message-delivery order (with
+state-hash pruning), so
+
+* at the resilience bound it *verifies* that no schedule violates safety
+  in the explored configuration, and
+* below the bound it *discovers* the violating schedules of Theorems 5/6
+  automatically, without anyone scripting them.
+
+The checker is algorithm-agnostic: it drives the same server/operation
+state machines as the simulator, just under a controlled scheduler.
+"""
+
+from repro.modelcheck.world import OpSpec, World
+from repro.modelcheck.checker import ExplorationReport, ModelChecker
+
+__all__ = ["World", "OpSpec", "ModelChecker", "ExplorationReport"]

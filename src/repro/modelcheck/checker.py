@@ -1,0 +1,133 @@
+"""The exploration engine: BFS/DFS over delivery schedules with pruning.
+
+Two modes:
+
+* :meth:`ModelChecker.verify` -- exhaustive (state-hash-pruned) search of
+  every reachable terminal state; returns a report with all violations.
+* :meth:`ModelChecker.find_violation` -- depth-first search that stops at
+  the first violating terminal state, returning the schedule that exposes
+  it (the machine-found analogue of the paper's hand-crafted proofs).
+
+The ``predicate`` receives the list of completed operation results (in
+scenario order) and returns ``None`` for a correct outcome or a description
+string for a violation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.modelcheck.world import World
+
+
+@dataclass
+class ExplorationReport:
+    """What an exploration saw."""
+
+    states_explored: int = 0
+    terminal_states: int = 0
+    stuck_states: int = 0
+    violations: List[Tuple[str, Tuple[str, ...]]] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """No violation found (and, for verify(), none exists if not truncated)."""
+        return not self.violations
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        extra = " (TRUNCATED)" if self.truncated else ""
+        return (f"explored {self.states_explored} states, "
+                f"{self.terminal_states} terminal: {status}{extra}")
+
+
+class ModelChecker:
+    """Explore all delivery schedules of a :class:`World` factory.
+
+    ``factory`` must return a *fresh* world per call (exploration mutates
+    clones).  ``max_states`` bounds the visited-state set; exceeding it in
+    :meth:`verify` marks the report ``truncated`` (or raises with
+    ``strict=True``) because exhaustiveness is then lost.
+    """
+
+    def __init__(self, factory: Callable[[], World],
+                 predicate: Callable[[List], Optional[str]],
+                 max_states: int = 200_000) -> None:
+        self.factory = factory
+        self.predicate = predicate
+        self.max_states = max_states
+
+    # -- exhaustive verification ---------------------------------------------
+    def verify(self, strict: bool = False) -> ExplorationReport:
+        """Breadth-first exploration of every reachable state."""
+        report = ExplorationReport()
+        root = self.factory()
+        visited = {root.state_key()}
+        frontier = deque([(root, ())])
+        seen_violations = set()
+        while frontier:
+            world, schedule = frontier.popleft()
+            report.states_explored += 1
+            if world.done:
+                report.terminal_states += 1
+                verdict = self.predicate(world.results)
+                if verdict is not None and verdict not in seen_violations:
+                    seen_violations.add(verdict)
+                    report.violations.append((verdict, schedule))
+                continue
+            if world.stuck:
+                report.stuck_states += 1
+                continue
+            for choice in world.choices():
+                child = world.clone()
+                child.deliver(choice)
+                key = child.state_key()
+                if key in visited:
+                    continue
+                if len(visited) >= self.max_states:
+                    report.truncated = True
+                    if strict:
+                        raise SimulationError(
+                            f"state space exceeds max_states={self.max_states}; "
+                            "shrink the scenario or raise the bound"
+                        )
+                    continue
+                visited.add(key)
+                step = world.pending[choice].key()
+                frontier.append((child, schedule + (f"{step[0]}->{step[1]}",)))
+        return report
+
+    # -- directed counterexample search -----------------------------------------
+    def find_violation(self) -> Optional[Tuple[str, Tuple[str, ...]]]:
+        """Depth-first search returning the first violation (or ``None``).
+
+        Uses the same pruning as :meth:`verify` but stops immediately when
+        a violating terminal state appears, which makes below-the-bound
+        counterexample discovery fast even for larger scenarios.
+        """
+        root = self.factory()
+        visited = {root.state_key()}
+        stack = [(root, ())]
+        while stack:
+            world, schedule = stack.pop()
+            if world.done:
+                verdict = self.predicate(world.results)
+                if verdict is not None:
+                    return (verdict, schedule)
+                continue
+            if world.stuck:
+                continue
+            for choice in world.choices():
+                child = world.clone()
+                child.deliver(choice)
+                key = child.state_key()
+                if key in visited or len(visited) >= self.max_states:
+                    continue
+                visited.add(key)
+                step = world.pending[choice].key()
+                stack.append((child, schedule + (f"{step[0]}->{step[1]}",)))
+        return None

@@ -1,0 +1,215 @@
+"""Asyncio client executing register operations against TCP server nodes."""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.baselines.abd import ABDReadOperation, ABDWriteOperation
+from repro.core.bcsr import BCSRReadOperation, BCSRWriteOperation, make_codec
+from repro.core.bsr import BSRReadOperation, BSRReaderState, BSRWriteOperation
+from repro.core.namespace import DEFAULT_REGISTER, NamespacedOperation
+from repro.core.operation import ClientOperation
+from repro.core.regular import HistoryReadOperation, TwoRoundReadOperation
+from repro.errors import AuthenticationError, ConfigurationError, LivenessError, ProtocolError
+from repro.transport.auth import Authenticator
+from repro.transport.codec import (
+    decode_message,
+    encode_message,
+    read_frame,
+    write_frame,
+)
+from repro.types import ProcessId
+
+logger = logging.getLogger(__name__)
+
+CLIENT_ALGORITHMS = ("bsr", "bsr-history", "bsr-2round", "bcsr", "abd")
+
+
+class AsyncRegisterClient:
+    """Execute reads/writes of one register over TCP.
+
+    The client opens one connection per server (lazily, tolerating servers
+    that are down -- the protocols only need ``n - f`` of them) and drives
+    the same operation state machines the simulator uses.
+
+    Usage::
+
+        client = AsyncRegisterClient("w000", addresses, f=1, auth=auth)
+        await client.connect()
+        await client.write(b"hello")
+        value = await client.read()
+        await client.close()
+    """
+
+    def __init__(self, client_id: ProcessId,
+                 addresses: Dict[ProcessId, Tuple[str, int]], f: int,
+                 auth: Authenticator, algorithm: str = "bsr",
+                 timeout: float = 30.0, initial_value: bytes = b"",
+                 namespaced: bool = False) -> None:
+        if algorithm not in CLIENT_ALGORITHMS:
+            raise ConfigurationError(
+                f"algorithm {algorithm!r} not supported by the asyncio "
+                f"runtime; choose from {CLIENT_ALGORITHMS}"
+            )
+        self.client_id = client_id
+        self.addresses = dict(addresses)
+        self.servers: List[ProcessId] = sorted(self.addresses)
+        self.f = f
+        self.auth = auth
+        self.algorithm = algorithm
+        self.timeout = timeout
+        self.initial_value = initial_value
+        self.namespaced = namespaced
+        self.reader_state = BSRReaderState(initial_value)
+        self._register_states: Dict[str, BSRReaderState] = {}
+        self._codec = (make_codec(len(self.servers), f)
+                       if algorithm == "bcsr" else None)
+        self._connections: Dict[ProcessId, Tuple[asyncio.StreamReader,
+                                                 asyncio.StreamWriter]] = {}
+        self._reply_queue: "asyncio.Queue[Tuple[ProcessId, Any]]" = asyncio.Queue()
+        self._reader_tasks: List[asyncio.Task] = []
+
+    # -- connection management ----------------------------------------------
+    async def connect(self) -> int:
+        """Open connections to every reachable server; returns the count."""
+        for pid in self.servers:
+            if pid in self._connections:
+                continue
+            host, port = self.addresses[pid]
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError as exc:
+                logger.warning("client %s cannot reach %s: %s",
+                               self.client_id, pid, exc)
+                continue
+            self._connections[pid] = (reader, writer)
+            self._reader_tasks.append(
+                asyncio.ensure_future(self._pump_replies(pid, reader))
+            )
+        return len(self._connections)
+
+    async def close(self) -> None:
+        """Tear down all connections and reader tasks."""
+        for task in self._reader_tasks:
+            task.cancel()
+        for task in self._reader_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # pragma: no cover
+                pass
+        self._reader_tasks.clear()
+        for _, writer in self._connections.values():
+            writer.close()
+        for _, writer in list(self._connections.values()):
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+        self._connections.clear()
+
+    async def _pump_replies(self, pid: ProcessId, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                try:
+                    sender, payload = self.auth.open(frame)
+                    message = decode_message(payload)
+                except (AuthenticationError, ProtocolError) as exc:
+                    logger.warning("client %s dropping bad frame from %s: %s",
+                                   self.client_id, pid, exc)
+                    continue
+                if sender != pid:
+                    # A Byzantine server cannot speak for another server:
+                    # the signature pins the sender.
+                    logger.warning("client %s: connection to %s delivered a "
+                                   "frame signed by %s; dropping",
+                                   self.client_id, pid, sender)
+                    continue
+                await self._reply_queue.put((sender, message))
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                asyncio.CancelledError):
+            return
+
+    # -- operations -------------------------------------------------------------
+    def _send(self, envelopes) -> None:
+        for dest, message in envelopes:
+            connection = self._connections.get(dest)
+            if connection is None:
+                continue  # unreachable server; quorum logic tolerates it
+            _, writer = connection
+            sealed = self.auth.seal(self.client_id, encode_message(message))
+            write_frame(writer, sealed)
+
+    async def _run_operation(self, operation: ClientOperation) -> Any:
+        self._send(operation.start())
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + self.timeout
+        while not operation.done:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise LivenessError(
+                    f"{operation.kind} by {self.client_id} did not complete "
+                    f"within {self.timeout}s (are n - f servers up?)"
+                )
+            try:
+                sender, message = await asyncio.wait_for(
+                    self._reply_queue.get(), timeout=remaining
+                )
+            except asyncio.TimeoutError:
+                continue
+            self._send(operation.on_reply(sender, message))
+        return operation.result
+
+    def _reader_state_for(self, register: str) -> BSRReaderState:
+        if not self.namespaced:
+            return self.reader_state
+        if register not in self._register_states:
+            self._register_states[register] = BSRReaderState(self.initial_value)
+        return self._register_states[register]
+
+    def _maybe_namespace(self, operation: ClientOperation, register: str):
+        if self.namespaced:
+            return NamespacedOperation(register, operation)
+        return operation
+
+    async def write(self, value: Any,
+                    register: str = DEFAULT_REGISTER) -> Any:
+        """Write ``value``; returns the tag the write committed under.
+
+        ``register`` selects the named register on namespaced clusters.
+        """
+        servers, f = self.servers, self.f
+        if self.algorithm == "bcsr":
+            operation = BCSRWriteOperation(self.client_id, servers, f, value,
+                                           codec=self._codec)
+        elif self.algorithm == "abd":
+            operation = ABDWriteOperation(self.client_id, servers, f, value)
+        else:
+            operation = BSRWriteOperation(self.client_id, servers, f, value)
+        return await self._run_operation(self._maybe_namespace(operation, register))
+
+    async def read(self, register: str = DEFAULT_REGISTER) -> Any:
+        """Read the register; returns the value.
+
+        ``register`` selects the named register on namespaced clusters.
+        """
+        servers, f = self.servers, self.f
+        state = self._reader_state_for(register)
+        if self.algorithm == "bsr":
+            operation = BSRReadOperation(self.client_id, servers, f,
+                                         reader_state=state)
+        elif self.algorithm == "bsr-history":
+            operation = HistoryReadOperation(self.client_id, servers, f,
+                                             reader_state=state)
+        elif self.algorithm == "bsr-2round":
+            operation = TwoRoundReadOperation(self.client_id, servers, f,
+                                              reader_state=state)
+        elif self.algorithm == "bcsr":
+            operation = BCSRReadOperation(self.client_id, servers, f,
+                                          codec=self._codec,
+                                          initial_value=self.initial_value)
+        else:
+            operation = ABDReadOperation(self.client_id, servers, f)
+        return await self._run_operation(self._maybe_namespace(operation, register))

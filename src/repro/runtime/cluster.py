@@ -1,0 +1,149 @@
+"""One-process local deployments for examples, tests and benchmark E10."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.baselines.abd import ABDServer
+from repro.byzantine.behaviors import Behavior, make_behavior
+from repro.core.bcsr import BCSRServer, make_codec
+from repro.core.bsr import BSRServer
+from repro.core.namespace import NamespacedServer
+from repro.core.quorum import (
+    abd_min_servers,
+    bcsr_min_servers,
+    bsr_min_servers,
+)
+from repro.core.regular import RegularBSRServer
+from repro.errors import ConfigurationError
+from repro.runtime.client import CLIENT_ALGORITHMS, AsyncRegisterClient
+from repro.runtime.node import RegisterServerNode
+from repro.transport.auth import Authenticator, KeyChain
+from repro.types import ProcessId, server_id
+
+_MIN_SERVERS = {
+    "bsr": bsr_min_servers,
+    "bsr-history": bsr_min_servers,
+    "bsr-2round": bsr_min_servers,
+    "bcsr": bcsr_min_servers,
+    "abd": abd_min_servers,
+}
+
+
+class LocalCluster:
+    """Spin up ``n`` register server nodes on localhost.
+
+    Usage::
+
+        cluster = LocalCluster("bsr", f=1)
+        await cluster.start()
+        client = cluster.client("w000")
+        await client.connect()
+        await client.write(b"hello")
+        ...
+        await cluster.stop()
+    """
+
+    def __init__(self, algorithm: str = "bsr", f: int = 1,
+                 n: Optional[int] = None, host: str = "127.0.0.1",
+                 secret: bytes = b"local-cluster-secret",
+                 byzantine: Optional[Dict[Union[int, ProcessId],
+                                          Union[str, Behavior]]] = None,
+                 initial_value: bytes = b"",
+                 namespaced: bool = False,
+                 snapshot_dir: Optional[str] = None) -> None:
+        if algorithm not in CLIENT_ALGORITHMS:
+            raise ConfigurationError(
+                f"algorithm {algorithm!r} not supported by the asyncio "
+                f"runtime; choose from {CLIENT_ALGORITHMS}"
+            )
+        self.algorithm = algorithm
+        self.f = f
+        self.n = n if n is not None else _MIN_SERVERS[algorithm](f)
+        if self.n < _MIN_SERVERS[algorithm](f):
+            raise ConfigurationError(
+                f"{algorithm} requires n >= {_MIN_SERVERS[algorithm](f)}, got {self.n}"
+            )
+        self.host = host
+        self.secret = secret
+        self.initial_value = initial_value
+        self.server_ids = [server_id(i) for i in range(self.n)]
+        self._behaviors: Dict[ProcessId, Behavior] = {}
+        for key, value in (byzantine or {}).items():
+            pid = server_id(key) if isinstance(key, int) else key
+            behavior = make_behavior(value) if isinstance(value, str) else value
+            self._behaviors[pid] = behavior
+        self.namespaced = namespaced
+        self.snapshot_dir = snapshot_dir
+        self.nodes: Dict[ProcessId, RegisterServerNode] = {}
+        self._codec = make_codec(self.n, f) if algorithm == "bcsr" else None
+        self._clients: list = []
+
+    def _keychain_for(self, client_ids) -> KeyChain:
+        return KeyChain.from_secret(self.secret, list(self.server_ids) + list(client_ids))
+
+    def _make_protocol(self, pid: ProcessId, index: int) -> Any:
+        if self.algorithm == "bsr":
+            return BSRServer(pid, initial_value=self.initial_value)
+        if self.algorithm in ("bsr-history", "bsr-2round"):
+            return RegularBSRServer(pid, initial_value=self.initial_value)
+        if self.algorithm == "bcsr":
+            return BCSRServer(pid, index, self._codec,
+                              initial_value=self.initial_value)
+        return ABDServer(pid, initial_value=self.initial_value)
+
+    async def start(self) -> None:
+        """Start every server node on an ephemeral port."""
+        auth = Authenticator(self._keychain_for([]))
+        for index, pid in enumerate(self.server_ids):
+            if self.namespaced:
+                # The namespace wrapper applies the behaviour per hosted
+                # register, so the node itself stays behaviour-free.
+                protocol = NamespacedServer(
+                    pid,
+                    factory=lambda name, pid=pid, index=index:
+                        self._make_protocol(pid, index),
+                    behavior=self._behaviors.get(pid),
+                )
+                node = RegisterServerNode(pid, protocol, auth,
+                                          host=self.host, port=0)
+            else:
+                snapshot_path = None
+                if self.snapshot_dir is not None:
+                    import os
+                    os.makedirs(self.snapshot_dir, exist_ok=True)
+                    snapshot_path = os.path.join(self.snapshot_dir,
+                                                 f"{pid}.snapshot")
+                node = RegisterServerNode(
+                    pid, self._make_protocol(pid, index), auth, host=self.host,
+                    port=0, behavior=self._behaviors.get(pid),
+                    snapshot_path=snapshot_path,
+                )
+            await node.start()
+            self.nodes[pid] = node
+
+    async def stop(self) -> None:
+        """Close all clients created via :meth:`client`, then all nodes."""
+        for client in self._clients:
+            await client.close()
+        self._clients.clear()
+        for node in self.nodes.values():
+            await node.stop()
+        self.nodes.clear()
+
+    @property
+    def addresses(self) -> Dict[ProcessId, Tuple[str, int]]:
+        """Server id -> (host, port) of every running node."""
+        return {pid: node.address for pid, node in self.nodes.items()}
+
+    def client(self, client_id: ProcessId, timeout: float = 30.0) -> AsyncRegisterClient:
+        """Create a client wired to this cluster (closed by :meth:`stop`)."""
+        keychain = self._keychain_for([client_id])
+        client = AsyncRegisterClient(
+            client_id, self.addresses, self.f, Authenticator(keychain),
+            algorithm=self.algorithm, timeout=timeout,
+            initial_value=self.initial_value, namespaced=self.namespaced,
+        )
+        self._clients.append(client)
+        return client

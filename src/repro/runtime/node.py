@@ -1,0 +1,141 @@
+"""A TCP server node hosting one register-server state machine."""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+from typing import Any, Optional
+
+from repro.errors import AuthenticationError, ProtocolError
+from repro.transport.auth import Authenticator
+from repro.transport.codec import (
+    decode_message,
+    encode_message,
+    read_frame,
+    write_frame,
+)
+from repro.types import ProcessId
+
+logger = logging.getLogger(__name__)
+
+
+class RegisterServerNode:
+    """Host a server protocol (``handle(sender, msg) -> envelopes``) on TCP.
+
+    Each inbound connection carries sealed frames; replies addressed to the
+    requesting client go back over the same connection.  Envelopes addressed
+    to anyone else are dropped with a warning -- the runtime only supports
+    client-to-server protocols (see package docstring).
+
+    A ``behavior`` may be supplied to make the node Byzantine: it receives
+    the same hooks as in the simulator.
+    """
+
+    def __init__(self, server_id: ProcessId, protocol: Any,
+                 authenticator: Authenticator, host: str = "127.0.0.1",
+                 port: int = 0, behavior: Optional[Any] = None,
+                 snapshot_path: Optional[str] = None) -> None:
+        self.server_id = server_id
+        self.protocol = protocol
+        self.auth = authenticator
+        self.host = host
+        self.port = port
+        self.behavior = behavior
+        #: When set, the node checkpoints its state here after every
+        #: mutation and restores from it on start (crash recovery).
+        self.snapshot_path = snapshot_path
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    def _restore_from_snapshot(self) -> None:
+        if self.snapshot_path is None or not os.path.exists(self.snapshot_path):
+            return
+        from repro.core.persistence import restore_server
+        with open(self.snapshot_path, "rb") as fh:
+            restored = restore_server(
+                fh.read(), codec=getattr(self.protocol, "codec", None))
+        # Keep the live object (the cluster may hold references); adopt the
+        # durable history in place.
+        self.protocol.history = restored.history
+        logger.info("server %s restored %d history entries from %s",
+                    self.server_id, len(restored.history), self.snapshot_path)
+
+    def _checkpoint(self) -> None:
+        if self.snapshot_path is None:
+            return
+        from repro.core.persistence import snapshot_server
+        tmp_path = self.snapshot_path + ".tmp"
+        with open(tmp_path, "wb") as fh:
+            fh.write(snapshot_server(self.protocol))
+        os.replace(tmp_path, self.snapshot_path)  # atomic on POSIX
+
+    async def start(self) -> None:
+        """Bind the listener; ``self.port`` is filled in when it was 0."""
+        self._restore_from_snapshot()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("server %s listening on %s:%d", self.server_id, self.host, self.port)
+
+    async def stop(self) -> None:
+        """Close the listener and wait for it to wind down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> tuple:
+        """``(host, port)`` of the bound listener."""
+        return (self.host, self.port)
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            await self._connection_loop(reader, writer)
+        except asyncio.CancelledError:
+            # Listener shut down while this connection was idle; wind down
+            # quietly rather than spamming the event loop's exception hook.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError,
+                    BrokenPipeError):  # pragma: no cover - teardown races
+                pass
+
+    async def _connection_loop(self, reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        while True:
+            try:
+                frame = await read_frame(reader)
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return
+            try:
+                sender, payload = self.auth.open(frame)
+                message = decode_message(payload)
+            except (AuthenticationError, ProtocolError) as exc:
+                logger.warning("server %s dropping bad frame: %s",
+                               self.server_id, exc)
+                continue
+            history_before = len(getattr(self.protocol, "history", ()))
+            replies = self.protocol.handle(sender, message)
+            if self.behavior is not None:
+                replies = self.behavior.on_message(
+                    self.protocol, sender, message, replies
+                )
+            if len(getattr(self.protocol, "history", ())) != history_before:
+                self._checkpoint()
+            for dest, reply in replies:
+                if dest != sender:
+                    logger.warning(
+                        "server %s dropping envelope to %s (only "
+                        "client-to-server replies are routable)",
+                        self.server_id, dest,
+                    )
+                    continue
+                sealed = self.auth.seal(self.server_id, encode_message(reply))
+                write_frame(writer, sealed)
+            await writer.drain()

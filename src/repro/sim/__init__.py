@@ -1,0 +1,55 @@
+"""Deterministic discrete-event simulation substrate.
+
+This subpackage provides the asynchronous message-passing system of the
+paper's model (Section II-A): asynchronous processes, reliable bidirectional
+channels that may reorder messages arbitrarily, unbounded (but finite) message
+delays, and crash/Byzantine failure injection.
+
+The simulator is deterministic given a seed, which makes the adversarial
+executions of Theorems 3, 5 and 6 exactly reproducible.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import SimRng
+from repro.sim.delays import (
+    ConstantDelay,
+    DelayModel,
+    DelayRule,
+    ExponentialDelay,
+    HOLD,
+    LogNormalDelay,
+    RuleBasedDelays,
+    SizeDependentDelay,
+    TopologyDelay,
+    UniformDelay,
+)
+from repro.sim.process import Process, ProcessContext
+from repro.sim.network import Network, NetworkStats
+from repro.sim.simulator import Simulator
+from repro.sim.trace import OpKind, OperationRecord, Trace
+
+__all__ = [
+    "VirtualClock",
+    "Event",
+    "EventQueue",
+    "SimRng",
+    "DelayModel",
+    "ConstantDelay",
+    "UniformDelay",
+    "ExponentialDelay",
+    "LogNormalDelay",
+    "SizeDependentDelay",
+    "TopologyDelay",
+    "DelayRule",
+    "RuleBasedDelays",
+    "HOLD",
+    "Process",
+    "ProcessContext",
+    "Network",
+    "NetworkStats",
+    "Simulator",
+    "Trace",
+    "OperationRecord",
+    "OpKind",
+]

@@ -1,0 +1,42 @@
+"""Virtual time for the discrete-event simulator.
+
+Simulated time is a non-negative float in abstract "seconds".  The clock only
+moves forward, and only the simulator advances it (when it pops the next
+event).  Processes read the clock but never set it, which mirrors the paper's
+asynchrony assumption: processes cannot rely on real-time bounds, they merely
+observe that time passes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """A monotonically non-decreasing simulated clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to time ``t``.
+
+        Raises :class:`SimulationError` if ``t`` lies in the past; the event
+        queue guarantees events are popped in time order, so a backwards jump
+        indicates a simulator bug rather than a user error.
+        """
+        if t < self._now:
+            raise SimulationError(
+                f"attempted to move clock backwards: {self._now} -> {t}"
+            )
+        self._now = float(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualClock(now={self._now:.6f})"

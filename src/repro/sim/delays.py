@@ -1,0 +1,257 @@
+"""Message-delay models and scripted delay rules.
+
+The paper's channels are reliable but asynchronous: messages are never lost
+or forged, yet delays are unbounded and delivery order is arbitrary
+(Section II-A).  Two kinds of delay control live here:
+
+* **Stochastic models** (:class:`ConstantDelay`, :class:`UniformDelay`,
+  :class:`ExponentialDelay`, :class:`LogNormalDelay`) for throughput and
+  latency experiments.
+* **Rule-based scripting** (:class:`RuleBasedDelays`) for the adversarial
+  executions of Theorems 3, 5 and 6, where specific messages must be "fast"
+  and others "slow" or held until the adversary releases them.  Holding a
+  message indefinitely is allowed while the run lasts because asynchrony puts
+  no bound on delay; the simulator flushes held messages at the end of a run
+  so that channel reliability is never actually violated.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.sim.rng import SimRng
+from repro.types import ProcessId
+
+#: Sentinel returned by a delay rule to hold a message until released.
+HOLD = object()
+
+
+class DelayModel(abc.ABC):
+    """Strategy deciding how long each message spends in flight."""
+
+    @abc.abstractmethod
+    def sample(self, src: ProcessId, dst: ProcessId, message: Any, now: float, rng: SimRng):
+        """Return the in-flight delay in seconds, or :data:`HOLD`."""
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return type(self).__name__
+
+
+class ConstantDelay(DelayModel):
+    """Every message takes exactly ``delay`` seconds."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay = float(delay)
+
+    def sample(self, src, dst, message, now, rng):
+        return self.delay
+
+    def describe(self) -> str:
+        return f"constant({self.delay}s)"
+
+
+class UniformDelay(DelayModel):
+    """Delay uniformly distributed in ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, src, dst, message, now, rng):
+        return rng.uniform(self.low, self.high)
+
+    def describe(self) -> str:
+        return f"uniform[{self.low}, {self.high}]s"
+
+
+class ExponentialDelay(DelayModel):
+    """Exponentially distributed delay with the given mean, plus a floor.
+
+    The floor models the propagation component of latency that no packet can
+    beat; the exponential tail models queueing.
+    """
+
+    def __init__(self, mean: float, floor: float = 0.0) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        if floor < 0:
+            raise ValueError("floor must be non-negative")
+        self.mean = float(mean)
+        self.floor = float(floor)
+
+    def sample(self, src, dst, message, now, rng):
+        return self.floor + rng.expovariate(1.0 / self.mean)
+
+    def describe(self) -> str:
+        return f"exponential(mean={self.mean}s, floor={self.floor}s)"
+
+
+class LogNormalDelay(DelayModel):
+    """Log-normally distributed delay -- a common fit for WAN latencies."""
+
+    def __init__(self, mu: float, sigma: float, floor: float = 0.0) -> None:
+        if sigma < 0 or floor < 0:
+            raise ValueError("sigma and floor must be non-negative")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+        self.floor = float(floor)
+
+    def sample(self, src, dst, message, now, rng):
+        return self.floor + rng.lognormvariate(self.mu, self.sigma)
+
+    def describe(self) -> str:
+        return f"lognormal(mu={self.mu}, sigma={self.sigma}, floor={self.floor}s)"
+
+
+class TopologyDelay(DelayModel):
+    """Region-aware latencies for geo-replicated deployments.
+
+    Each process is assigned to a region; the delay of a message is the
+    (symmetric) base latency between the endpoint regions, plus uniform
+    jitter.  Unassigned processes fall into ``default_region``.
+
+    Example::
+
+        TopologyDelay(
+            regions={"s000": "us", "s001": "eu", "w000": "us"},
+            latency={("us", "us"): 0.02, ("us", "eu"): 0.12,
+                     ("eu", "eu"): 0.02},
+        )
+    """
+
+    def __init__(self, regions: dict, latency: dict,
+                 jitter: float = 0.1, default_region: str = "local") -> None:
+        if not 0 <= jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        self.regions = dict(regions)
+        self.latency = dict(latency)
+        self.jitter = float(jitter)
+        self.default_region = default_region
+
+    def region_of(self, pid: ProcessId) -> str:
+        """The region a process lives in."""
+        return self.regions.get(pid, self.default_region)
+
+    def base_latency(self, a: str, b: str) -> float:
+        """Symmetric region-to-region base latency."""
+        if (a, b) in self.latency:
+            return self.latency[(a, b)]
+        if (b, a) in self.latency:
+            return self.latency[(b, a)]
+        raise KeyError(f"no latency configured between {a!r} and {b!r}")
+
+    def sample(self, src, dst, message, now, rng):
+        base = self.base_latency(self.region_of(src), self.region_of(dst))
+        if self.jitter:
+            base *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return base
+
+    def describe(self) -> str:
+        regions = sorted({region for pair in self.latency for region in pair})
+        return f"topology({', '.join(regions)}, jitter={self.jitter})"
+
+
+class SizeDependentDelay(DelayModel):
+    """Latency = propagation + serialization: ``base + size / bandwidth``.
+
+    Makes message delay grow with payload size, which is what gives
+    erasure coding its latency edge for large values (Section I-C: smaller
+    coded elements serialize faster on a bandwidth-limited network).  An
+    optional jitter fraction adds uniform noise.
+    """
+
+    def __init__(self, base: float = 0.5, bytes_per_second: float = 1_000_000.0,
+                 jitter: float = 0.0,
+                 sizer: Callable[[Any], int] = None) -> None:
+        if base < 0 or bytes_per_second <= 0 or not 0 <= jitter < 1:
+            raise ValueError(
+                "need base >= 0, bytes_per_second > 0 and 0 <= jitter < 1"
+            )
+        self.base = float(base)
+        self.bytes_per_second = float(bytes_per_second)
+        self.jitter = float(jitter)
+        self._sizer = sizer
+
+    def _size_of(self, message: Any) -> int:
+        if self._sizer is not None:
+            return self._sizer(message)
+        if hasattr(message, "wire_size"):
+            return int(message.wire_size())
+        return 16 + len(repr(message))
+
+    def sample(self, src, dst, message, now, rng):
+        delay = self.base + self._size_of(message) / self.bytes_per_second
+        if self.jitter:
+            delay *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return delay
+
+    def describe(self) -> str:
+        return (f"size-dependent(base={self.base}s, "
+                f"{self.bytes_per_second:.0f} B/s, jitter={self.jitter})")
+
+
+@dataclass
+class DelayRule:
+    """One scripted rule: if ``matches`` accepts the message, apply ``delay``.
+
+    ``delay`` is either a float (seconds) or :data:`HOLD`.  Rules fire at most
+    ``max_uses`` times each (``None`` = unlimited), letting a script say
+    "the *first* PUT-DATA to s3 is slow" precisely.
+    """
+
+    matches: Callable[[ProcessId, ProcessId, Any], bool]
+    delay: Any
+    max_uses: Optional[int] = None
+    label: str = ""
+    _uses: int = field(default=0, repr=False)
+
+    def applies(self, src: ProcessId, dst: ProcessId, message: Any) -> bool:
+        if self.max_uses is not None and self._uses >= self.max_uses:
+            return False
+        return bool(self.matches(src, dst, message))
+
+    def consume(self):
+        self._uses += 1
+        return self.delay
+
+
+class RuleBasedDelays(DelayModel):
+    """First-match rule list with a fallback model.
+
+    Used to script the exact adversarial schedules of the paper's proofs,
+    e.g. Theorem 3: "the PUT-DATA of write ``w_i`` reaches server ``s_i``
+    quickly; every other PUT-DATA copy is held until after the read".
+    """
+
+    def __init__(self, rules: Optional[List[DelayRule]] = None,
+                 fallback: Optional[DelayModel] = None) -> None:
+        self.rules: List[DelayRule] = list(rules or [])
+        self.fallback = fallback or ConstantDelay(1.0)
+
+    def add_rule(self, matches: Callable[[ProcessId, ProcessId, Any], bool],
+                 delay: Any, max_uses: Optional[int] = None, label: str = "") -> DelayRule:
+        """Append a rule; later rules only fire if earlier ones do not match."""
+        rule = DelayRule(matches=matches, delay=delay, max_uses=max_uses, label=label)
+        self.rules.append(rule)
+        return rule
+
+    def hold(self, matches: Callable[[ProcessId, ProcessId, Any], bool],
+             label: str = "") -> DelayRule:
+        """Shorthand for a rule that holds matching messages."""
+        return self.add_rule(matches, HOLD, label=label)
+
+    def sample(self, src, dst, message, now, rng):
+        for rule in self.rules:
+            if rule.applies(src, dst, message):
+                return rule.consume()
+        return self.fallback.sample(src, dst, message, now, rng)
+
+    def describe(self) -> str:
+        return f"rules({len(self.rules)}) + {self.fallback.describe()}"

@@ -1,0 +1,121 @@
+"""Message-flow logging: see exactly what an execution did.
+
+An :class:`EventLog` taps the network and records every send and delivery
+with its simulated timestamp.  Use it to debug protocol issues, to render
+the adversarial schedules of the theorem scenarios, or to assert message
+patterns in tests::
+
+    log = EventLog.attach(system.sim)
+    system.run()
+    print(log.render())
+    assert log.count(kind="send", message_type="PutData") == 5
+
+Filtering is by direction ("send"/"deliver"), endpoints and message type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.types import ProcessId
+
+
+@dataclass(frozen=True)
+class LoggedEvent:
+    """One send or delivery."""
+
+    time: float
+    kind: str                      # "send" | "deliver"
+    src: ProcessId
+    dst: ProcessId
+    message_type: str
+    op_id: Optional[int]
+    detail: str
+
+    def format(self) -> str:
+        """One human-readable line."""
+        arrow = "->" if self.kind == "send" else "=>"
+        op = f"#{self.op_id}" if self.op_id is not None else ""
+        return (f"{self.time:10.3f}  {self.src:>6} {arrow} {self.dst:<6} "
+                f"{self.message_type}{op} {self.detail}")
+
+
+def _describe(message: Any) -> str:
+    parts = []
+    tag = getattr(message, "tag", None)
+    if tag is not None:
+        parts.append(f"tag={tag}")
+    payload = getattr(message, "payload", None)
+    if isinstance(payload, (bytes, bytearray)):
+        shown = bytes(payload[:16])
+        suffix = "..." if len(payload) > 16 else ""
+        parts.append(f"payload={shown!r}{suffix}")
+    elif payload is not None:
+        parts.append(f"payload={type(payload).__name__}")
+    register = getattr(message, "register", None)
+    if isinstance(register, str):
+        parts.append(f"register={register!r}")
+    return " ".join(parts)
+
+
+class EventLog:
+    """A chronological record of every message send and delivery."""
+
+    def __init__(self) -> None:
+        self.events: List[LoggedEvent] = []
+        self._clock = None
+
+    @classmethod
+    def attach(cls, simulator) -> "EventLog":
+        """Create a log wired into ``simulator``'s network."""
+        log = cls()
+        log._clock = simulator.clock
+
+        def on_send(src, dst, message):
+            log._record("send", src, dst, message)
+
+        def on_deliver(src, dst, message):
+            log._record("deliver", src, dst, message)
+
+        simulator.network.add_tap(on_send)
+        simulator.network.add_delivery_tap(on_deliver)
+        return log
+
+    def _record(self, kind: str, src: ProcessId, dst: ProcessId,
+                message: Any) -> None:
+        self.events.append(LoggedEvent(
+            time=self._clock.now if self._clock else 0.0,
+            kind=kind, src=src, dst=dst,
+            message_type=type(message).__name__,
+            op_id=getattr(message, "op_id", None),
+            detail=_describe(message),
+        ))
+
+    # -- querying -----------------------------------------------------------
+    def filter(self, kind: Optional[str] = None, src: Optional[ProcessId] = None,
+               dst: Optional[ProcessId] = None,
+               message_type: Optional[str] = None) -> List[LoggedEvent]:
+        """Events matching every given criterion."""
+        return [
+            event for event in self.events
+            if (kind is None or event.kind == kind)
+            and (src is None or event.src == src)
+            and (dst is None or event.dst == dst)
+            and (message_type is None or event.message_type == message_type)
+        ]
+
+    def count(self, **criteria) -> int:
+        """Number of events matching :meth:`filter` criteria."""
+        return len(self.filter(**criteria))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def render(self, limit: Optional[int] = None, **criteria) -> str:
+        """Multi-line textual log (optionally filtered and truncated)."""
+        selected = self.filter(**criteria) if criteria else list(self.events)
+        if limit is not None:
+            selected = selected[:limit]
+        header = f"{'time':>10}  {'from':>6}    {'to':<6} message"
+        return "\n".join([header] + [event.format() for event in selected])

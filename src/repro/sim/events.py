@@ -1,0 +1,84 @@
+"""Event queue for the discrete-event simulator.
+
+Events are ``(time, sequence, callback)`` triples kept in a binary heap.  The
+monotonically increasing sequence number breaks ties between events scheduled
+for the same instant, which makes execution order fully deterministic: two
+runs with the same seed produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, seq)``; the callback itself never participates in
+    comparisons (``compare=False``) so non-comparable callables are fine.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects.
+
+    Cancellation is lazy: cancelled events stay in the heap but are skipped
+    when popped, which keeps both ``schedule`` and ``cancel`` O(log n) / O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._cancelled: set = set()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def schedule(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Insert a callback to fire at simulated ``time``; returns the event."""
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        event = Event(time=time, seq=next(self._counter), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        key = (event.time, event.seq)
+        if key not in self._cancelled:
+            self._cancelled.add(key)
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event (``None`` if empty)."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and (self._heap[0].time, self._heap[0].seq) in self._cancelled:
+            dead = heapq.heappop(self._heap)
+            self._cancelled.discard((dead.time, dead.seq))

@@ -1,0 +1,85 @@
+"""Failure schedules: when and how processes fail during a run.
+
+A :class:`FailureSchedule` is a declarative list of failure injections that a
+driver applies to a simulator before the run starts.  Two kinds exist:
+
+* **Crash** at a given time (clients and servers).
+* **Byzantine from the start** (servers only) -- the server process is
+  replaced by a Byzantine wrapper from :mod:`repro.byzantine`.
+
+Random schedules are generated with a seeded RNG so failure experiments are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.sim.rng import SimRng
+from repro.types import FailureMode, ProcessId
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled failure."""
+
+    pid: ProcessId
+    mode: FailureMode
+    at_time: float = 0.0
+    behavior: Optional[str] = None  # Byzantine behaviour name, if applicable
+
+
+@dataclass
+class FailureSchedule:
+    """A set of failures to inject into one execution."""
+
+    events: List[FailureEvent] = field(default_factory=list)
+
+    def crash(self, pid: ProcessId, at_time: float) -> "FailureSchedule":
+        """Crash ``pid`` at simulated time ``at_time``."""
+        self.events.append(FailureEvent(pid=pid, mode=FailureMode.CRASH, at_time=at_time))
+        return self
+
+    def byzantine(self, pid: ProcessId, behavior: str = "silent") -> "FailureSchedule":
+        """Make server ``pid`` Byzantine with the named behaviour."""
+        self.events.append(
+            FailureEvent(pid=pid, mode=FailureMode.BYZANTINE, behavior=behavior)
+        )
+        return self
+
+    @property
+    def byzantine_ids(self) -> List[ProcessId]:
+        """IDs of all servers marked Byzantine."""
+        return [e.pid for e in self.events if e.mode is FailureMode.BYZANTINE]
+
+    @property
+    def crash_events(self) -> List[FailureEvent]:
+        """All crash injections, in schedule order."""
+        return [e for e in self.events if e.mode is FailureMode.CRASH]
+
+    def validate(self, f: int) -> None:
+        """Ensure the schedule respects the fault budget ``f`` for servers."""
+        byz = self.byzantine_ids
+        if len(byz) > f:
+            raise ValueError(
+                f"schedule marks {len(byz)} servers Byzantine but f={f}"
+            )
+
+
+def random_failure_schedule(servers: Sequence[ProcessId], f: int, rng: SimRng,
+                            behaviors: Sequence[str] = ("silent", "stale", "forge_tag"),
+                            byzantine_count: Optional[int] = None) -> FailureSchedule:
+    """Pick up to ``f`` random servers and assign each a random behaviour.
+
+    ``byzantine_count=None`` draws the count uniformly from ``[0, f]``.
+    """
+    if f > len(servers):
+        raise ValueError("f cannot exceed the number of servers")
+    count = rng.randint(0, f) if byzantine_count is None else byzantine_count
+    if count > f:
+        raise ValueError("byzantine_count cannot exceed f")
+    schedule = FailureSchedule()
+    for pid in rng.sample(list(servers), count):
+        schedule.byzantine(pid, rng.choice(list(behaviors)))
+    return schedule

@@ -1,0 +1,155 @@
+"""Reliable, reordering point-to-point network.
+
+Implements the channel model of Section II-A:
+
+* **Reliable**: messages are neither lost, duplicated, nor created.  Delivery
+  depends only on the destination being non-faulty -- a sender may crash
+  after the message is in the channel and delivery still happens.
+* **Reordering**: delays are per-message, so two messages on the same channel
+  may be delivered in either order.
+* **Authenticated**: the simulator always reports the true sender, modelling
+  the digital-signature assumption (a Byzantine server cannot impersonate
+  another process).
+
+The network also keeps byte/message accounting for the communication-cost
+experiments (E4) and supports *holds*: scripted adversarial schedules may
+park a message until explicitly released.  Holds model unbounded asynchrony,
+not loss -- :meth:`release_held` re-injects them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.sim.delays import DelayModel, ConstantDelay, HOLD
+from repro.sim.rng import SimRng
+from repro.types import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters, used by the cost experiments."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_held: int = 0
+    bytes_sent: int = 0
+    per_type_count: Dict[str, int] = field(default_factory=dict)
+    per_type_bytes: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, message: Any, size: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        kind = type(message).__name__
+        self.per_type_count[kind] = self.per_type_count.get(kind, 0) + 1
+        self.per_type_bytes[kind] = self.per_type_bytes.get(kind, 0) + size
+
+
+@dataclass
+class _HeldMessage:
+    src: ProcessId
+    dst: ProcessId
+    message: Any
+
+
+def default_sizer(message: Any) -> int:
+    """Approximate wire size of a message in bytes.
+
+    Messages may override this by exposing a ``wire_size()`` method; the
+    fallback charges a fixed small header plus the repr length, which is a
+    stable, implementation-independent proxy adequate for *relative*
+    communication-cost comparisons (replication vs MDS coding).
+    """
+    if hasattr(message, "wire_size"):
+        return int(message.wire_size())
+    return 16 + len(repr(message))
+
+
+class Network:
+    """The message fabric connecting all simulated processes."""
+
+    def __init__(self, simulator: "Simulator", delay_model: Optional[DelayModel] = None,
+                 rng: Optional[SimRng] = None,
+                 sizer: Callable[[Any], int] = default_sizer) -> None:
+        self._simulator = simulator
+        self.delay_model = delay_model or ConstantDelay(1.0)
+        self._rng = rng or SimRng(0, "network")
+        self._sizer = sizer
+        self.stats = NetworkStats()
+        self._held: List[_HeldMessage] = []
+        self._taps: List[Callable[[ProcessId, ProcessId, Any], None]] = []
+        self._delivery_taps: List[Callable[[ProcessId, ProcessId, Any], None]] = []
+
+    def add_tap(self, tap: Callable[[ProcessId, ProcessId, Any], None]) -> None:
+        """Register an observer called for every sent message (for tests)."""
+        self._taps.append(tap)
+
+    def add_delivery_tap(self, tap: Callable[[ProcessId, ProcessId, Any], None]) -> None:
+        """Register an observer called for every *delivered* message."""
+        self._delivery_taps.append(tap)
+
+    def send(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
+        """Put ``message`` on the channel from ``src`` to ``dst``.
+
+        The message is scheduled for delivery after a delay drawn from the
+        delay model, or parked if the model returns :data:`HOLD`.
+        """
+        self.stats.record(message, self._sizer(message))
+        for tap in self._taps:
+            tap(src, dst, message)
+        delay = self.delay_model.sample(src, dst, message, self._simulator.now, self._rng)
+        if delay is HOLD:
+            self.stats.messages_held += 1
+            self._held.append(_HeldMessage(src, dst, message))
+            return
+        if delay < 0:
+            raise ValueError(f"delay model produced negative delay {delay}")
+        self._simulator.schedule(
+            delay,
+            lambda: self._deliver(src, dst, message),
+            label=f"deliver {type(message).__name__} {src}->{dst}",
+        )
+
+    @property
+    def held_count(self) -> int:
+        """Number of messages currently parked by HOLD rules."""
+        return len(self._held)
+
+    def release_held(self, predicate: Optional[Callable[[ProcessId, ProcessId, Any], bool]] = None,
+                     delay: float = 0.0) -> int:
+        """Re-inject held messages matching ``predicate`` (default: all).
+
+        Returns the number of messages released.  Channels stay reliable:
+        every held message is eventually releasable, and
+        :meth:`Simulator.run` flushes remaining holds at the horizon when
+        asked to.
+        """
+        released, kept = [], []
+        for held in self._held:
+            if predicate is None or predicate(held.src, held.dst, held.message):
+                released.append(held)
+            else:
+                kept.append(held)
+        self._held = kept
+        for held in released:
+            self._simulator.schedule(
+                delay,
+                lambda h=held: self._deliver(h.src, h.dst, h.message),
+                label=f"release {type(held.message).__name__} {held.src}->{held.dst}",
+            )
+        return len(released)
+
+    def _deliver(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
+        process = self._simulator.processes.get(dst)
+        if process is None or process.crashed:
+            # Delivery "depends only on whether the destination is non-faulty";
+            # a crashed destination silently absorbs the message.
+            return
+        self.stats.messages_delivered += 1
+        for tap in self._delivery_taps:
+            tap(src, dst, message)
+        process.on_message(src, message)

@@ -1,0 +1,115 @@
+"""Network partitions: block traffic between process groups, then heal.
+
+A :class:`PartitionManager` wraps a simulator's delay model.  While a
+partition is active, messages crossing between its groups are *held* (not
+dropped -- the model's channels are reliable, so healing releases them).
+This matches how the paper's asynchrony bounds behave in practice: a
+partition is indistinguishable from very slow links until it heals.
+
+Usage::
+
+    partitions = PartitionManager.install(system.sim)
+    partitions.partition_at(10.0, [{"s000", "s001"}, {"s002", "s003", "s004"}])
+    partitions.heal_at(50.0)
+
+Clients not mentioned in any group can reach every side (the common
+"clients keep multi-homed connectivity" deployment); put a client in a
+group to strand it on that side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Set
+
+from repro.sim.delays import DelayModel, HOLD, ConstantDelay
+from repro.types import ProcessId
+
+
+class _PartitionedDelays(DelayModel):
+    """Delay wrapper that holds cross-partition messages."""
+
+    def __init__(self, inner: DelayModel, manager: "PartitionManager") -> None:
+        self.inner = inner
+        self.manager = manager
+
+    def sample(self, src, dst, message, now, rng):
+        if self.manager.separated(src, dst):
+            return HOLD
+        return self.inner.sample(src, dst, message, now, rng)
+
+    def describe(self) -> str:
+        return f"partitionable({self.inner.describe()})"
+
+
+class PartitionManager:
+    """Schedule partitions and heals on a simulator."""
+
+    def __init__(self, simulator) -> None:
+        self._simulator = simulator
+        self._groups: List[Set[ProcessId]] = []
+
+    @classmethod
+    def install(cls, simulator) -> "PartitionManager":
+        """Wrap the simulator's delay model with partition awareness."""
+        manager = cls(simulator)
+        simulator.network.delay_model = _PartitionedDelays(
+            simulator.network.delay_model or ConstantDelay(1.0), manager,
+        )
+        return manager
+
+    # -- state -----------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether a partition is currently in force."""
+        return bool(self._groups)
+
+    def separated(self, src: ProcessId, dst: ProcessId) -> bool:
+        """Whether the active partition blocks ``src`` -> ``dst``.
+
+        Processes in no group are multi-homed: they reach everyone.
+        """
+        if not self._groups:
+            return False
+        src_group = self._group_of(src)
+        dst_group = self._group_of(dst)
+        if src_group is None or dst_group is None:
+            return False
+        return src_group != dst_group
+
+    def _group_of(self, pid: ProcessId) -> Optional[int]:
+        for index, group in enumerate(self._groups):
+            if pid in group:
+                return index
+        return None
+
+    # -- control ------------------------------------------------------------
+    def partition_now(self, groups: Sequence[Iterable[ProcessId]]) -> None:
+        """Split the network into ``groups`` immediately."""
+        materialized = [set(group) for group in groups if group]
+        if len(materialized) < 2:
+            raise ValueError("a partition needs at least two non-empty groups")
+        seen: Set[ProcessId] = set()
+        for group in materialized:
+            overlap = seen & group
+            if overlap:
+                raise ValueError(f"processes {overlap} appear in two groups")
+            seen |= group
+        self._groups = materialized
+
+    def heal_now(self) -> int:
+        """Remove the partition and release every held cross-group message."""
+        self._groups = []
+        return self._simulator.network.release_held()
+
+    def partition_at(self, time: float,
+                     groups: Sequence[Iterable[ProcessId]]) -> None:
+        """Schedule :meth:`partition_now` at simulated ``time``."""
+        materialized = [list(group) for group in groups]
+        self._simulator.schedule_at(
+            time, lambda: self.partition_now(materialized),
+            label="partition",
+        )
+
+    def heal_at(self, time: float) -> None:
+        """Schedule :meth:`heal_now` at simulated ``time``."""
+        self._simulator.schedule_at(time, self.heal_now, label="heal")

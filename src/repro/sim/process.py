@@ -1,0 +1,81 @@
+"""Process model for the simulator.
+
+A :class:`Process` is a deterministic reactive state machine: it receives
+messages (and timer callbacks) and emits messages through its
+:class:`ProcessContext`.  All protocol implementations in :mod:`repro.core`
+are written against this interface, so the exact same algorithm code runs in
+the simulator and -- via an adapter -- on the asyncio runtime.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Iterable, Optional, TYPE_CHECKING
+
+from repro.types import Envelope, ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+
+class ProcessContext:
+    """Capabilities the simulator hands to each process.
+
+    Processes use the context to read the clock, send messages, and set
+    timers.  They never touch the simulator directly, which keeps protocol
+    code portable between the simulated and real runtimes.
+    """
+
+    def __init__(self, simulator: "Simulator", pid: ProcessId) -> None:
+        self._simulator = simulator
+        self.pid = pid
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._simulator.now
+
+    def send(self, dst: ProcessId, message: Any) -> None:
+        """Send ``message`` to process ``dst`` over the reliable channel."""
+        self._simulator.network.send(self.pid, dst, message)
+
+    def send_all(self, envelopes: Iterable[Envelope]) -> None:
+        """Send a batch of ``(dst, message)`` pairs."""
+        for dst, message in envelopes:
+            self.send(dst, message)
+
+    def set_timer(self, delay: float, callback: Callable[[], None], label: str = ""):
+        """Schedule ``callback`` to run after ``delay`` simulated seconds."""
+        return self._simulator.schedule(delay, callback, label=label or f"timer@{self.pid}")
+
+    def cancel_timer(self, event) -> None:
+        """Cancel a timer previously created with :meth:`set_timer`."""
+        self._simulator.cancel(event)
+
+
+class Process(abc.ABC):
+    """Base class for all simulated processes."""
+
+    def __init__(self, pid: ProcessId) -> None:
+        self.pid = pid
+        self.ctx: Optional[ProcessContext] = None
+        self.crashed = False
+
+    def bind(self, ctx: ProcessContext) -> None:
+        """Attach the simulator-provided context (called once at setup)."""
+        self.ctx = ctx
+
+    def on_start(self) -> None:
+        """Hook invoked when the simulation starts (default: nothing)."""
+
+    @abc.abstractmethod
+    def on_message(self, sender: ProcessId, message: Any) -> None:
+        """Handle one delivered message."""
+
+    def crash(self) -> None:
+        """Mark the process crashed; the network stops delivering to/from it."""
+        self.crashed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "crashed" if self.crashed else "up"
+        return f"{type(self).__name__}({self.pid}, {status})"

@@ -1,0 +1,134 @@
+"""Execution traces: invocation/response records for consistency checking.
+
+The consistency definitions of the paper (Definitions 1 and 2) are stated
+over *complete operations in an execution*.  A :class:`Trace` is exactly that
+execution record: every operation's invocation time, response time (or None
+if the client crashed mid-operation), kind, value and tag.
+
+Checkers in :mod:`repro.consistency` consume traces; simulation drivers
+produce them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional
+
+from repro.types import ProcessId
+
+
+class OpKind(enum.Enum):
+    """Kind of register operation."""
+
+    READ = "read"
+    WRITE = "write"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class OperationRecord:
+    """One operation's lifetime in an execution.
+
+    ``value`` is the value written (for writes) or returned (for reads).
+    ``tag`` is the protocol tag associated with the operation when the
+    algorithm exposes one; checkers never rely on it for correctness, only
+    for diagnostics.
+    """
+
+    op_id: int
+    client: ProcessId
+    kind: OpKind
+    invoked_at: float
+    responded_at: Optional[float] = None
+    value: Any = None
+    tag: Any = None
+    rounds: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """Whether the operation has a matching response event."""
+        return self.responded_at is not None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Response minus invocation time, or ``None`` if incomplete."""
+        if self.responded_at is None:
+            return None
+        return self.responded_at - self.invoked_at
+
+    def precedes(self, other: "OperationRecord") -> bool:
+        """Real-time precedence: this op's response before the other's invoke."""
+        return self.complete and self.responded_at <= other.invoked_at
+
+    def concurrent_with(self, other: "OperationRecord") -> bool:
+        """Neither operation precedes the other."""
+        return not self.precedes(other) and not other.precedes(self)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        end = f"{self.responded_at:.3f}" if self.complete else "…"
+        return (f"{self.kind}#{self.op_id}@{self.client}"
+                f"[{self.invoked_at:.3f},{end}] value={self.value!r}")
+
+
+class Trace:
+    """Mutable collection of operation records for one execution."""
+
+    def __init__(self) -> None:
+        self._ops: List[OperationRecord] = []
+        self._ids = itertools.count()
+
+    def begin(self, client: ProcessId, kind: OpKind, invoked_at: float,
+              value: Any = None) -> OperationRecord:
+        """Record an invocation; returns the (open) record."""
+        record = OperationRecord(
+            op_id=next(self._ids), client=client, kind=kind,
+            invoked_at=invoked_at, value=value,
+        )
+        self._ops.append(record)
+        return record
+
+    def complete(self, record: OperationRecord, responded_at: float,
+                 value: Any = None, tag: Any = None, rounds: int = 0) -> None:
+        """Record the matching response for ``record``."""
+        record.responded_at = responded_at
+        if record.kind is OpKind.READ:
+            record.value = value
+        if tag is not None:
+            record.tag = tag
+        record.rounds = rounds
+
+    def __iter__(self) -> Iterator[OperationRecord]:
+        return iter(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @property
+    def operations(self) -> List[OperationRecord]:
+        """All records, in invocation order."""
+        return list(self._ops)
+
+    @property
+    def completed(self) -> List[OperationRecord]:
+        """Only records with a matching response."""
+        return [op for op in self._ops if op.complete]
+
+    def reads(self, completed_only: bool = True) -> List[OperationRecord]:
+        """All read records (complete ones by default)."""
+        return [op for op in self._ops if op.kind is OpKind.READ
+                and (op.complete or not completed_only)]
+
+    def writes(self, completed_only: bool = False) -> List[OperationRecord]:
+        """All write records; incomplete writes are included by default
+        because safety quantifies over writes that *began*."""
+        return [op for op in self._ops if op.kind is OpKind.WRITE
+                and (op.complete or not completed_only)]
+
+    def format(self) -> str:
+        """Multi-line human-readable dump of the execution."""
+        return "\n".join(str(op) for op in self._ops)

@@ -1,0 +1,25 @@
+"""Wire formats shared by the simulator and the asyncio runtime.
+
+* :mod:`repro.transport.codec` -- JSON serialization of every protocol
+  message, with length-prefixed framing for TCP streams.
+* :mod:`repro.transport.auth` -- HMAC-SHA256 message authentication,
+  realising the model's "digital signatures" assumption (Section II-A): a
+  Byzantine server cannot impersonate another process.
+"""
+
+from repro.transport.auth import Authenticator, KeyChain
+from repro.transport.codec import (
+    decode_message,
+    encode_message,
+    read_frame,
+    write_frame,
+)
+
+__all__ = [
+    "encode_message",
+    "decode_message",
+    "read_frame",
+    "write_frame",
+    "Authenticator",
+    "KeyChain",
+]

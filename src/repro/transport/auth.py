@@ -1,0 +1,102 @@
+"""HMAC-SHA256 message authentication.
+
+The system model assumes channels "provide message authentication using
+digital signatures", preventing Byzantine servers from spreading
+misinformation about a message's sender.  The asyncio runtime realises this
+with per-process HMAC keys: every process holds its own signing key, and
+every verifier knows every process's key (a symmetric stand-in for a PKI --
+adequate because the model's adversary forges *senders*, not arbitrary
+third-party messages).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict, Iterable
+
+from repro.errors import AuthenticationError
+from repro.types import ProcessId
+
+
+class KeyChain:
+    """Per-process signing keys, derivable from one cluster secret.
+
+    When built :meth:`from_secret`, keys for processes not seen before are
+    derived on demand -- every cluster member can then verify any process
+    that knows the secret, without pre-registering the full client roster.
+    """
+
+    def __init__(self, keys: Dict[ProcessId, bytes],
+                 secret: bytes = None) -> None:
+        self._keys = dict(keys)
+        self._secret = secret
+
+    @classmethod
+    def from_secret(cls, secret: bytes,
+                    processes: Iterable[ProcessId] = ()) -> "KeyChain":
+        """Derive one key per process from a shared cluster secret."""
+        keys = {
+            pid: cls._derive(secret, pid)
+            for pid in processes
+        }
+        return cls(keys, secret=secret)
+
+    @staticmethod
+    def _derive(secret: bytes, pid: ProcessId) -> bytes:
+        return hashlib.sha256(secret + b"|" + pid.encode()).digest()
+
+    def key_for(self, pid: ProcessId) -> bytes:
+        """The signing key of ``pid``; derives it when a secret is set."""
+        if pid not in self._keys:
+            if self._secret is None:
+                raise AuthenticationError(f"no key registered for {pid!r}")
+            self._keys[pid] = self._derive(self._secret, pid)
+        return self._keys[pid]
+
+    def add(self, pid: ProcessId, key: bytes) -> None:
+        """Register (or rotate) a process key."""
+        self._keys[pid] = key
+
+    def __contains__(self, pid: ProcessId) -> bool:
+        return pid in self._keys
+
+
+class Authenticator:
+    """Signs and verifies framed messages with HMAC-SHA256."""
+
+    def __init__(self, keychain: KeyChain) -> None:
+        self.keychain = keychain
+
+    def sign(self, sender: ProcessId, payload: bytes) -> bytes:
+        """MAC over ``sender || payload`` with the sender's key."""
+        key = self.keychain.key_for(sender)
+        return hmac.new(key, sender.encode() + b"|" + payload, hashlib.sha256).digest()
+
+    def verify(self, sender: ProcessId, payload: bytes, signature: bytes) -> None:
+        """Raise :class:`AuthenticationError` unless the MAC checks out."""
+        expected = self.sign(sender, payload)
+        if not hmac.compare_digest(expected, signature):
+            raise AuthenticationError(
+                f"bad signature on message claiming to be from {sender!r}"
+            )
+
+    def seal(self, sender: ProcessId, payload: bytes) -> bytes:
+        """Produce a self-contained signed envelope: sender|sig|payload."""
+        signature = self.sign(sender, payload)
+        sender_bytes = sender.encode()
+        return (len(sender_bytes).to_bytes(2, "big") + sender_bytes
+                + signature + payload)
+
+    def open(self, sealed: bytes) -> tuple:
+        """Verify a sealed envelope; returns ``(sender, payload)``."""
+        if len(sealed) < 2:
+            raise AuthenticationError("truncated envelope")
+        name_len = int.from_bytes(sealed[:2], "big")
+        if len(sealed) < 2 + name_len + 32:
+            raise AuthenticationError("truncated envelope")
+        sender = sealed[2:2 + name_len].decode()
+        signature = sealed[2 + name_len:2 + name_len + 32]
+        payload = sealed[2 + name_len + 32:]
+        self.verify(sender, payload, signature)
+        return sender, payload

@@ -1,0 +1,129 @@
+"""Message serialization and stream framing.
+
+Every protocol message (a frozen dataclass from
+:mod:`repro.core.messages`) round-trips through JSON:
+
+* ``Tag`` -> ``[num, writer]``
+* ``bytes`` -> ``{"__b64__": ...}``
+* ``TaggedValue`` -> ``{"__tv__": [tag, value]}``
+* ``CodedElement`` -> ``{"__ce__": [index, data]}``
+
+Frames on a TCP stream are a 4-byte big-endian length followed by the JSON
+payload.  The frame size is capped to keep a malicious peer from forcing an
+unbounded allocation.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+from typing import Any, Dict
+
+from repro.core import messages as message_module
+from repro.core.namespace import NamespacedMessage
+from repro.core.tags import Tag, TaggedValue
+from repro.erasure.striping import CodedElement
+from repro.errors import ProtocolError
+
+#: Upper bound on a single frame (16 MiB).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: name -> message dataclass, discovered from the messages module.
+MESSAGE_TYPES: Dict[str, type] = {
+    name: obj for name, obj in vars(message_module).items()
+    if isinstance(obj, type) and dataclasses.is_dataclass(obj)
+    and issubclass(obj, message_module.BaseMessage)
+}
+MESSAGE_TYPES["NamespacedMessage"] = NamespacedMessage
+
+
+def _to_jsonable(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and type(value).__name__ in MESSAGE_TYPES:
+        # Nested protocol message (e.g. inside a NamespacedMessage).
+        return {"__msg__": json.loads(encode_message(value).decode())}
+    if isinstance(value, Tag):
+        return {"__tag__": [value.num, value.writer]}
+    if isinstance(value, (bytes, bytearray)):
+        return {"__b64__": base64.b64encode(bytes(value)).decode("ascii")}
+    if isinstance(value, TaggedValue):
+        return {"__tv__": [_to_jsonable(value.tag), _to_jsonable(value.value)]}
+    if isinstance(value, CodedElement):
+        return {"__ce__": [value.index, _to_jsonable(value.data)]}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _to_jsonable(item) for key, item in value.items()}
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise ProtocolError(f"cannot serialize {type(value).__name__}: {value!r}")
+
+
+def _from_jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__msg__" in value:
+            return decode_message(json.dumps(value["__msg__"]).encode())
+        if "__tag__" in value:
+            num, writer = value["__tag__"]
+            return Tag(int(num), str(writer))
+        if "__b64__" in value:
+            return base64.b64decode(value["__b64__"])
+        if "__tv__" in value:
+            tag, inner = value["__tv__"]
+            return TaggedValue(_from_jsonable(tag), _from_jsonable(inner))
+        if "__ce__" in value:
+            index, data = value["__ce__"]
+            return CodedElement(int(index), _from_jsonable(data))
+        return {key: _from_jsonable(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_from_jsonable(item) for item in value]
+    return value
+
+
+def encode_message(message: Any) -> bytes:
+    """Serialize one protocol message to JSON bytes."""
+    cls_name = type(message).__name__
+    if cls_name not in MESSAGE_TYPES:
+        raise ProtocolError(f"{cls_name} is not a registered message type")
+    fields = {
+        f.name: _to_jsonable(getattr(message, f.name))
+        for f in dataclasses.fields(message)
+    }
+    return json.dumps({"type": cls_name, "fields": fields},
+                      separators=(",", ":")).encode()
+
+
+def decode_message(data: bytes) -> Any:
+    """Inverse of :func:`encode_message`; raises ProtocolError on garbage."""
+    try:
+        parsed = json.loads(data.decode())
+        cls = MESSAGE_TYPES[parsed["type"]]
+        raw_fields = parsed["fields"]
+        fields = {key: _from_jsonable(value) for key, value in raw_fields.items()}
+        decoded = cls(**fields)
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"malformed message: {exc}") from exc
+    # Tuples flatten to lists in JSON; restore for frozen-dataclass equality.
+    for field in dataclasses.fields(decoded):
+        value = getattr(decoded, field.name)
+        if isinstance(value, list):
+            object.__setattr__(decoded, field.name, tuple(value))
+    return decoded
+
+
+async def read_frame(reader) -> bytes:
+    """Read one length-prefixed frame from an asyncio StreamReader."""
+    header = await reader.readexactly(4)
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the cap")
+    return await reader.readexactly(length)
+
+
+def write_frame(writer, payload: bytes) -> None:
+    """Write one length-prefixed frame to an asyncio StreamWriter."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds the cap")
+    writer.write(len(payload).to_bytes(4, "big") + payload)

@@ -1,0 +1,118 @@
+"""Shared primitive types used across the library.
+
+The paper's system model (Section II-A) has three process roles -- readers,
+writers and servers -- each with a unique identifier drawn from a totally
+ordered set.  We use plain strings for identifiers (lexicographic order gives
+the required total order) and small dataclasses/enums for everything else.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+#: A process identifier.  The paper only requires that the union of reader,
+#: writer and server IDs is totally ordered; strings compared lexicographically
+#: satisfy that.
+ProcessId = str
+
+#: A (destination, message) pair emitted by a protocol state machine.
+Envelope = Tuple[ProcessId, Any]
+
+
+class Role(enum.Enum):
+    """The three process roles of the system model (Section II-A)."""
+
+    READER = "reader"
+    WRITER = "writer"
+    SERVER = "server"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class FailureMode(enum.Enum):
+    """How a process may misbehave.
+
+    Servers may be Byzantine (arbitrary behaviour); clients may only crash
+    (Section II-A: "All clients may suffer crash failures; otherwise, they
+    follow the protocol specification").
+    """
+
+    CORRECT = "correct"
+    CRASH = "crash"
+    BYZANTINE = "byzantine"
+
+
+def server_id(index: int) -> ProcessId:
+    """Canonical server identifier for server ``index`` (zero-based)."""
+    return f"s{index:03d}"
+
+
+def writer_id(index: int) -> ProcessId:
+    """Canonical writer identifier for writer ``index`` (zero-based)."""
+    return f"w{index:03d}"
+
+
+def reader_id(index: int) -> ProcessId:
+    """Canonical reader identifier for reader ``index`` (zero-based)."""
+    return f"r{index:03d}"
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Static description of a register deployment.
+
+    Parameters
+    ----------
+    n:
+        Number of servers.
+    f:
+        Maximum number of Byzantine-faulty servers tolerated.
+    num_writers / num_readers:
+        Client population sizes; used by simulation drivers to mint IDs.
+    """
+
+    n: int
+    f: int
+    num_writers: int = 1
+    num_readers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"need at least one server, got n={self.n}")
+        if self.f < 0:
+            raise ValueError(f"f must be non-negative, got f={self.f}")
+        if self.num_writers < 0 or self.num_readers < 0:
+            raise ValueError("client counts must be non-negative")
+
+    @property
+    def servers(self) -> Tuple[ProcessId, ...]:
+        """IDs of all servers, in index order."""
+        return tuple(server_id(i) for i in range(self.n))
+
+    @property
+    def writers(self) -> Tuple[ProcessId, ...]:
+        """IDs of all writers, in index order."""
+        return tuple(writer_id(i) for i in range(self.num_writers))
+
+    @property
+    def readers(self) -> Tuple[ProcessId, ...]:
+        """IDs of all readers, in index order."""
+        return tuple(reader_id(i) for i in range(self.num_readers))
+
+    @property
+    def quorum(self) -> int:
+        """The reply count every operation waits for: ``n - f`` (Lemma 6)."""
+        return self.n - self.f
+
+
+@dataclass
+class Measurement:
+    """A single scalar measurement with a label, used by metric reports."""
+
+    name: str
+    value: float
+    unit: str = ""
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,23 @@
+"""Workload generation for throughput/latency experiments.
+
+The paper motivates semi-fast registers with read-dominated workloads
+(Section I-A cites Facebook's ~99.8 % read share).  This package produces
+reproducible operation schedules -- op mix, arrival process, value sizes --
+that drivers replay against any :class:`repro.core.register.RegisterSystem`.
+"""
+
+from repro.workloads.generator import (
+    ScheduledOp,
+    WorkloadSpec,
+    apply_schedule,
+    generate_schedule,
+    TAO_READ_RATIO,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "ScheduledOp",
+    "generate_schedule",
+    "apply_schedule",
+    "TAO_READ_RATIO",
+]

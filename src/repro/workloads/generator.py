@@ -1,0 +1,153 @@
+"""Reproducible operation schedules.
+
+A :class:`WorkloadSpec` describes the statistical shape of a workload;
+:func:`generate_schedule` turns it into a concrete list of
+:class:`ScheduledOp` (deterministic given the RNG), and
+:func:`apply_schedule` replays that list onto a register system.  Keeping
+the three stages separate lets one schedule drive *different algorithms* in
+a comparison experiment -- same operations, same instants, same values.
+
+Written values are unique (a sequence number embedded in the payload) so
+the consistency checkers can map every read back to the write that produced
+its value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.sim.rng import SimRng
+from repro.types import ProcessId
+
+#: Read share measured across Facebook's TAO workloads (paper, fn. 1).
+TAO_READ_RATIO = 0.998
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One operation of a concrete schedule."""
+
+    kind: str              # "read" | "write"
+    client_index: int      # index into the system's readers or writers
+    at: float              # invocation time (simulated seconds)
+    value: Optional[bytes] = None  # writes only
+    register: Optional[str] = None  # named register (namespaced systems)
+
+
+@dataclass
+class WorkloadSpec:
+    """Statistical description of a workload.
+
+    Parameters
+    ----------
+    num_ops:
+        Total operations to schedule.
+    read_ratio:
+        Fraction of operations that are reads (0..1).
+    value_size:
+        Payload size of written values in bytes.  Values are padded to this
+        size around a unique sequence header.
+    mean_interarrival:
+        Mean gap between consecutive operation *submissions* (exponential),
+        in simulated seconds.  Note that a client busy with a previous
+        operation queues the next one (clients are sequential).
+    num_writers / num_readers:
+        Client pool sizes operations are spread over (round-robin by
+        default, random with ``randomize_clients``).
+    randomize_clients:
+        Pick the issuing client uniformly at random instead of round-robin.
+    num_keys / key_skew:
+        When ``num_keys > 1`` each operation targets a named register
+        ``key-<i>`` drawn Zipf(key_skew) -- the hot-key pattern of KV
+        workloads.  Requires a namespaced system to take effect.
+    """
+
+    num_ops: int = 200
+    read_ratio: float = 0.9
+    value_size: int = 64
+    mean_interarrival: float = 1.0
+    num_writers: int = 2
+    num_readers: int = 4
+    randomize_clients: bool = True
+    num_keys: int = 1
+    key_skew: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ValueError("read_ratio must be within [0, 1]")
+        if self.num_ops < 0 or self.value_size < 0:
+            raise ValueError("num_ops and value_size must be non-negative")
+        if self.mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+        if self.num_writers < 1 or self.num_readers < 1:
+            raise ValueError("need at least one writer and one reader")
+        if self.num_keys < 1 or self.key_skew < 0:
+            raise ValueError("num_keys must be >= 1 and key_skew >= 0")
+
+
+def make_value(sequence: int, size: int) -> bytes:
+    """A unique payload of (at least) ``size`` bytes for write ``sequence``.
+
+    The sequence number leads the payload and is never truncated --
+    uniqueness is what lets the consistency checkers map a read back to the
+    write that produced its value, so it takes priority over exact sizing
+    for very small ``size`` values.
+    """
+    header = f"{sequence:010d}-".encode()
+    if size <= len(header):
+        return header
+    return header + b"x" * (size - len(header))
+
+
+def generate_schedule(spec: WorkloadSpec, rng: SimRng,
+                      start_at: float = 0.0) -> List[ScheduledOp]:
+    """Produce a deterministic schedule from ``spec`` and ``rng``."""
+    schedule: List[ScheduledOp] = []
+    now = start_at
+    write_seq = 0
+    next_writer = 0
+    next_reader = 0
+    for _ in range(spec.num_ops):
+        now += rng.expovariate(1.0 / spec.mean_interarrival)
+        register = None
+        if spec.num_keys > 1:
+            register = f"key-{rng.zipf_index(spec.num_keys, spec.key_skew):04d}"
+        if rng.random() < spec.read_ratio:
+            if spec.randomize_clients:
+                client = rng.randint(0, spec.num_readers - 1)
+            else:
+                client, next_reader = next_reader, (next_reader + 1) % spec.num_readers
+            schedule.append(ScheduledOp(kind="read", client_index=client,
+                                        at=now, register=register))
+        else:
+            if spec.randomize_clients:
+                client = rng.randint(0, spec.num_writers - 1)
+            else:
+                client, next_writer = next_writer, (next_writer + 1) % spec.num_writers
+            value = make_value(write_seq, spec.value_size)
+            write_seq += 1
+            schedule.append(ScheduledOp(kind="write", client_index=client,
+                                        at=now, value=value, register=register))
+    return schedule
+
+
+def apply_schedule(system, schedule: Sequence[ScheduledOp]) -> List:
+    """Submit every scheduled op to ``system``; returns the handles.
+
+    ``system`` is any object with ``write(value, writer=..., at=...)`` and
+    ``read(reader=..., at=...)`` -- in practice a
+    :class:`repro.core.register.RegisterSystem`.
+    """
+    handles = []
+    for op in schedule:
+        kwargs = {}
+        if op.register is not None:
+            kwargs["register"] = op.register
+        if op.kind == "write":
+            handles.append(system.write(op.value, writer=op.client_index,
+                                        at=op.at, **kwargs))
+        else:
+            handles.append(system.read(reader=op.client_index, at=op.at,
+                                       **kwargs))
+    return handles

@@ -1,0 +1,71 @@
+"""Unit tests for the ABD crash-tolerant baseline."""
+
+import pytest
+
+from repro.baselines.abd import (
+    ABDReadOperation,
+    ABDServer,
+    ABDWriteOperation,
+    validate_abd_config,
+)
+from repro.core.messages import DataReply, PutAck, PutData, QueryTag, TagReply
+from repro.core.tags import TAG_ZERO, Tag
+from repro.errors import QuorumError
+
+SERVERS = [f"s{i:03d}" for i in range(3)]  # n=3, f=1
+F = 1
+
+
+def test_config_validation():
+    validate_abd_config(3, 1)
+    with pytest.raises(QuorumError):
+        validate_abd_config(2, 1)
+
+
+def test_write_uses_plain_max_tag():
+    op = ABDWriteOperation("w000", SERVERS, F, b"v")
+    op.start()
+    op.on_reply(SERVERS[0], TagReply(op_id=op.op_id, tag=Tag(4, "w9")))
+    out = op.on_reply(SERVERS[1], TagReply(op_id=op.op_id, tag=Tag(2, "w3")))
+    # crash model: max (not (f+1)-th highest) -> 4 + 1
+    assert out[0][1].tag == Tag(5, "w000")
+
+
+def test_write_completes_on_majority_acks():
+    op = ABDWriteOperation("w000", SERVERS, F, b"v")
+    op.start()
+    for sid in SERVERS[:2]:
+        op.on_reply(sid, TagReply(op_id=op.op_id, tag=TAG_ZERO))
+    for sid in SERVERS[:2]:
+        op.on_reply(sid, PutAck(op_id=op.op_id, tag=Tag(1, "w000")))
+    assert op.done and op.rounds == 2
+
+
+def test_read_writes_back_before_returning():
+    op = ABDReadOperation("r000", SERVERS, F)
+    op.start()
+    tag = Tag(3, "w001")
+    op.on_reply(SERVERS[0], DataReply(op_id=op.op_id, tag=tag, payload=b"x"))
+    out = op.on_reply(SERVERS[1], DataReply(op_id=op.op_id, tag=TAG_ZERO,
+                                            payload=b""))
+    # phase 2: write-back of the max pair
+    assert all(isinstance(m, PutData) and m.tag == tag for _, m in out)
+    assert not op.done
+    for sid in SERVERS[:2]:
+        op.on_reply(sid, PutAck(op_id=op.op_id, tag=tag))
+    assert op.done and op.result == b"x" and op.rounds == 2
+
+
+def test_abd_server_is_a_bsr_server():
+    from repro.core.bsr import BSRServer
+    assert issubclass(ABDServer, BSRServer)
+
+
+def test_read_ignores_acks_for_other_tags():
+    op = ABDReadOperation("r000", SERVERS, F)
+    op.start()
+    tag = Tag(1, "w000")
+    for sid in SERVERS[:2]:
+        op.on_reply(sid, DataReply(op_id=op.op_id, tag=tag, payload=b"v"))
+    op.on_reply(SERVERS[0], PutAck(op_id=op.op_id, tag=Tag(9, "zz")))
+    assert not op.done

@@ -1,0 +1,106 @@
+"""Unit tests for the Bracha reliable-broadcast state machine."""
+
+import pytest
+
+from repro.broadcast.bracha import (
+    BrachaInstance,
+    deliver_threshold,
+    echo_threshold,
+    ready_amplify_threshold,
+)
+from repro.errors import ConfigurationError
+
+PEERS = [f"s{i}" for i in range(4)]  # n=4, f=1
+F = 1
+KEY = ("w000", 1)
+
+
+def make_instance(me="s0"):
+    return BrachaInstance(me, PEERS, F)
+
+
+def test_thresholds():
+    assert echo_threshold(4, 1) == 3
+    assert ready_amplify_threshold(1) == 2
+    assert deliver_threshold(1) == 3
+
+
+def test_requires_3f_plus_1_peers():
+    with pytest.raises(ConfigurationError):
+        BrachaInstance("s0", ["s0", "s1", "s2"], 1)
+
+
+def test_server_must_be_a_peer():
+    with pytest.raises(ConfigurationError):
+        BrachaInstance("outsider", PEERS, F)
+
+
+def test_send_triggers_single_echo():
+    instance = make_instance()
+    assert instance.on_send(KEY, "m") == [("broadcast", "echo", "m")]
+    assert instance.on_send(KEY, "m") == []  # echo only once
+
+
+def test_echo_threshold_triggers_ready():
+    instance = make_instance()
+    assert instance.on_echo(KEY, "m", "s1") == []
+    assert instance.on_echo(KEY, "m", "s2") == []
+    assert instance.on_echo(KEY, "m", "s3") == [("broadcast", "ready", "m")]
+
+
+def test_duplicate_echoes_from_same_peer_count_once():
+    instance = make_instance()
+    for _ in range(5):
+        out = instance.on_echo(KEY, "m", "s1")
+    assert out == []
+
+
+def test_echoes_for_different_payloads_tracked_separately():
+    instance = make_instance()
+    instance.on_echo(KEY, "m1", "s1")
+    instance.on_echo(KEY, "m1", "s2")
+    instance.on_echo(KEY, "m2", "s3")
+    # neither payload reached the echo threshold of 3
+    assert instance.on_echo(KEY, "m2", "s1") == []
+
+
+def test_ready_amplification_at_f_plus_1():
+    instance = make_instance()
+    assert instance.on_ready(KEY, "m", "s1") == []
+    out = instance.on_ready(KEY, "m", "s2")
+    assert ("broadcast", "ready", "m") in out
+
+
+def test_delivery_at_2f_plus_1_readies():
+    instance = make_instance()
+    instance.on_ready(KEY, "m", "s1")
+    instance.on_ready(KEY, "m", "s2")
+    out = instance.on_ready(KEY, "m", "s3")
+    assert ("deliver", "m", None) in out
+    assert instance.delivered(KEY)
+
+
+def test_delivery_happens_once():
+    instance = make_instance()
+    for peer in ("s1", "s2", "s3"):
+        instance.on_ready(KEY, "m", peer)
+    assert instance.on_ready(KEY, "m", "s0") == []
+
+
+def test_ready_not_resent_after_echo_path():
+    instance = make_instance()
+    for peer in ("s1", "s2", "s3"):
+        instance.on_echo(KEY, "m", peer)  # sent READY via echo path
+    out = instance.on_ready(KEY, "m", "s1")
+    out += instance.on_ready(KEY, "m", "s2")
+    # amplification must not re-broadcast READY (already sent)
+    assert all(action != "broadcast" for action, *_ in out)
+
+
+def test_instances_are_isolated_by_key():
+    instance = make_instance()
+    other_key = ("w001", 2)
+    instance.on_echo(KEY, "m", "s1")
+    instance.on_echo(KEY, "m", "s2")
+    # echoes for KEY must not advance other_key
+    assert instance.on_echo(other_key, "m", "s3") == []

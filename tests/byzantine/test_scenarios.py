@@ -1,0 +1,93 @@
+"""Tests for the scripted theorem scenarios -- the paper's proofs, executed."""
+
+import pytest
+
+from repro.byzantine.scenarios import (
+    theorem3_regularity_violation,
+    theorem5_bsr_below_bound,
+    theorem6_bcsr_below_bound,
+)
+
+
+# -- Theorem 3: BSR is safe but not regular -------------------------------------
+
+def test_theorem3_bsr_violates_regularity():
+    result = theorem3_regularity_violation("bsr")
+    assert result.read_value == b"v0"        # the stale fallback of Fig 2
+    assert result.safety.ok                   # clause (ii): still safe
+    assert not result.regularity.ok           # but not regular
+    assert result.regularity.reads_checked == 1
+
+
+def test_theorem3_history_variant_is_regular():
+    result = theorem3_regularity_violation("bsr-history")
+    assert result.read_value != b"v0"
+    assert result.safety.ok and result.regularity.ok
+
+
+def test_theorem3_two_round_variant_is_regular():
+    result = theorem3_regularity_violation("bsr-2round")
+    assert result.read_value != b"v0"
+    assert result.safety.ok and result.regularity.ok
+
+
+def test_theorem3_is_deterministic():
+    a = theorem3_regularity_violation("bsr", seed=0)
+    b = theorem3_regularity_violation("bsr", seed=0)
+    assert a.read_value == b.read_value
+    assert len(a.trace) == len(b.trace)
+
+
+def test_theorem3_concurrent_writes_eventually_complete():
+    # Held messages are flushed at the end: channels stay reliable.
+    result = theorem3_regularity_violation("bsr")
+    writes = result.trace.writes(completed_only=True)
+    assert len(writes) == 5
+
+
+# -- Theorem 5: n = 4f breaks replication-based safety -----------------------------
+
+def test_theorem5_violation_below_bound():
+    result = theorem5_bsr_below_bound(n=4, f=1)
+    assert result.read_value == b"v1"         # the superseded value wins
+    assert not result.safety.ok
+
+
+def test_theorem5_same_adversary_fails_at_bound():
+    result = theorem5_bsr_below_bound(n=5, f=1)
+    assert result.read_value == b"v2"
+    assert result.safety.ok
+
+
+def test_theorem5_scales_with_f():
+    violated = theorem5_bsr_below_bound(n=8, f=2)
+    assert not violated.safety.ok
+    safe = theorem5_bsr_below_bound(n=9, f=2)
+    assert safe.safety.ok
+
+
+# -- Theorem 6: n = 5f breaks the coded register ---------------------------------------
+
+def test_theorem6_violation_below_bound():
+    result = theorem6_bcsr_below_bound(n=5, f=1)
+    assert not result.safety.ok
+
+
+def test_theorem6_same_adversary_fails_at_bound():
+    result = theorem6_bcsr_below_bound(n=6, f=1)
+    assert result.read_value == b"value-two"
+    assert result.safety.ok
+
+
+def test_theorem6_scales_with_f():
+    violated = theorem6_bcsr_below_bound(n=10, f=2)
+    assert not violated.safety.ok
+    safe = theorem6_bcsr_below_bound(n=11, f=2)
+    assert safe.safety.ok
+
+
+def test_scenario_result_exposes_trace_and_system():
+    result = theorem5_bsr_below_bound(n=5, f=1)
+    assert result.system.n == 5
+    assert len(result.trace.reads()) == 1
+    assert "Theorem 5" in result.description

@@ -1,0 +1,85 @@
+"""Unit tests for the tag-based atomicity checker."""
+
+from repro.consistency import check_atomicity_by_tags
+from repro.core.tags import TAG_ZERO, Tag
+from repro.sim.trace import OpKind, Trace
+
+
+def write(trace, client, t0, t1, value, tag):
+    record = trace.begin(client, OpKind.WRITE, t0, value=value)
+    if t1 is not None:
+        trace.complete(record, t1, tag=tag)
+    else:
+        record.tag = tag
+    return record
+
+
+def read(trace, client, t0, t1, value, tag):
+    record = trace.begin(client, OpKind.READ, t0)
+    trace.complete(record, t1, value=value, tag=tag)
+    return record
+
+
+def test_clean_sequential_history_is_atomic():
+    trace = Trace()
+    write(trace, "w", 0, 1, b"a", Tag(1, "w"))
+    read(trace, "r", 2, 3, b"a", Tag(1, "w"))
+    write(trace, "w", 4, 5, b"b", Tag(2, "w"))
+    read(trace, "r", 6, 7, b"b", Tag(2, "w"))
+    assert check_atomicity_by_tags(trace).ok
+
+
+def test_stale_read_flagged():
+    trace = Trace()
+    write(trace, "w", 0, 1, b"a", Tag(1, "w"))
+    write(trace, "w", 2, 3, b"b", Tag(2, "w"))
+    read(trace, "r", 4, 5, b"a", Tag(1, "w"))
+    result = check_atomicity_by_tags(trace)
+    assert any("older than preceding write" in str(v) for v in result.violations)
+
+
+def test_new_old_inversion_flagged():
+    trace = Trace()
+    write(trace, "w", 0, 10, b"b", Tag(2, "w"))       # concurrent with reads
+    read(trace, "r1", 1, 2, b"b", Tag(2, "w"))        # sees the new value
+    read(trace, "r2", 3, 4, b"", TAG_ZERO)            # later read sees old
+    result = check_atomicity_by_tags(trace)
+    assert any("inversion" in str(v) for v in result.violations)
+
+
+def test_unknown_tag_flagged():
+    trace = Trace()
+    read(trace, "r", 0, 1, b"x", Tag(7, "ghost"))
+    result = check_atomicity_by_tags(trace)
+    assert any("unknown tag" in str(v) for v in result.violations)
+
+
+def test_read_from_the_future_flagged():
+    trace = Trace()
+    read(trace, "r", 0, 1, b"x", Tag(1, "w"))
+    write(trace, "w", 5, 6, b"x", Tag(1, "w"))   # invoked after the read ended
+    result = check_atomicity_by_tags(trace)
+    assert any("after the read responded" in str(v) for v in result.violations)
+
+
+def test_initial_tag_reads_are_fine_before_writes():
+    trace = Trace()
+    read(trace, "r", 0, 1, b"", TAG_ZERO)
+    assert check_atomicity_by_tags(trace).ok
+
+
+def test_concurrent_reads_may_disagree():
+    # r1 and r2 overlap: either order is a valid linearization.
+    trace = Trace()
+    write(trace, "w", 0, 10, b"b", Tag(1, "w"))
+    read(trace, "r1", 1, 5, b"b", Tag(1, "w"))
+    read(trace, "r2", 2, 6, b"", TAG_ZERO)
+    assert check_atomicity_by_tags(trace).ok
+
+
+def test_records_without_tags_are_skipped():
+    trace = Trace()
+    record = trace.begin("r", OpKind.READ, 0)
+    trace.complete(record, 1, value=b"x")  # no tag
+    result = check_atomicity_by_tags(trace)
+    assert result.ok and result.reads_checked == 0

@@ -1,0 +1,90 @@
+"""Unit tests for the Definition-2 (regularity) checker."""
+
+from repro.consistency import check_regularity, check_safety
+from repro.consistency.regularity import fresh_read_values
+from repro.core.tags import Tag
+from repro.sim.trace import OpKind, Trace
+
+V0 = b"v0"
+
+
+def write(trace, client, t0, t1, value, tag=None):
+    record = trace.begin(client, OpKind.WRITE, t0, value=value)
+    if t1 is not None:
+        trace.complete(record, t1, tag=tag)
+    elif tag is not None:
+        record.tag = tag
+    return record
+
+
+def read(trace, client, t0, t1, value, tag=None):
+    record = trace.begin(client, OpKind.READ, t0)
+    trace.complete(record, t1, value=value, tag=tag)
+    return record
+
+
+def test_fresh_read_is_regular():
+    trace = Trace()
+    write(trace, "w", 0, 1, b"a", tag=Tag(1, "w"))
+    read(trace, "r", 2, 3, b"a", tag=Tag(1, "w"))
+    assert check_regularity(trace, initial_value=V0).ok
+
+
+def test_concurrent_write_value_is_regular():
+    trace = Trace()
+    write(trace, "w1", 0, 1, b"a", tag=Tag(1, "w1"))
+    write(trace, "w2", 2, None, b"b", tag=Tag(2, "w2"))  # concurrent with read
+    read(trace, "r", 3, 4, b"b", tag=Tag(2, "w2"))
+    assert check_regularity(trace, initial_value=V0).ok
+
+
+def test_initial_value_after_completed_write_is_not_regular():
+    """The exact shape of Theorem 3: safe, but not regular."""
+    trace = Trace()
+    write(trace, "w1", 0, 1, b"v1", tag=Tag(1, "w1"))
+    for i in range(2, 6):
+        write(trace, f"w{i}", 2, None, f"v{i}".encode(), tag=Tag(2, f"w{i}"))
+    read(trace, "r", 3, 4, V0)
+    assert check_safety(trace, initial_value=V0).ok          # clause (ii)
+    assert not check_regularity(trace, initial_value=V0).ok  # stale v0
+
+
+def test_superseded_value_is_not_regular():
+    trace = Trace()
+    write(trace, "w", 0, 1, b"a", tag=Tag(1, "w"))
+    write(trace, "w", 2, 3, b"b", tag=Tag(2, "w"))
+    read(trace, "r", 4, 5, b"a", tag=Tag(1, "w"))
+    assert not check_regularity(trace, initial_value=V0).ok
+
+
+def test_duplicate_write_tags_flagged():
+    trace = Trace()
+    write(trace, "w1", 0, 1, b"a", tag=Tag(1, "x"))
+    write(trace, "w2", 2, 3, b"b", tag=Tag(1, "x"))
+    result = check_regularity(trace, initial_value=V0)
+    assert any("share tag" in str(v) for v in result.violations)
+
+
+def test_read_tag_mismatch_flagged():
+    trace = Trace()
+    write(trace, "w", 0, 1, b"a", tag=Tag(1, "w"))
+    read(trace, "r", 2, 3, b"a", tag=Tag(9, "zz"))
+    result = check_regularity(trace, initial_value=V0)
+    assert any("tag" in str(v) for v in result.violations)
+
+
+def test_fresh_read_values_helper():
+    trace = Trace()
+    write(trace, "w", 0, 1, b"old", tag=Tag(1, "w"))
+    write(trace, "w", 2, 3, b"new", tag=Tag(2, "w"))
+    ongoing = write(trace, "w2", 4, None, b"inflight", tag=Tag(3, "w2"))
+    r = read(trace, "r", 5, 6, b"new", tag=Tag(2, "w"))
+    allowed = fresh_read_values(r, trace, V0)
+    assert allowed == {b"new", b"inflight"}  # "old" superseded, v0 excluded
+
+
+def test_initial_value_allowed_while_no_write_completed():
+    trace = Trace()
+    write(trace, "w", 0, None, b"pending", tag=Tag(1, "w"))
+    r = read(trace, "r", 1, 2, V0)
+    assert check_regularity(trace, initial_value=V0).ok

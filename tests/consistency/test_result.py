@@ -1,0 +1,42 @@
+"""Unit tests for the CheckResult/Violation containers."""
+
+import pytest
+
+from repro.consistency.result import CheckResult, Violation
+from repro.errors import ConsistencyViolation
+from repro.sim.trace import OpKind, Trace
+
+
+def test_ok_when_empty():
+    result = CheckResult(condition="test")
+    assert result.ok
+    assert result.raise_if_violated() is result
+
+
+def test_record_adds_violation_with_operations():
+    trace = Trace()
+    op = trace.begin("c", OpKind.READ, 0.0)
+    result = CheckResult(condition="test")
+    result.record("something is off", op)
+    assert not result.ok
+    assert result.violations[0].operations == (op,)
+    assert "something is off" in str(result.violations[0])
+
+
+def test_raise_if_violated_includes_condition_and_count():
+    result = CheckResult(condition="my-condition")
+    result.record("first problem")
+    result.record("second problem")
+    with pytest.raises(ConsistencyViolation) as excinfo:
+        result.raise_if_violated()
+    assert "my-condition" in str(excinfo.value)
+    assert "2 violation(s)" in str(excinfo.value)
+    assert "first problem" in str(excinfo.value)
+
+
+def test_str_summarizes():
+    result = CheckResult(condition="safety")
+    result.reads_checked = 3
+    assert "OK" in str(result)
+    result.record("boom")
+    assert "1 violation(s)" in str(result)

@@ -1,0 +1,129 @@
+"""Unit tests for the Definition-1 (safety) checker on hand-built traces."""
+
+import pytest
+
+from repro.consistency import check_safety
+from repro.consistency.safety import admissible_read_values, value_domain
+from repro.errors import ConsistencyViolation
+from repro.sim.trace import OpKind, Trace
+
+V0 = b"v0"
+
+
+def write(trace, client, t0, t1, value):
+    record = trace.begin(client, OpKind.WRITE, t0, value=value)
+    if t1 is not None:
+        trace.complete(record, t1)
+    return record
+
+
+def read(trace, client, t0, t1, value):
+    record = trace.begin(client, OpKind.READ, t0)
+    trace.complete(record, t1, value=value)
+    return record
+
+
+def test_empty_trace_is_safe():
+    assert check_safety(Trace(), initial_value=V0).ok
+
+
+def test_read_of_latest_preceding_write_is_safe():
+    trace = Trace()
+    write(trace, "w", 0, 1, b"a")
+    read(trace, "r", 2, 3, b"a")
+    assert check_safety(trace, initial_value=V0).ok
+
+
+def test_read_of_initial_value_before_any_write_is_safe():
+    trace = Trace()
+    read(trace, "r", 0, 1, V0)
+    write(trace, "w", 5, 6, b"later")
+    assert check_safety(trace, initial_value=V0).ok
+
+
+def test_stale_read_violates_safety():
+    trace = Trace()
+    write(trace, "w", 0, 1, b"a")
+    write(trace, "w", 2, 3, b"b")   # falls completely between "a" and the read
+    read(trace, "r", 4, 5, b"a")
+    result = check_safety(trace, initial_value=V0)
+    assert not result.ok
+    assert "clause (i)" in str(result.violations[0])
+
+
+def test_initial_value_after_completed_write_violates_safety():
+    trace = Trace()
+    write(trace, "w", 0, 1, b"a")
+    read(trace, "r", 2, 3, V0)
+    assert not check_safety(trace, initial_value=V0).ok
+
+
+def test_read_concurrent_with_write_may_return_anything_in_domain():
+    trace = Trace()
+    write(trace, "w1", 0, 1, b"a")
+    write(trace, "w2", 2, 10, b"b")       # overlaps the read
+    read(trace, "r", 4, 5, V0)            # even v0 is fine under clause (ii)
+    assert check_safety(trace, initial_value=V0).ok
+
+
+def test_read_concurrent_with_incomplete_write_is_clause_ii():
+    trace = Trace()
+    write(trace, "w1", 0, 1, b"a")
+    write(trace, "w2", 2, None, b"b")     # never completes -> concurrent
+    read(trace, "r", 4, 5, b"b")
+    assert check_safety(trace, initial_value=V0).ok
+
+
+def test_fabricated_value_violates_validity():
+    trace = Trace()
+    write(trace, "w1", 0, 1, b"a")
+    write(trace, "w2", 2, None, b"b")
+    read(trace, "r", 4, 5, b"NEVER-WRITTEN")
+    result = check_safety(trace, initial_value=V0)
+    assert not result.ok
+    assert "validity" in str(result.violations[0])
+
+
+def test_two_admissible_writes_without_ordering():
+    # Two concurrent writes, both complete before the read: either is legal.
+    trace = Trace()
+    write(trace, "w1", 0, 5, b"a")
+    write(trace, "w2", 1, 4, b"b")
+    read(trace, "r", 6, 7, b"a")
+    assert check_safety(trace, initial_value=V0).ok
+    trace2 = Trace()
+    write(trace2, "w1", 0, 5, b"a")
+    write(trace2, "w2", 1, 4, b"b")
+    read(trace2, "r", 6, 7, b"b")
+    assert check_safety(trace2, initial_value=V0).ok
+
+
+def test_admissible_read_values_helper():
+    trace = Trace()
+    w1 = write(trace, "w1", 0, 1, b"a")
+    w2 = write(trace, "w2", 2, 3, b"b")
+    r = read(trace, "r", 4, 5, b"b")
+    assert admissible_read_values(r, trace, V0) == {b"b"}
+
+
+def test_value_domain_includes_extras():
+    trace = Trace()
+    write(trace, "w", 0, 1, b"a")
+    domain = value_domain(trace, V0, extra_values=[b"bonus"])
+    assert domain == {V0, b"a", b"bonus"}
+
+
+def test_raise_if_violated():
+    trace = Trace()
+    write(trace, "w", 0, 1, b"a")
+    read(trace, "r", 2, 3, V0)
+    with pytest.raises(ConsistencyViolation):
+        check_safety(trace, initial_value=V0).raise_if_violated()
+
+
+def test_incomplete_reads_are_ignored():
+    trace = Trace()
+    write(trace, "w", 0, 1, b"a")
+    pending = trace.begin("r", OpKind.READ, 2)
+    result = check_safety(trace, initial_value=V0)
+    assert result.ok and result.reads_checked == 0

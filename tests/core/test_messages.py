@@ -1,0 +1,104 @@
+"""Unit tests for protocol messages and wire-size accounting."""
+
+from repro.core.messages import (
+    DataReply,
+    HEADER_BYTES,
+    HistoryReply,
+    PushData,
+    PutAck,
+    PutData,
+    QueryData,
+    QueryHistory,
+    QueryTag,
+    QueryTagHistory,
+    QueryValue,
+    RBEcho,
+    RBReady,
+    RBSend,
+    TAG_BYTES,
+    TagHistoryReply,
+    TagReply,
+    ValueReply,
+    payload_size,
+)
+from repro.core.tags import Tag, TaggedValue
+from repro.erasure.striping import CodedElement
+
+
+def test_payload_size_bytes():
+    assert payload_size(b"12345") == 5
+    assert payload_size(None) == 0
+    assert payload_size("abc") == 3
+
+
+def test_payload_size_coded_element():
+    assert payload_size(CodedElement(3, b"12345678")) == 12  # data + index
+
+
+def test_payload_size_tagged_value():
+    pair = TaggedValue(Tag(1, "w"), b"123")
+    assert payload_size(pair) == TAG_BYTES + 3
+
+
+def test_query_messages_are_headers_only():
+    for message in (QueryTag(op_id=1), QueryData(op_id=1),
+                    QueryHistory(op_id=1), QueryTagHistory(op_id=1)):
+        assert message.wire_size() == HEADER_BYTES
+
+
+def test_tag_reply_size():
+    assert TagReply(op_id=1, tag=Tag(1, "w")).wire_size() == HEADER_BYTES + TAG_BYTES
+
+
+def test_put_data_size_scales_with_value():
+    small = PutData(op_id=1, tag=Tag(1, "w"), payload=b"x")
+    large = PutData(op_id=1, tag=Tag(1, "w"), payload=b"x" * 1000)
+    assert large.wire_size() - small.wire_size() == 999
+
+
+def test_data_reply_with_coded_element_is_smaller_than_full_value():
+    value = b"v" * 1000
+    full = DataReply(op_id=1, tag=Tag(1, "w"), payload=value)
+    coded = DataReply(op_id=1, tag=Tag(1, "w"),
+                      payload=CodedElement(0, value[:100]))
+    assert coded.wire_size() < full.wire_size()
+
+
+def test_history_reply_size_sums_entries():
+    history = (
+        TaggedValue(Tag(0, ""), b"aa"),
+        TaggedValue(Tag(1, "w"), b"bbbb"),
+    )
+    reply = HistoryReply(op_id=1, history=history)
+    assert reply.wire_size() == HEADER_BYTES + 2 * TAG_BYTES + 2 + 4
+
+
+def test_tag_history_reply_size():
+    reply = TagHistoryReply(op_id=1, tags=(Tag(0, ""), Tag(1, "w"), Tag(2, "w")))
+    assert reply.wire_size() == HEADER_BYTES + 3 * TAG_BYTES
+
+
+def test_value_reply_with_none_payload():
+    reply = ValueReply(op_id=1, tag=Tag(1, "w"), payload=None)
+    assert reply.wire_size() == HEADER_BYTES + TAG_BYTES
+
+
+def test_rb_messages_carry_source():
+    for cls in (RBSend, RBEcho, RBReady):
+        message = cls(op_id=1, tag=Tag(1, "w"), payload=b"v", source="w000")
+        assert message.source == "w000"
+        assert message.wire_size() >= HEADER_BYTES + TAG_BYTES + 1
+
+
+def test_messages_are_frozen():
+    import dataclasses
+    import pytest
+    message = QueryTag(op_id=1)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        message.op_id = 2
+
+
+def test_ack_and_push():
+    assert PutAck(op_id=2, tag=Tag(1, "w")).wire_size() == HEADER_BYTES + TAG_BYTES
+    push = PushData(op_id=2, tag=Tag(1, "w"), payload=b"12")
+    assert push.wire_size() == HEADER_BYTES + TAG_BYTES + 2

@@ -1,0 +1,83 @@
+"""Unit tests for the operation base class and reply collector."""
+
+import pytest
+
+from repro.core.messages import QueryTag, TagReply
+from repro.core.operation import ClientOperation, ReplyCollector, next_op_id
+from repro.core.tags import Tag
+from repro.errors import ProtocolError
+
+
+class NoopOperation(ClientOperation):
+    kind = "read"
+
+    def start(self):
+        return self.broadcast(QueryTag(op_id=self.op_id))
+
+    def on_reply(self, sender, message):
+        self._complete("done")
+        return []
+
+
+SERVERS = ["s000", "s001", "s002", "s003", "s004"]
+
+
+def test_op_ids_are_unique_and_increasing():
+    first, second = next_op_id(), next_op_id()
+    assert second > first
+
+
+def test_operation_requires_more_than_f_servers():
+    with pytest.raises(ValueError):
+        NoopOperation("c", ["s0"], f=1)
+    with pytest.raises(ValueError):
+        NoopOperation("c", SERVERS, f=-1)
+
+
+def test_broadcast_targets_every_server():
+    op = NoopOperation("c", SERVERS, f=1)
+    envelopes = op.start()
+    assert [dst for dst, _ in envelopes] == SERVERS
+    assert all(msg.op_id == op.op_id for _, msg in envelopes)
+
+
+def test_result_unavailable_until_done():
+    op = NoopOperation("c", SERVERS, f=1)
+    with pytest.raises(ProtocolError):
+        _ = op.result
+    op.on_reply("s000", TagReply(op_id=op.op_id, tag=Tag(0, "")))
+    assert op.done and op.result == "done"
+
+
+def test_accepts_matches_op_id():
+    op = NoopOperation("c", SERVERS, f=1)
+    assert op.accepts(TagReply(op_id=op.op_id, tag=Tag(0, "")))
+    assert not op.accepts(TagReply(op_id=op.op_id + 999, tag=Tag(0, "")))
+    assert not op.accepts("garbage")
+
+
+def test_quorum_property():
+    op = NoopOperation("c", SERVERS, f=2)
+    assert op.quorum == 3
+
+
+def test_collector_counts_each_server_once():
+    collector = ReplyCollector(SERVERS)
+    assert collector.add("s000", "a")
+    assert not collector.add("s000", "b")  # duplicate from same server
+    assert len(collector) == 1
+    assert collector.replies == {"s000": "a"}  # first reply wins
+
+
+def test_collector_rejects_unknown_senders():
+    collector = ReplyCollector(SERVERS)
+    assert not collector.add("intruder", "x")
+    assert len(collector) == 0
+
+
+def test_collector_contains_and_values():
+    collector = ReplyCollector(SERVERS)
+    collector.add("s001", 11)
+    collector.add("s002", 22)
+    assert "s001" in collector and "s003" not in collector
+    assert sorted(collector.values()) == [11, 22]

@@ -1,0 +1,78 @@
+"""Unit and property tests for tags."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tags import TAG_ZERO, Tag, TaggedValue
+
+writers = st.text(alphabet="abcdwrs0123456789", min_size=1, max_size=6)
+tags = st.builds(Tag, st.integers(min_value=0, max_value=1000), writers)
+
+
+def test_tag_orders_by_number_first():
+    assert Tag(1, "zzz") < Tag(2, "aaa")
+
+
+def test_tag_ties_broken_by_writer_id():
+    assert Tag(3, "w001") < Tag(3, "w002")
+    assert Tag(3, "w002") > Tag(3, "w001")
+
+
+def test_tag_equality():
+    assert Tag(1, "w") == Tag(1, "w")
+    assert Tag(1, "w") != Tag(1, "x")
+    assert Tag(1, "w") != Tag(2, "w")
+
+
+def test_tag_zero_smaller_than_any_real_tag():
+    assert TAG_ZERO < Tag(1, "w000")
+    assert TAG_ZERO < Tag(0, "w000")  # empty writer id sorts first
+
+
+def test_negative_tag_number_rejected():
+    with pytest.raises(ValueError):
+        Tag(-1, "w")
+
+
+def test_next_for_increments_and_rebrands():
+    tag = Tag(4, "w001")
+    successor = tag.next_for("w007")
+    assert successor.num == 5 and successor.writer == "w007"
+    assert tag < successor
+
+
+def test_wire_roundtrip():
+    tag = Tag(17, "w003")
+    assert Tag.from_wire(tag.to_wire()) == tag
+
+
+def test_tag_is_hashable_and_usable_in_sets():
+    assert len({Tag(1, "a"), Tag(1, "a"), Tag(2, "a")}) == 2
+
+
+def test_tagged_value_orders_by_tag():
+    low = TaggedValue(Tag(1, "a"), b"first")
+    high = TaggedValue(Tag(2, "a"), b"second")
+    assert low < high
+    assert max([low, high], key=lambda tv: tv.tag) is high
+
+
+def test_tagged_value_hashable_with_bytes():
+    pair = TaggedValue(Tag(1, "w"), b"v")
+    assert pair in {pair}
+
+
+@given(tags, tags)
+def test_total_order_antisymmetry(a, b):
+    assert (a < b) + (b < a) + (a == b) == 1
+
+
+@given(tags, tags, tags)
+def test_total_order_transitivity(a, b, c):
+    if a < b and b < c:
+        assert a < c
+
+
+@given(tags, writers)
+def test_next_for_strictly_increases(tag, writer):
+    assert tag < tag.next_for(writer)

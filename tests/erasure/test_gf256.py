@@ -1,0 +1,108 @@
+"""Unit and property tests for GF(2^8) arithmetic.
+
+The property tests verify the field axioms over random elements; the unit
+tests pin down edge cases (zero, one, the generator).
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.erasure.gf256 import GF256
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+def test_add_is_xor():
+    assert GF256.add(0b1010, 0b0110) == 0b1100
+
+
+def test_add_identity_and_self_inverse():
+    for a in range(256):
+        assert GF256.add(a, 0) == a
+        assert GF256.add(a, a) == 0  # characteristic 2
+
+
+def test_sub_equals_add():
+    assert GF256.sub(17, 99) == GF256.add(17, 99)
+
+
+def test_mul_by_zero_and_one():
+    for a in range(256):
+        assert GF256.mul(a, 0) == 0
+        assert GF256.mul(a, 1) == a
+
+
+def test_div_by_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        GF256.div(5, 0)
+
+
+def test_inv_of_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        GF256.inv(0)
+
+
+def test_every_nonzero_element_has_inverse():
+    for a in range(1, 256):
+        assert GF256.mul(a, GF256.inv(a)) == 1
+
+
+def test_pow_edge_cases():
+    assert GF256.pow(0, 0) == 1
+    assert GF256.pow(0, 5) == 0
+    assert GF256.pow(7, 0) == 1
+    with pytest.raises(ZeroDivisionError):
+        GF256.pow(0, -1)
+
+
+def test_pow_negative_is_inverse_power():
+    for a in (1, 2, 37, 255):
+        assert GF256.mul(GF256.pow(a, -1), a) == 1
+        assert GF256.pow(a, -2) == GF256.inv(GF256.mul(a, a))
+
+
+def test_generator_powers_cover_nonzero_elements():
+    seen = {GF256.generator_power(i) for i in range(255)}
+    assert seen == set(range(1, 256))
+
+
+def test_validate():
+    assert GF256.validate(200) == 200
+    with pytest.raises(ValueError):
+        GF256.validate(256)
+    with pytest.raises(ValueError):
+        GF256.validate(-1)
+    with pytest.raises(ValueError):
+        GF256.validate(1.5)
+
+
+@given(elements, elements)
+def test_mul_commutative(a, b):
+    assert GF256.mul(a, b) == GF256.mul(b, a)
+
+
+@given(elements, elements, elements)
+def test_mul_associative(a, b, c):
+    assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+
+@given(elements, elements, elements)
+def test_distributivity(a, b, c):
+    left = GF256.mul(a, GF256.add(b, c))
+    right = GF256.add(GF256.mul(a, b), GF256.mul(a, c))
+    assert left == right
+
+
+@given(elements, nonzero)
+def test_div_inverts_mul(a, b):
+    assert GF256.div(GF256.mul(a, b), b) == a
+
+
+@given(nonzero, st.integers(min_value=-300, max_value=300))
+def test_pow_matches_repeated_mul(a, e):
+    expected = 1
+    base = a if e >= 0 else GF256.inv(a)
+    for _ in range(abs(e)):
+        expected = GF256.mul(expected, base)
+    assert GF256.pow(a, e) == expected

@@ -1,0 +1,146 @@
+"""Unit and property tests for polynomial algebra over GF(256)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.erasure.gf256 import GF256
+from repro.erasure.poly import Poly
+
+coeff_lists = st.lists(st.integers(min_value=0, max_value=255), max_size=8)
+
+
+def poly(coeffs):
+    return Poly(coeffs)
+
+
+def test_trailing_zeros_trimmed():
+    assert Poly([1, 2, 0, 0]).coeffs == (1, 2)
+    assert Poly([0, 0]).is_zero()
+
+
+def test_zero_polynomial_degree():
+    assert Poly.zero().degree == -1
+    assert Poly.constant(5).degree == 0
+    assert Poly.monomial(3).degree == 3
+
+
+def test_monomial_rejects_negative_degree():
+    with pytest.raises(ValueError):
+        Poly.monomial(-1)
+
+
+def test_coefficient_beyond_degree_is_zero():
+    p = Poly([1, 2, 3])
+    assert p.coefficient(0) == 1
+    assert p.coefficient(2) == 3
+    assert p.coefficient(10) == 0
+
+
+def test_evaluate_constant_and_linear():
+    assert Poly.constant(9).evaluate(123) == 9
+    # p(x) = 3 + 2x at x=1: 3 + 2 = 1 (XOR in GF(2^8))
+    assert Poly([3, 2]).evaluate(1) == GF256.add(3, 2)
+
+
+def test_addition_is_coefficientwise_xor():
+    a = Poly([1, 2, 3])
+    b = Poly([4, 5])
+    assert (a + b).coeffs == (1 ^ 4, 2 ^ 5, 3)
+
+
+def test_addition_cancels_equal_polynomials():
+    p = Poly([7, 8, 9])
+    assert (p + p).is_zero()
+
+
+def test_multiplication_by_zero_and_one():
+    p = Poly([5, 6])
+    assert (p * Poly.zero()).is_zero()
+    assert (p * Poly.constant(1)) == p
+
+
+def test_known_product():
+    # (1 + x) * (1 + x) = 1 + x^2 in characteristic 2
+    p = Poly([1, 1])
+    assert (p * p).coeffs == (1, 0, 1)
+
+
+def test_scale():
+    p = Poly([1, 2])
+    assert p.scale(0).is_zero()
+    assert p.scale(1) == p
+    doubled = p.scale(2)
+    assert doubled.coeffs == (GF256.mul(1, 2), GF256.mul(2, 2))
+
+
+def test_divmod_recovers_factors():
+    a = Poly([3, 7, 1])       # quadratic
+    b = Poly([5, 1])          # linear
+    product = a * b
+    quotient, remainder = product.divmod(b)
+    assert remainder.is_zero()
+    assert quotient == a
+
+
+def test_divmod_with_remainder():
+    numerator = Poly([1, 0, 0, 1])   # 1 + x^3
+    divisor = Poly([1, 1])           # 1 + x
+    quotient, remainder = numerator.divmod(divisor)
+    assert quotient * divisor + remainder == numerator
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        Poly([1]).divmod(Poly.zero())
+
+
+def test_floordiv_and_mod_operators():
+    a = Poly([2, 3, 4])
+    b = Poly([1, 1])
+    assert (a // b) * b + (a % b) == a
+
+
+def test_interpolate_through_points():
+    points = [(1, 17), (2, 99), (3, 4), (7, 200)]
+    p = Poly.interpolate(points)
+    assert p.degree < len(points)
+    for x, y in points:
+        assert p.evaluate(x) == y
+
+
+def test_interpolate_rejects_duplicate_x():
+    with pytest.raises(ValueError):
+        Poly.interpolate([(1, 2), (1, 3)])
+
+
+def test_equality_and_hash():
+    assert Poly([1, 2]) == Poly([1, 2, 0])
+    assert hash(Poly([1, 2])) == hash(Poly([1, 2, 0]))
+    assert Poly([1]) != Poly([2])
+
+
+@given(coeff_lists, coeff_lists)
+def test_add_commutative(a, b):
+    assert Poly(a) + Poly(b) == Poly(b) + Poly(a)
+
+
+@given(coeff_lists, coeff_lists)
+def test_mul_commutative(a, b):
+    assert Poly(a) * Poly(b) == Poly(b) * Poly(a)
+
+
+@given(coeff_lists, coeff_lists, st.integers(min_value=0, max_value=255))
+def test_evaluation_is_ring_homomorphism(a, b, x):
+    pa, pb = Poly(a), Poly(b)
+    assert (pa + pb).evaluate(x) == GF256.add(pa.evaluate(x), pb.evaluate(x))
+    assert (pa * pb).evaluate(x) == GF256.mul(pa.evaluate(x), pb.evaluate(x))
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=255),
+                          st.integers(min_value=0, max_value=255)),
+                min_size=1, max_size=10,
+                unique_by=lambda point: point[0]))
+def test_interpolation_roundtrip(points):
+    p = Poly.interpolate(points)
+    for x, y in points:
+        assert p.evaluate(x) == y

@@ -1,0 +1,196 @@
+"""Unit and property tests for the Reed-Solomon code and its decoder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.erasure.gf256 import GF256
+from repro.erasure.rs import ReedSolomon, solve_linear_system
+from repro.errors import ConfigurationError, DecodingError
+from repro.sim.rng import SimRng
+
+
+# -- linear solver -----------------------------------------------------------
+
+def test_solver_identity_system():
+    matrix = [[1, 0], [0, 1]]
+    assert solve_linear_system(matrix, [7, 9]) == [7, 9]
+
+
+def test_solver_singular_consistent_system():
+    # Second row is a multiple of the first -> consistent, underdetermined.
+    matrix = [[1, 2], [2, 4]]
+    rhs = [3, 6]
+    solution = solve_linear_system(matrix, rhs)
+    assert solution is not None
+    a, b = solution
+    assert GF256.add(GF256.mul(1, a), GF256.mul(2, b)) == 3
+
+
+def test_solver_inconsistent_system_returns_none():
+    matrix = [[1, 2], [1, 2]]
+    rhs = [3, 4]
+    assert solve_linear_system(matrix, rhs) is None
+
+
+# -- construction -------------------------------------------------------------
+
+def test_invalid_dimensions_rejected():
+    with pytest.raises(ConfigurationError):
+        ReedSolomon(5, 0)
+    with pytest.raises(ConfigurationError):
+        ReedSolomon(5, 6)
+    with pytest.raises(ConfigurationError):
+        ReedSolomon(300, 3)
+
+
+def test_systematic_prefix():
+    rs = ReedSolomon(8, 3)
+    message = [10, 20, 30]
+    codeword = rs.encode(message)
+    assert codeword[:3] == message
+    assert len(codeword) == 8
+
+
+def test_encode_rejects_wrong_length():
+    with pytest.raises(ValueError):
+        ReedSolomon(8, 3).encode([1, 2])
+
+
+def test_max_correctable_errors():
+    assert ReedSolomon(11, 1).max_correctable_errors == 5
+    assert ReedSolomon(10, 4).max_correctable_errors == 3
+
+
+# -- decoding ------------------------------------------------------------------
+
+def test_decode_full_clean_codeword():
+    rs = ReedSolomon(7, 3)
+    message = [1, 2, 3]
+    codeword = rs.encode(message)
+    received = list(enumerate(codeword))
+    assert rs.decode(received) == message
+
+
+def test_decode_from_any_k_elements():
+    rs = ReedSolomon(7, 3)
+    message = [9, 8, 7]
+    codeword = rs.encode(message)
+    # erasure-only: any k of the n elements suffice
+    for positions in ((0, 1, 2), (4, 5, 6), (0, 3, 6)):
+        received = [(p, codeword[p]) for p in positions]
+        assert rs.decode(received) == message
+
+
+def test_decode_with_max_budget_errors():
+    rs = ReedSolomon(12, 4)  # full codeword corrects (12-4)//2 = 4 errors
+    message = [5, 6, 7, 8]
+    codeword = rs.encode(message)
+    received = list(enumerate(codeword))
+    for i in range(4):
+        pos, sym = received[i]
+        received[i] = (pos, sym ^ 0xFF)
+    assert rs.decode(received) == message
+
+
+def test_decode_mixed_errors_and_erasures():
+    # BCSR regime: n=11, f=2, k=n-5f=1; read sees n-f=9 elements, 2f=4 wrong.
+    rs = ReedSolomon(11, 1)
+    message = [123]
+    codeword = rs.encode(message)
+    received = [(i, codeword[i]) for i in range(9)]   # 2 erasures
+    for i in range(4):                                 # 4 errors
+        pos, sym = received[i]
+        received[i] = (pos, sym ^ 0x42)
+    assert rs.decode(received) == message
+
+
+def test_decode_beyond_budget_fails():
+    rs = ReedSolomon(6, 2)  # with all 6: budget (6-2)//2 = 2
+    message = [1, 2]
+    codeword = rs.encode(message)
+    received = list(enumerate(codeword))
+    for i in range(3):  # 3 errors, one too many
+        pos, sym = received[i]
+        received[i] = (pos, sym ^ 0x99)
+    with pytest.raises(DecodingError):
+        rs.decode(received)
+
+
+def test_decode_too_few_elements_fails():
+    rs = ReedSolomon(6, 3)
+    codeword = rs.encode([1, 2, 3])
+    with pytest.raises(DecodingError):
+        rs.decode([(0, codeword[0]), (1, codeword[1])])
+
+
+def test_decode_duplicate_positions_rejected():
+    rs = ReedSolomon(6, 2)
+    codeword = rs.encode([1, 2])
+    with pytest.raises(ValueError):
+        rs.decode([(0, codeword[0]), (0, codeword[0]), (1, codeword[1])])
+
+
+def test_decode_out_of_range_position_rejected():
+    rs = ReedSolomon(6, 2)
+    with pytest.raises(ValueError):
+        rs.decode([(0, 1), (7, 2)])
+
+
+def test_max_errors_parameter_restricts_budget():
+    rs = ReedSolomon(8, 2)
+    message = [3, 4]
+    codeword = rs.encode(message)
+    received = list(enumerate(codeword))
+    pos, sym = received[0]
+    received[0] = (pos, sym ^ 0x10)
+    received[1] = (received[1][0], received[1][1] ^ 0x20)
+    # 2 errors but caller only allows 1 -> must fail rather than mis-decode.
+    with pytest.raises(DecodingError):
+        rs.decode(received, max_errors=1)
+    assert rs.decode(received) == message  # default budget handles it
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_decode_roundtrip_random_patterns(data):
+    n = data.draw(st.integers(min_value=4, max_value=24), label="n")
+    k = data.draw(st.integers(min_value=1, max_value=n - 2), label="k")
+    rs = ReedSolomon(n, k)
+    message = data.draw(
+        st.lists(st.integers(min_value=0, max_value=255),
+                 min_size=k, max_size=k),
+        label="message",
+    )
+    codeword = rs.encode(message)
+    received_count = data.draw(st.integers(min_value=k, max_value=n), label="N")
+    rng = SimRng(data.draw(st.integers(min_value=0, max_value=10_000)), "rs")
+    positions = rng.sample(range(n), received_count)
+    budget = (received_count - k) // 2
+    error_count = data.draw(st.integers(min_value=0, max_value=budget),
+                            label="errors")
+    error_positions = set(rng.sample(positions, error_count))
+    received = [
+        (p, codeword[p] ^ 0x3C if p in error_positions else codeword[p])
+        for p in positions
+    ]
+    assert rs.decode(received) == message
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_lemma4_regime_always_decodes(seed):
+    """Lemma 4's counting: n >= 5f+1, N = n-f received, <= 2f wrong."""
+    rng = SimRng(seed, "lemma4")
+    f = rng.randint(1, 3)
+    n = 5 * f + 1 + rng.randint(0, 4)
+    k = n - 5 * f
+    rs = ReedSolomon(n, k)
+    message = [rng.randint(0, 255) for _ in range(k)]
+    codeword = rs.encode(message)
+    positions = rng.sample(range(n), n - f)
+    wrong = set(rng.sample(positions, 2 * f))
+    received = [
+        (p, (codeword[p] + 1) % 256 if p in wrong else codeword[p])
+        for p in positions
+    ]
+    assert rs.decode(received, max_errors=2 * f) == message

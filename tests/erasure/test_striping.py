@@ -1,0 +1,131 @@
+"""Unit and property tests for byte-value striping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.erasure.striping import CodedElement, StripedCodec
+from repro.errors import DecodingError
+from repro.sim.rng import SimRng
+
+
+def test_encode_produces_n_elements():
+    codec = StripedCodec(7, 2)
+    elements = codec.encode(b"hello world")
+    assert len(elements) == 7
+    assert [e.index for e in elements] == list(range(7))
+
+
+def test_element_sizes_shrink_with_k():
+    value = b"x" * 1200
+    size_k1 = StripedCodec(11, 1).encode(value)[0]
+    size_k6 = StripedCodec(11, 6).encode(value)[0]
+    assert len(size_k6) < len(size_k1)
+    # roughly 1/k of the value (plus the 4-byte frame)
+    assert len(size_k6.data) == StripedCodec(11, 6).element_size(1200)
+
+
+def test_roundtrip_all_elements():
+    codec = StripedCodec(6, 3)
+    value = b"some register contents!"
+    assert codec.decode(codec.encode(value)) == value
+
+
+def test_roundtrip_empty_value():
+    codec = StripedCodec(6, 3)
+    assert codec.decode(codec.encode(b"")) == b""
+
+
+def test_roundtrip_from_any_k_elements():
+    codec = StripedCodec(7, 3)
+    elements = codec.encode(b"value-123456")
+    assert codec.decode(elements[4:]) == b"value-123456"
+    assert codec.decode([elements[0], elements[3], elements[6]]) == b"value-123456"
+
+
+def test_decode_with_corrupted_elements():
+    codec = StripedCodec(11, 1)  # n=11, f=2 regime
+    value = b"the quick brown fox" * 4
+    elements = codec.encode(value)
+    received = elements[:9]  # n - f
+    corrupted = [
+        CodedElement(received[0].index, bytes(b ^ 0xFF for b in received[0].data)),
+        CodedElement(received[1].index, bytes(b ^ 0x11 for b in received[1].data)),
+        CodedElement(received[2].index, bytes(b ^ 0x22 for b in received[2].data)),
+        CodedElement(received[3].index, bytes(b ^ 0x33 for b in received[3].data)),
+    ] + list(received[4:])
+    assert codec.decode(corrupted, max_errors=4) == value
+
+
+def test_decode_too_few_elements():
+    codec = StripedCodec(7, 4)
+    elements = codec.encode(b"abcdef")
+    with pytest.raises(DecodingError):
+        codec.decode(elements[:3])
+
+
+def test_decode_duplicate_index_rejected():
+    codec = StripedCodec(5, 2)
+    elements = codec.encode(b"abc")
+    with pytest.raises(ValueError):
+        codec.decode([elements[0], elements[0], elements[1]])
+
+
+def test_decode_out_of_range_index_rejected():
+    codec = StripedCodec(5, 2)
+    with pytest.raises(ValueError):
+        codec.decode([CodedElement(9, b"xx"), CodedElement(0, b"yy")])
+
+
+def test_wrong_length_elements_filtered_by_majority():
+    codec = StripedCodec(6, 1)
+    value = b"consistent"
+    elements = codec.encode(value)
+    # One Byzantine element with a bogus length must not break decoding.
+    received = list(elements[:5])
+    received[0] = CodedElement(received[0].index, b"\x01")
+    assert codec.decode(received) == value
+
+
+def test_all_wrong_lengths_fails_cleanly():
+    codec = StripedCodec(6, 3)
+    with pytest.raises(DecodingError):
+        codec.decode([
+            CodedElement(0, b"a"), CodedElement(1, b"bb"),
+            CodedElement(2, b"ccc"), CodedElement(3, b"dddd"),
+        ])
+
+
+def test_encode_rejects_non_bytes():
+    codec = StripedCodec(5, 2)
+    with pytest.raises(TypeError):
+        codec.encode("not bytes")
+
+
+def test_element_size_accounting():
+    codec = StripedCodec(10, 5)
+    value = b"z" * 100
+    elements = codec.encode(value)
+    assert all(len(e.data) == codec.element_size(100) for e in elements)
+    # (100 + 4 frame bytes) / k=5 -> 21 stripes
+    assert codec.element_size(100) == 21
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(max_size=200), st.integers(min_value=0, max_value=500))
+def test_roundtrip_random_values_with_errors(value, seed):
+    rng = SimRng(seed, "striping")
+    n = rng.randint(4, 14)
+    k = rng.randint(1, n - 2)
+    codec = StripedCodec(n, k)
+    elements = codec.encode(value)
+    received_count = rng.randint(k, n)
+    chosen = rng.sample(elements, received_count)
+    budget = (received_count - k) // 2
+    error_count = rng.randint(0, budget)
+    corrupt_targets = set(rng.sample(range(received_count), error_count))
+    received = [
+        CodedElement(e.index, bytes((b + 1) % 256 for b in e.data))
+        if i in corrupt_targets else e
+        for i, e in enumerate(chosen)
+    ]
+    assert codec.decode(received) == value

@@ -1,0 +1,72 @@
+"""Unit tests for latency statistics and trace summaries."""
+
+import pytest
+
+from repro.metrics.collectors import (
+    LatencySummary,
+    percentile,
+    summarize_latencies,
+    summarize_trace,
+)
+from repro.sim.trace import OpKind, Trace
+
+
+def test_percentile_nearest_rank():
+    sample = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(sample, 0.0) == 1.0
+    assert percentile(sample, 0.5) == 3.0
+    assert percentile(sample, 1.0) == 5.0
+    assert percentile(sample, 0.99) == 5.0
+
+
+def test_percentile_empty_and_bounds():
+    assert percentile([], 0.5) == 0.0
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+def test_summarize_empty():
+    summary = summarize_latencies([])
+    assert summary == LatencySummary.empty()
+    assert summary.count == 0
+
+
+def test_summarize_basic_stats():
+    summary = summarize_latencies([3.0, 1.0, 2.0])
+    assert summary.count == 3
+    assert summary.mean == pytest.approx(2.0)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 3.0
+    assert summary.p50 == 2.0
+
+
+def test_summarize_trace_by_kind():
+    trace = Trace()
+    w = trace.begin("w", OpKind.WRITE, 0.0, value=b"a")
+    trace.complete(w, 2.0, rounds=2)
+    r1 = trace.begin("r", OpKind.READ, 3.0)
+    trace.complete(r1, 4.0, value=b"a", rounds=1)
+    r2 = trace.begin("r", OpKind.READ, 5.0)
+    trace.complete(r2, 8.0, value=b"a", rounds=1)
+    trace.begin("r", OpKind.READ, 9.0)  # incomplete
+    summaries = summarize_trace(trace)
+    assert summaries["read"].latency.count == 2
+    assert summaries["read"].latency.mean == pytest.approx(2.0)
+    assert summaries["read"].incomplete == 1
+    assert summaries["read"].mean_rounds == 1.0
+    assert summaries["write"].mean_rounds == 2.0
+
+
+def test_mean_rounds_of_empty_summary_is_zero():
+    summaries = summarize_trace(Trace())
+    assert summaries["read"].mean_rounds == 0.0
+
+
+def test_rounds_histogram():
+    trace = Trace()
+    for rounds in (1, 1, 2):
+        r = trace.begin("r", OpKind.READ, 0.0)
+        trace.complete(r, 1.0, value=b"", rounds=rounds)
+    summary = summarize_trace(trace)["read"]
+    assert summary.rounds == {1: 2, 2: 1}
+    assert summary.mean_rounds == pytest.approx(4 / 3)

@@ -1,0 +1,35 @@
+"""Unit tests for table rendering."""
+
+from repro.metrics.report import format_markdown_table, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(("name", "value"), [("a", 1), ("longer-name", 22)])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, separator, two rows
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+    assert "longer-name" in text
+
+
+def test_format_table_with_title():
+    text = format_table(("x",), [(1,)], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_floats_are_formatted():
+    text = format_table(("v",), [(1.23456,)])
+    assert "1.235" in text
+
+
+def test_markdown_table_shape():
+    text = format_markdown_table(("a", "b"), [(1, 2), (3, 4)])
+    lines = text.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 2 |"
+    assert len(lines) == 4
+
+
+def test_empty_rows():
+    assert format_table(("h",), []).count("\n") == 1
+    assert format_markdown_table(("h",), []).count("\n") == 1

@@ -1,0 +1,102 @@
+"""Tests for the exploration engine against the paper's bounds.
+
+The headline assertions:
+
+* at ``n = 4f`` the checker *discovers* a Theorem-5 violation with no
+  scripted schedule, and
+* at ``n = 4f + 1`` exhaustive exploration of the read stage (for a sample
+  of write-quorum choices) finds none.
+
+The full all-quorums sweep lives in benchmark E11; tests keep a few
+representative combinations to stay fast.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.modelcheck import ModelChecker, OpSpec, World
+from repro.modelcheck.scenarios import (
+    all_quorum_pairs,
+    bsr_preseeded_write_read,
+    bsr_read_stage,
+)
+
+
+def test_all_quorum_pairs_counts():
+    pairs = list(all_quorum_pairs(4, 1))
+    assert len(pairs) == 16  # C(4,3)^2
+    assert all(len(w1) == 3 and len(w2) == 3 for w1, w2 in pairs)
+
+
+def test_read_stage_validates_quorum_sizes():
+    with pytest.raises(ValueError):
+        bsr_read_stage(4, 1, (0, 1), (0, 1, 2))
+
+
+def test_violation_discovered_below_bound():
+    """n = 4f: some quorum choice admits a violating read schedule."""
+    factory, predicate = bsr_read_stage(4, 1, (0, 1, 2), (0, 2, 3))
+    checker = ModelChecker(factory, predicate, max_states=100_000)
+    violation = checker.find_violation()
+    assert violation is not None
+    description, schedule = violation
+    assert b"v1" in description.encode() or "v1" in description
+    assert len(schedule) > 0  # the discovered delivery schedule
+
+
+def test_exhaustive_report_below_bound():
+    factory, predicate = bsr_read_stage(4, 1, (0, 1, 2), (0, 2, 3))
+    report = ModelChecker(factory, predicate, max_states=100_000).verify()
+    assert not report.ok
+    assert not report.truncated
+    assert report.terminal_states > 0
+    assert report.states_explored > report.terminal_states
+
+
+def test_no_violation_at_bound_sampled_quorums():
+    """n = 4f + 1: exhaustive read-stage check over representative quorums."""
+    samples = [
+        ((0, 1, 2, 3), (0, 1, 2, 3)),   # same quorums
+        ((0, 1, 2, 3), (1, 2, 3, 4)),   # overlap excludes the liar once
+        ((1, 2, 3, 4), (0, 2, 3, 4)),   # W1 misses the liar entirely
+    ]
+    for w1, w2 in samples:
+        factory, predicate = bsr_read_stage(5, 1, w1, w2)
+        report = ModelChecker(factory, predicate, max_states=200_000).verify(
+            strict=True)
+        assert report.ok, f"unexpected violation for quorums {w1}/{w2}"
+        assert report.terminal_states > 0
+
+
+def test_no_stuck_states_within_fault_budget():
+    factory, predicate = bsr_read_stage(5, 1, (0, 1, 2, 3), (0, 1, 2, 3))
+    report = ModelChecker(factory, predicate, max_states=200_000).verify()
+    assert report.stuck_states == 0
+
+
+def test_preseeded_write_read_finds_violation_below_bound():
+    factory, predicate = bsr_preseeded_write_read(4, 1)
+    checker = ModelChecker(factory, predicate, max_states=400_000)
+    assert checker.find_violation() is not None
+
+
+def test_strict_mode_raises_on_truncation():
+    factory, predicate = bsr_read_stage(5, 1, (0, 1, 2, 3), (1, 2, 3, 4))
+    checker = ModelChecker(factory, predicate, max_states=10)
+    with pytest.raises(SimulationError):
+        checker.verify(strict=True)
+
+
+def test_non_strict_mode_marks_truncation():
+    factory, predicate = bsr_read_stage(5, 1, (0, 1, 2, 3), (1, 2, 3, 4))
+    report = ModelChecker(factory, predicate, max_states=10).verify()
+    assert report.truncated
+
+
+def test_honest_system_trivially_verifies():
+    """Without any liar the read stage is safe even at n = 4f."""
+    factory, predicate = bsr_read_stage(4, 1, (0, 1, 2), (0, 2, 3),
+                                        liar_count=0)
+    report = ModelChecker(factory, predicate, max_states=100_000).verify(
+        strict=True)
+    assert report.ok

@@ -1,0 +1,85 @@
+"""Namespaced registers over the asyncio TCP runtime."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime import LocalCluster
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_many_registers_over_one_tcp_cluster():
+    async def scenario():
+        cluster = LocalCluster("bsr", f=1, namespaced=True)
+        await cluster.start()
+        try:
+            writer = cluster.client("w000")
+            reader = cluster.client("r000")
+            await writer.connect()
+            await reader.connect()
+            for name in ("alpha", "beta", "gamma"):
+                await writer.write(f"value-{name}".encode(), register=name)
+            for name in ("alpha", "beta", "gamma"):
+                assert await reader.read(register=name) == f"value-{name}".encode()
+            # an unwritten register returns the initial value
+            assert await reader.read(register="missing") == b""
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_namespaced_byzantine_node_over_tcp():
+    async def scenario():
+        cluster = LocalCluster("bsr", f=1, namespaced=True,
+                               byzantine={0: "stale"})
+        await cluster.start()
+        try:
+            writer = cluster.client("w000")
+            reader = cluster.client("r000")
+            await writer.connect()
+            await reader.connect()
+            await writer.write(b"per-register-defence", register="x")
+            assert await reader.read(register="x") == b"per-register-defence"
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_namespaced_bcsr_over_tcp():
+    async def scenario():
+        cluster = LocalCluster("bcsr", f=1, namespaced=True)
+        await cluster.start()
+        try:
+            writer = cluster.client("w000")
+            reader = cluster.client("r000")
+            await writer.connect()
+            await reader.connect()
+            blob = bytes(range(200))
+            await writer.write(blob, register="blobs")
+            assert await reader.read(register="blobs") == blob
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_non_namespaced_cluster_ignores_register_kwarg():
+    async def scenario():
+        cluster = LocalCluster("bsr", f=1, namespaced=False)
+        await cluster.start()
+        try:
+            writer = cluster.client("w000")
+            reader = cluster.client("r000")
+            await writer.connect()
+            await reader.connect()
+            await writer.write(b"v", register="whatever")
+            assert await reader.read(register="other") == b"v"
+        finally:
+            await cluster.stop()
+
+    run(scenario())

@@ -1,0 +1,102 @@
+"""Edge cases of the asyncio runtime: reconnects, garbage, big values."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.runtime import LocalCluster
+from repro.transport.codec import MAX_FRAME_BYTES, write_frame
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_reconnect_is_idempotent():
+    async def scenario():
+        cluster = LocalCluster("bsr", f=1)
+        await cluster.start()
+        try:
+            client = cluster.client("w000")
+            first = await client.connect()
+            second = await client.connect()   # no duplicate connections
+            assert first == second == 5
+            await client.write(b"still-works")
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_server_survives_garbage_frames():
+    async def scenario():
+        cluster = LocalCluster("bsr", f=1)
+        await cluster.start()
+        try:
+            host, port = next(iter(cluster.addresses.values()))
+            reader, writer = await asyncio.open_connection(host, port)
+            write_frame(writer, b"complete garbage, unsigned")
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            # The node must still serve real clients afterwards.
+            client = cluster.client("w000")
+            await client.connect()
+            await client.write(b"alive")
+            reader_client = cluster.client("r000")
+            await reader_client.connect()
+            assert await reader_client.read() == b"alive"
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_oversized_frame_rejected_locally():
+    class _FakeWriter:
+        def write(self, data):  # pragma: no cover - never reached
+            raise AssertionError("should not write")
+
+    with pytest.raises(ProtocolError):
+        write_frame(_FakeWriter(), b"x" * (MAX_FRAME_BYTES + 1))
+
+
+def test_large_value_roundtrip_over_tcp():
+    async def scenario():
+        cluster = LocalCluster("bsr", f=1)
+        await cluster.start()
+        try:
+            writer = cluster.client("w000")
+            reader = cluster.client("r000")
+            await writer.connect()
+            await reader.connect()
+            blob = bytes(range(256)) * 2000   # 512 KiB
+            await writer.write(blob)
+            assert await reader.read() == blob
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_two_clusters_do_not_interfere():
+    async def scenario():
+        a = LocalCluster("bsr", f=1, secret=b"cluster-a")
+        b = LocalCluster("bsr", f=1, secret=b"cluster-b")
+        await a.start()
+        await b.start()
+        try:
+            wa, wb = a.client("w000"), b.client("w000")
+            ra, rb = a.client("r000"), b.client("r000")
+            for c in (wa, wb, ra, rb):
+                await c.connect()
+            await wa.write(b"value-a")
+            await wb.write(b"value-b")
+            assert await ra.read() == b"value-a"
+            assert await rb.read() == b"value-b"
+        finally:
+            await a.stop()
+            await b.stop()
+
+    run(scenario())

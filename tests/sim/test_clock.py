@@ -1,0 +1,37 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+def test_clock_starts_at_zero_by_default():
+    assert VirtualClock().now == 0.0
+
+
+def test_clock_starts_at_given_time():
+    assert VirtualClock(5.5).now == 5.5
+
+
+def test_clock_rejects_negative_start():
+    with pytest.raises(ValueError):
+        VirtualClock(-1.0)
+
+
+def test_advance_moves_forward():
+    clock = VirtualClock()
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+
+
+def test_advance_to_same_time_is_allowed():
+    clock = VirtualClock(2.0)
+    clock.advance_to(2.0)
+    assert clock.now == 2.0
+
+
+def test_advance_backwards_raises():
+    clock = VirtualClock(10.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(9.999)

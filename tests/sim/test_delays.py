@@ -1,0 +1,102 @@
+"""Unit tests for delay models and scripted delay rules."""
+
+import pytest
+
+from repro.sim.delays import (
+    ConstantDelay,
+    DelayRule,
+    ExponentialDelay,
+    HOLD,
+    LogNormalDelay,
+    RuleBasedDelays,
+    UniformDelay,
+)
+from repro.sim.rng import SimRng
+
+
+@pytest.fixture
+def rng():
+    return SimRng(99, "delays")
+
+
+def test_constant_delay(rng):
+    model = ConstantDelay(2.5)
+    assert model.sample("a", "b", "msg", 0.0, rng) == 2.5
+
+
+def test_constant_delay_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantDelay(-1.0)
+
+
+def test_uniform_delay_within_bounds(rng):
+    model = UniformDelay(1.0, 3.0)
+    for _ in range(100):
+        assert 1.0 <= model.sample("a", "b", None, 0.0, rng) <= 3.0
+
+
+def test_uniform_delay_validates_bounds():
+    with pytest.raises(ValueError):
+        UniformDelay(3.0, 1.0)
+    with pytest.raises(ValueError):
+        UniformDelay(-1.0, 1.0)
+
+
+def test_exponential_delay_respects_floor(rng):
+    model = ExponentialDelay(mean=1.0, floor=0.75)
+    for _ in range(100):
+        assert model.sample("a", "b", None, 0.0, rng) >= 0.75
+
+
+def test_exponential_delay_validates(rng):
+    with pytest.raises(ValueError):
+        ExponentialDelay(mean=0.0)
+    with pytest.raises(ValueError):
+        ExponentialDelay(mean=1.0, floor=-0.1)
+
+
+def test_lognormal_delay_positive(rng):
+    model = LogNormalDelay(mu=0.0, sigma=0.5, floor=0.1)
+    for _ in range(50):
+        assert model.sample("a", "b", None, 0.0, rng) >= 0.1
+
+
+def test_rule_matches_and_falls_back(rng):
+    rules = RuleBasedDelays(fallback=ConstantDelay(1.0))
+    rules.add_rule(lambda src, dst, msg: dst == "s1", 9.0)
+    assert rules.sample("c", "s1", None, 0.0, rng) == 9.0
+    assert rules.sample("c", "s2", None, 0.0, rng) == 1.0
+
+
+def test_first_matching_rule_wins(rng):
+    rules = RuleBasedDelays()
+    rules.add_rule(lambda *a: True, 5.0)
+    rules.add_rule(lambda *a: True, 7.0)
+    assert rules.sample("a", "b", None, 0.0, rng) == 5.0
+
+
+def test_hold_rule_returns_sentinel(rng):
+    rules = RuleBasedDelays()
+    rules.hold(lambda src, dst, msg: True)
+    assert rules.sample("a", "b", None, 0.0, rng) is HOLD
+
+
+def test_max_uses_limits_rule(rng):
+    rules = RuleBasedDelays(fallback=ConstantDelay(1.0))
+    rules.add_rule(lambda *a: True, 9.0, max_uses=2)
+    assert rules.sample("a", "b", None, 0.0, rng) == 9.0
+    assert rules.sample("a", "b", None, 0.0, rng) == 9.0
+    assert rules.sample("a", "b", None, 0.0, rng) == 1.0
+
+
+def test_rule_predicate_sees_message(rng):
+    rules = RuleBasedDelays(fallback=ConstantDelay(0.5))
+    rules.add_rule(lambda src, dst, msg: isinstance(msg, str) and "slow" in msg, 10.0)
+    assert rules.sample("a", "b", "slow-one", 0.0, rng) == 10.0
+    assert rules.sample("a", "b", 42, 0.0, rng) == 0.5
+
+
+def test_describe_strings():
+    assert "constant" in ConstantDelay(1.0).describe()
+    assert "uniform" in UniformDelay(0, 1).describe()
+    assert "rules(1)" in RuleBasedDelays([DelayRule(lambda *a: True, 1.0)]).describe()

@@ -1,0 +1,80 @@
+"""Unit tests for the deterministic event queue."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+def test_empty_queue_is_falsy():
+    queue = EventQueue()
+    assert not queue
+    assert len(queue) == 0
+    assert queue.pop() is None
+    assert queue.peek_time() is None
+
+
+def test_pop_returns_events_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(3.0, lambda: fired.append("c"))
+    queue.schedule(1.0, lambda: fired.append("a"))
+    queue.schedule(2.0, lambda: fired.append("b"))
+    while queue:
+        queue.pop().callback()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    queue = EventQueue()
+    fired = []
+    for name in "abcde":
+        queue.schedule(1.0, lambda name=name: fired.append(name))
+    while queue:
+        queue.pop().callback()
+    assert fired == list("abcde")
+
+
+def test_negative_time_rejected():
+    queue = EventQueue()
+    with pytest.raises(ValueError):
+        queue.schedule(-0.5, lambda: None)
+
+
+def test_cancelled_event_is_skipped():
+    queue = EventQueue()
+    fired = []
+    keep = queue.schedule(1.0, lambda: fired.append("keep"))
+    drop = queue.schedule(0.5, lambda: fired.append("drop"))
+    queue.cancel(drop)
+    assert len(queue) == 1
+    event = queue.pop()
+    event.callback()
+    assert fired == ["keep"]
+    assert queue.pop() is None
+
+
+def test_cancel_is_idempotent():
+    queue = EventQueue()
+    event = queue.schedule(1.0, lambda: None)
+    queue.cancel(event)
+    queue.cancel(event)
+    assert len(queue) == 0
+
+
+def test_peek_time_skips_cancelled_head():
+    queue = EventQueue()
+    head = queue.schedule(0.5, lambda: None)
+    queue.schedule(2.0, lambda: None)
+    queue.cancel(head)
+    assert queue.peek_time() == 2.0
+
+
+def test_interleaved_schedule_and_pop():
+    queue = EventQueue()
+    order = []
+    queue.schedule(1.0, lambda: order.append(1))
+    first = queue.pop()
+    first.callback()
+    queue.schedule(0.5, lambda: order.append(2))  # earlier absolute time is fine
+    queue.pop().callback()
+    assert order == [1, 2]

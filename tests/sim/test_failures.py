@@ -1,0 +1,64 @@
+"""Unit tests for failure schedules."""
+
+import pytest
+
+from repro.sim.failures import FailureSchedule, random_failure_schedule
+from repro.sim.rng import SimRng
+from repro.types import FailureMode
+
+
+def test_crash_event_recorded():
+    schedule = FailureSchedule().crash("s001", at_time=5.0)
+    assert len(schedule.crash_events) == 1
+    event = schedule.crash_events[0]
+    assert event.pid == "s001" and event.at_time == 5.0
+    assert event.mode is FailureMode.CRASH
+
+
+def test_byzantine_event_recorded():
+    schedule = FailureSchedule().byzantine("s002", behavior="stale")
+    assert schedule.byzantine_ids == ["s002"]
+    assert schedule.events[0].behavior == "stale"
+
+
+def test_builder_chains():
+    schedule = FailureSchedule().crash("a", 1.0).byzantine("b").crash("c", 2.0)
+    assert len(schedule.events) == 3
+
+
+def test_validate_enforces_budget():
+    schedule = FailureSchedule().byzantine("s0").byzantine("s1")
+    with pytest.raises(ValueError):
+        schedule.validate(f=1)
+    schedule.validate(f=2)  # fine
+
+
+def test_random_schedule_within_budget():
+    servers = [f"s{i}" for i in range(10)]
+    for seed in range(20):
+        schedule = random_failure_schedule(servers, f=3, rng=SimRng(seed))
+        assert len(schedule.byzantine_ids) <= 3
+        schedule.validate(f=3)
+
+
+def test_random_schedule_exact_count():
+    servers = [f"s{i}" for i in range(10)]
+    schedule = random_failure_schedule(servers, f=3, rng=SimRng(5),
+                                       byzantine_count=2)
+    assert len(schedule.byzantine_ids) == 2
+
+
+def test_random_schedule_validates_inputs():
+    with pytest.raises(ValueError):
+        random_failure_schedule(["s0"], f=2, rng=SimRng(0))
+    with pytest.raises(ValueError):
+        random_failure_schedule([f"s{i}" for i in range(5)], f=1,
+                                rng=SimRng(0), byzantine_count=2)
+
+
+def test_random_schedule_is_deterministic():
+    servers = [f"s{i}" for i in range(8)]
+    a = random_failure_schedule(servers, f=2, rng=SimRng(42))
+    b = random_failure_schedule(servers, f=2, rng=SimRng(42))
+    assert [(e.pid, e.behavior) for e in a.events] == \
+        [(e.pid, e.behavior) for e in b.events]

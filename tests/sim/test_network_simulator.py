@@ -1,0 +1,221 @@
+"""Integration tests for the network + simulator pair."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.delays import ConstantDelay, RuleBasedDelays
+from repro.sim.network import default_sizer
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+
+class Recorder(Process):
+    """Collects every delivered message with its arrival time."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append((self.ctx.now, sender, message))
+
+
+class Echoer(Recorder):
+    """Replies "echo:<msg>" to every message."""
+
+    def on_message(self, sender, message):
+        super().on_message(sender, message)
+        self.ctx.send(sender, f"echo:{message}")
+
+
+class Starter(Recorder):
+    """Sends a fixed batch of messages when the simulation starts."""
+
+    def __init__(self, pid, envelopes):
+        super().__init__(pid)
+        self.envelopes = envelopes
+
+    def on_start(self):
+        for dst, msg in self.envelopes:
+            self.ctx.send(dst, msg)
+
+
+def test_message_delivery_with_constant_delay():
+    sim = Simulator(delay_model=ConstantDelay(2.0))
+    receiver = sim.add_process(Recorder("b"))
+    sim.add_process(Starter("a", [("b", "hello")]))
+    sim.run()
+    assert receiver.received == [(2.0, "a", "hello")]
+
+
+def test_duplicate_process_id_rejected():
+    sim = Simulator()
+    sim.add_process(Recorder("x"))
+    with pytest.raises(SimulationError):
+        sim.add_process(Recorder("x"))
+
+
+def test_request_reply_round_trip_takes_two_delays():
+    sim = Simulator(delay_model=ConstantDelay(1.5))
+    sim.add_process(Echoer("server"))
+    client = sim.add_process(Starter("client", [("server", "ping")]))
+    sim.run()
+    assert client.received == [(3.0, "server", "echo:ping")]
+
+
+def test_crashed_destination_swallows_messages():
+    sim = Simulator(delay_model=ConstantDelay(1.0))
+    receiver = sim.add_process(Recorder("b"))
+    sim.add_process(Starter("a", [("b", "m1")]))
+    sim.crash("b")
+    sim.run()
+    assert receiver.received == []
+    assert sim.network.stats.messages_sent == 1
+    assert sim.network.stats.messages_delivered == 0
+
+
+def test_crash_unknown_process_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.crash("ghost")
+
+
+def test_sender_crash_does_not_lose_in_flight_message():
+    # The model allows a sender to fail after the message is in the channel.
+    sim = Simulator(delay_model=ConstantDelay(5.0))
+    receiver = sim.add_process(Recorder("b"))
+    sim.add_process(Starter("a", [("b", "last-words")]))
+    sim.schedule(1.0, lambda: sim.crash("a"))
+    sim.run()
+    assert [m for _, _, m in receiver.received] == ["last-words"]
+
+
+def test_held_messages_released_at_end_of_run():
+    delays = RuleBasedDelays(fallback=ConstantDelay(1.0))
+    delays.hold(lambda src, dst, msg: msg == "held")
+    sim = Simulator(delay_model=delays)
+    receiver = sim.add_process(Recorder("b"))
+    sim.add_process(Starter("a", [("b", "held"), ("b", "fast")]))
+    sim.run(release_held_at_end=True)
+    assert [m for _, _, m in receiver.received] == ["fast", "held"]
+
+
+def test_held_messages_can_be_released_manually():
+    delays = RuleBasedDelays(fallback=ConstantDelay(1.0))
+    delays.hold(lambda src, dst, msg: True)
+    sim = Simulator(delay_model=delays)
+    receiver = sim.add_process(Recorder("b"))
+    sim.add_process(Starter("a", [("b", "one"), ("b", "two")]))
+    sim.run(release_held_at_end=False)
+    assert receiver.received == []
+    assert sim.network.held_count == 2
+    released = sim.network.release_held(lambda src, dst, msg: msg == "two")
+    assert released == 1
+    sim.run(release_held_at_end=False)
+    assert [m for _, _, m in receiver.received] == ["two"]
+
+
+def test_network_stats_count_types_and_bytes():
+    sim = Simulator(delay_model=ConstantDelay(0.1))
+    sim.add_process(Recorder("b"))
+    sim.add_process(Starter("a", [("b", "x"), ("b", "y")]))
+    sim.run()
+    stats = sim.network.stats
+    assert stats.messages_sent == 2
+    assert stats.per_type_count["str"] == 2
+    assert stats.bytes_sent == 2 * default_sizer("x")
+
+
+def test_network_tap_sees_all_sends():
+    sim = Simulator(delay_model=ConstantDelay(0.1))
+    sim.add_process(Recorder("b"))
+    sim.add_process(Starter("a", [("b", "m")]))
+    seen = []
+    sim.network.add_tap(lambda src, dst, msg: seen.append((src, dst, msg)))
+    sim.run()
+    assert seen == [("a", "b", "m")]
+
+
+def test_run_for_only_processes_window():
+    sim = Simulator(delay_model=ConstantDelay(10.0))
+    receiver = sim.add_process(Recorder("b"))
+    sim.add_process(Starter("a", [("b", "later")]))
+    sim.run_for(5.0)
+    assert receiver.received == []
+    assert sim.now == 5.0
+    sim.run_for(6.0)
+    assert [m for _, _, m in receiver.received] == ["later"]
+
+
+def test_horizon_guards_against_livelock():
+    sim = Simulator(delay_model=ConstantDelay(1.0), horizon=10.0)
+
+    class Pinger(Process):
+        def on_start(self):
+            self.ctx.send(self.pid, "tick")
+
+        def on_message(self, sender, message):
+            self.ctx.send(self.pid, "tick")
+
+    sim.add_process(Pinger("p"))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_max_events_guards_against_storms():
+    sim = Simulator(delay_model=ConstantDelay(0.000001))
+
+    class Storm(Process):
+        def on_start(self):
+            self.ctx.send(self.pid, 0)
+
+        def on_message(self, sender, message):
+            self.ctx.send(self.pid, message + 1)
+
+    sim.add_process(Storm("s"))
+    with pytest.raises(SimulationError):
+        sim.run(max_events=1000)
+
+
+def test_timers_fire_at_requested_offset():
+    sim = Simulator()
+    times = []
+
+    class TimerUser(Process):
+        def on_start(self):
+            self.ctx.set_timer(4.0, lambda: times.append(self.ctx.now))
+
+        def on_message(self, sender, message):
+            pass
+
+    sim.add_process(TimerUser("t"))
+    sim.run()
+    assert times == [4.0]
+
+
+def test_cancelled_timer_does_not_fire():
+    sim = Simulator()
+    times = []
+
+    class TimerUser(Process):
+        def on_start(self):
+            handle = self.ctx.set_timer(4.0, lambda: times.append("fired"))
+            self.ctx.cancel_timer(handle)
+
+        def on_message(self, sender, message):
+            pass
+
+    sim.add_process(TimerUser("t"))
+    sim.run()
+    assert times == []
+
+
+def test_determinism_same_seed_same_outcome():
+    def run_once():
+        sim = Simulator(seed=77, delay_model=None)
+        receiver = sim.add_process(Recorder("b"))
+        sim.add_process(Starter("a", [("b", i) for i in range(20)]))
+        sim.run()
+        return receiver.received
+
+    assert run_once() == run_once()

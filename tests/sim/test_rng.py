@@ -1,0 +1,82 @@
+"""Unit and property tests for the forkable RNG."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import SimRng, default_rng
+
+
+def test_same_seed_same_stream():
+    a = SimRng(42)
+    b = SimRng(42)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = SimRng(1)
+    b = SimRng(2)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_fork_is_deterministic():
+    a = SimRng(7).fork("net")
+    b = SimRng(7).fork("net")
+    assert [a.randint(0, 100) for _ in range(5)] == [b.randint(0, 100) for _ in range(5)]
+
+
+def test_forked_streams_are_independent():
+    root = SimRng(7)
+    net = root.fork("net")
+    workload = root.fork("workload")
+    net_draws = [net.random() for _ in range(5)]
+    # Drawing from one stream does not shift the other.
+    fresh_workload = SimRng(7).fork("workload")
+    assert [workload.random() for _ in range(5)] == \
+        [fresh_workload.random() for _ in range(5)]
+    assert net_draws != [SimRng(7).fork("net2").random() for _ in range(5)]
+
+
+def test_nested_fork_labels_compose():
+    a = SimRng(3).fork("x").fork("y")
+    b = SimRng(3).fork("x").fork("y")
+    assert a.random() == b.random()
+    assert a.label == "root/x/y"
+
+
+def test_default_rng_seed_zero():
+    assert default_rng().seed == 0
+    assert default_rng(9).seed == 9
+
+
+def test_randbytes_length_and_determinism():
+    a = SimRng(5).randbytes(32)
+    b = SimRng(5).randbytes(32)
+    assert len(a) == 32
+    assert a == b
+
+
+@given(st.integers(min_value=1, max_value=50), st.floats(min_value=0.0, max_value=3.0))
+def test_zipf_index_in_range(n, skew):
+    rng = SimRng(11, "zipf")
+    for _ in range(20):
+        assert 0 <= rng.zipf_index(n, skew) < n
+
+
+def test_zipf_skew_prefers_low_indices():
+    rng = SimRng(13, "zipf-skew")
+    draws = [rng.zipf_index(100, 1.5) for _ in range(2000)]
+    low = sum(1 for d in draws if d < 10)
+    assert low > len(draws) * 0.4  # heavily skewed toward the head
+
+
+def test_zipf_rejects_empty_population():
+    import pytest
+    with pytest.raises(ValueError):
+        SimRng(0).zipf_index(0, 1.0)
+
+
+def test_sample_and_choice_are_seeded():
+    a = SimRng(21)
+    b = SimRng(21)
+    population = list(range(100))
+    assert a.sample(population, 10) == b.sample(population, 10)
+    assert a.choice(population) == b.choice(population)

@@ -1,0 +1,62 @@
+"""Unit tests for the size-dependent delay model."""
+
+import pytest
+
+from repro.core.messages import PutData
+from repro.core.tags import Tag
+from repro.sim.delays import SizeDependentDelay
+from repro.sim.rng import SimRng
+
+
+@pytest.fixture
+def rng():
+    return SimRng(17, "size-delays")
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SizeDependentDelay(base=-1)
+    with pytest.raises(ValueError):
+        SizeDependentDelay(bytes_per_second=0)
+    with pytest.raises(ValueError):
+        SizeDependentDelay(jitter=1.0)
+
+
+def test_delay_grows_with_payload(rng):
+    model = SizeDependentDelay(base=0.1, bytes_per_second=1000)
+    small = PutData(op_id=1, tag=Tag(1, "w"), payload=b"x")
+    large = PutData(op_id=1, tag=Tag(1, "w"), payload=b"x" * 10_000)
+    assert model.sample("a", "b", large, 0.0, rng) > \
+        model.sample("a", "b", small, 0.0, rng)
+
+
+def test_exact_formula_without_jitter(rng):
+    model = SizeDependentDelay(base=0.5, bytes_per_second=100)
+    message = PutData(op_id=1, tag=Tag(1, "w"), payload=b"1234567890")
+    expected = 0.5 + message.wire_size() / 100
+    assert model.sample("a", "b", message, 0.0, rng) == pytest.approx(expected)
+
+
+def test_jitter_bounds(rng):
+    model = SizeDependentDelay(base=1.0, bytes_per_second=1e9, jitter=0.2)
+    # Serialization is negligible at 1 GB/s; delay is base +/- 20 %.
+    for _ in range(100):
+        delay = model.sample("a", "b", "m", 0.0, rng)
+        assert 0.79 <= delay <= 1.21
+
+
+def test_custom_sizer(rng):
+    model = SizeDependentDelay(base=0.0, bytes_per_second=1.0,
+                               sizer=lambda m: 42)
+    assert model.sample("a", "b", object(), 0.0, rng) == 42.0
+
+
+def test_fallback_sizer_for_plain_objects(rng):
+    model = SizeDependentDelay(base=0.0, bytes_per_second=1.0)
+    delay = model.sample("a", "b", "hello", 0.0, rng)
+    assert delay == 16 + len(repr("hello"))
+
+
+def test_describe():
+    text = SizeDependentDelay(base=0.1, bytes_per_second=1e6).describe()
+    assert "size-dependent" in text

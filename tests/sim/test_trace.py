@@ -1,0 +1,86 @@
+"""Unit tests for execution traces and operation records."""
+
+from repro.sim.trace import OpKind, Trace
+
+
+def make_trace():
+    trace = Trace()
+    w = trace.begin("w0", OpKind.WRITE, 0.0, value=b"v1")
+    trace.complete(w, 2.0, tag="t1", rounds=2)
+    r = trace.begin("r0", OpKind.READ, 3.0)
+    trace.complete(r, 4.0, value=b"v1", tag="t1", rounds=1)
+    return trace, w, r
+
+
+def test_begin_assigns_increasing_ids():
+    trace = Trace()
+    a = trace.begin("c", OpKind.READ, 0.0)
+    b = trace.begin("c", OpKind.READ, 1.0)
+    assert b.op_id > a.op_id
+
+
+def test_latency_and_completeness():
+    trace, w, r = make_trace()
+    assert w.complete and w.latency == 2.0
+    assert r.complete and r.latency == 1.0
+
+
+def test_incomplete_operation_has_no_latency():
+    trace = Trace()
+    op = trace.begin("c", OpKind.WRITE, 0.0, value=b"x")
+    assert not op.complete
+    assert op.latency is None
+
+
+def test_read_value_set_on_completion():
+    trace = Trace()
+    op = trace.begin("r", OpKind.READ, 0.0)
+    trace.complete(op, 1.0, value=b"result")
+    assert op.value == b"result"
+
+
+def test_write_value_not_overwritten_on_completion():
+    trace = Trace()
+    op = trace.begin("w", OpKind.WRITE, 0.0, value=b"payload")
+    trace.complete(op, 1.0, value="ignored")
+    assert op.value == b"payload"
+
+
+def test_precedes_and_concurrency():
+    trace = Trace()
+    first = trace.begin("a", OpKind.WRITE, 0.0, value=1)
+    trace.complete(first, 1.0)
+    second = trace.begin("b", OpKind.READ, 2.0)
+    trace.complete(second, 3.0)
+    overlapping = trace.begin("c", OpKind.READ, 0.5)
+    trace.complete(overlapping, 2.5)
+    assert first.precedes(second)
+    assert not second.precedes(first)
+    assert first.concurrent_with(overlapping)
+    assert overlapping.concurrent_with(second)
+
+
+def test_incomplete_op_never_precedes():
+    trace = Trace()
+    pending = trace.begin("a", OpKind.WRITE, 0.0, value=1)
+    later = trace.begin("b", OpKind.READ, 10.0)
+    trace.complete(later, 11.0)
+    assert not pending.precedes(later)
+    assert not later.precedes(pending)  # pending invoked before later responded
+    assert pending.concurrent_with(later)
+
+
+def test_filters():
+    trace, w, r = make_trace()
+    pending_write = trace.begin("w1", OpKind.WRITE, 5.0, value=b"v2")
+    assert trace.reads() == [r]
+    assert w in trace.writes() and pending_write in trace.writes()
+    assert trace.writes(completed_only=True) == [w]
+    assert len(trace.completed) == 2
+    assert len(trace) == 3
+
+
+def test_format_is_human_readable():
+    trace, _, _ = make_trace()
+    text = trace.format()
+    assert "write" in text and "read" in text and "w0" in text

@@ -1,0 +1,66 @@
+"""Unit tests for shared types and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.types import (
+    FailureMode,
+    Role,
+    SystemConfig,
+    reader_id,
+    server_id,
+    writer_id,
+)
+
+
+def test_canonical_ids_are_ordered_and_distinct():
+    assert server_id(0) == "s000" and server_id(42) == "s042"
+    assert writer_id(3) == "w003"
+    assert reader_id(7) == "r007"
+    # Lexicographic order matches numeric order within a role.
+    assert server_id(2) < server_id(10)
+    # Roles never collide.
+    assert len({server_id(1), writer_id(1), reader_id(1)}) == 3
+
+
+def test_system_config_accessors():
+    config = SystemConfig(n=5, f=1, num_writers=2, num_readers=3)
+    assert len(config.servers) == 5
+    assert len(config.writers) == 2
+    assert len(config.readers) == 3
+    assert config.quorum == 4
+
+
+def test_system_config_validation():
+    with pytest.raises(ValueError):
+        SystemConfig(n=0, f=0)
+    with pytest.raises(ValueError):
+        SystemConfig(n=3, f=-1)
+    with pytest.raises(ValueError):
+        SystemConfig(n=3, f=1, num_writers=-1)
+
+
+def test_enums():
+    assert Role.SERVER.value == "server"
+    assert FailureMode.BYZANTINE.value == "byzantine"
+
+
+def test_error_hierarchy():
+    assert issubclass(errors.QuorumError, errors.ConfigurationError)
+    assert issubclass(errors.ConfigurationError, errors.ReproError)
+    assert issubclass(errors.AuthenticationError, errors.ProtocolError)
+    assert issubclass(errors.LivenessError, errors.SimulationError)
+    assert issubclass(errors.DecodingError, errors.ReproError)
+    assert issubclass(errors.ConsistencyViolation, errors.ReproError)
+
+
+def test_consistency_violation_carries_operations():
+    violation = errors.ConsistencyViolation("bad", operations=(1, 2))
+    assert violation.operations == (1, 2)
+
+
+def test_single_except_clause_catches_everything():
+    for exc in (errors.QuorumError("x"), errors.DecodingError("x"),
+                errors.LivenessError("x"), errors.ProtocolError("x")):
+        with pytest.raises(errors.ReproError):
+            raise exc

@@ -1,0 +1,84 @@
+"""Unit tests for HMAC message authentication."""
+
+import pytest
+
+from repro.errors import AuthenticationError
+from repro.transport.auth import Authenticator, KeyChain
+
+
+@pytest.fixture
+def auth():
+    return Authenticator(KeyChain.from_secret(b"secret", ["a", "b"]))
+
+
+def test_sign_verify_roundtrip(auth):
+    signature = auth.sign("a", b"payload")
+    auth.verify("a", b"payload", signature)  # no exception
+
+
+def test_tampered_payload_rejected(auth):
+    signature = auth.sign("a", b"payload")
+    with pytest.raises(AuthenticationError):
+        auth.verify("a", b"PAYLOAD", signature)
+
+
+def test_wrong_sender_rejected(auth):
+    """A process cannot impersonate another: keys differ per process."""
+    signature = auth.sign("a", b"payload")
+    with pytest.raises(AuthenticationError):
+        auth.verify("b", b"payload", signature)
+
+
+def test_seal_open_roundtrip(auth):
+    sealed = auth.seal("a", b"hello")
+    assert auth.open(sealed) == ("a", b"hello")
+
+
+def test_open_rejects_truncated(auth):
+    with pytest.raises(AuthenticationError):
+        auth.open(b"\x00")
+    with pytest.raises(AuthenticationError):
+        auth.open(b"\x00\x05abc")
+
+
+def test_open_rejects_flipped_bit(auth):
+    sealed = bytearray(auth.seal("a", b"hello"))
+    sealed[-1] ^= 0x01
+    with pytest.raises(AuthenticationError):
+        auth.open(bytes(sealed))
+
+
+def test_keychain_without_secret_rejects_unknown():
+    chain = KeyChain({"a": b"k" * 32})
+    assert chain.key_for("a") == b"k" * 32
+    with pytest.raises(AuthenticationError):
+        chain.key_for("stranger")
+
+
+def test_keychain_with_secret_derives_on_demand():
+    chain = KeyChain.from_secret(b"s")
+    key1 = chain.key_for("newcomer")
+    key2 = KeyChain.from_secret(b"s").key_for("newcomer")
+    assert key1 == key2
+    assert chain.key_for("other") != key1
+
+
+def test_keychain_add_and_contains():
+    chain = KeyChain({})
+    assert "x" not in chain
+    chain.add("x", b"key")
+    assert "x" in chain
+
+
+def test_different_secrets_do_not_interoperate():
+    a = Authenticator(KeyChain.from_secret(b"one"))
+    b = Authenticator(KeyChain.from_secret(b"two"))
+    sealed = a.seal("p", b"data")
+    with pytest.raises(AuthenticationError):
+        b.open(sealed)
+
+
+def test_empty_payload_and_unicode_sender():
+    auth = Authenticator(KeyChain.from_secret(b"s"))
+    sealed = auth.seal("ünïcode", b"")
+    assert auth.open(sealed) == ("ünïcode", b"")
