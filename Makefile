@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables examples modelcheck clean
+.PHONY: install test bench bench-codec bench-tables examples modelcheck clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -13,12 +13,18 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q --ignore=tests/modelcheck
 
+# -m "" clears the default "not slow_bench" filter so the full suite runs.
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -m ""
+
+# Codec throughput (vectorized GF(256) kernels vs the scalar reference);
+# writes BENCH_codec.json at the repository root.
+bench-codec:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_codec_throughput.py
 
 # Regenerate every experiment table (what EXPERIMENTS.md records).
 bench-tables:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s -m ""
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,167 @@
+"""Codec throughput: vectorized GF(256) kernels vs the scalar reference.
+
+Measures ``StripedCodec`` encode and decode MB/s across value sizes and
+``[n, k]`` shapes for both the column-oriented kernel paths
+(``kernels=True``, the default) and the byte-at-a-time scalar reference
+(``kernels=False``), on the clean path (all honest elements) and the
+corrupted path (``f`` erasures plus ``2f`` corrupted elements, the BCSR
+read regime of Lemma 4).
+
+Run directly (or via ``make bench-codec``) to write ``BENCH_codec.json``
+at the repository root:
+
+    PYTHONPATH=src python benchmarks/bench_codec_throughput.py
+
+The pytest entry point is marked ``slow_bench`` and excluded from the
+tier-1 run; it asserts the speedup floor the kernels are expected to hold
+(>= 50x encode and errorless decode on 64 KiB values, >= 5x corrupted).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.erasure.striping import CodedElement, StripedCodec
+from repro.sim.rng import SimRng
+
+pytestmark = pytest.mark.slow_bench
+
+#: (n, f) shapes; the BCSR code dimension is k = n - 5f.
+SHAPES = ((11, 2), (16, 2), (10, 1))
+
+#: Value sizes in bytes.
+SIZES = (4096, 65536, 262144)
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_codec.json"
+
+#: Speedup floors asserted on >= 64 KiB values.
+MIN_SPEEDUP_CLEAN = 50.0
+MIN_SPEEDUP_CORRUPTED = 5.0
+
+
+def _value(size: int, seed: int = 0) -> bytes:
+    rng = SimRng(seed, f"codec-bench-{size}")
+    return bytes(rng.randint(0, 255) for _ in range(size))
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _corrupt(elements, f: int, rng: SimRng):
+    """The Lemma 4 read regime: keep n - f elements, corrupt 2f of them."""
+    received = list(elements[: len(elements) - f])
+    targets = set(rng.sample(range(len(received)), 2 * f))
+    return [
+        CodedElement(e.index, bytes(b ^ 0xFF for b in e.data))
+        if i in targets else e
+        for i, e in enumerate(received)
+    ]
+
+
+def _measure_shape(n: int, f: int, size: int, scalar_repeats: int = 1,
+                   kernel_repeats: int = 5) -> list:
+    """Rows of (path, scalar MB/s, kernel MB/s, speedup) for one config."""
+    k = n - 5 * f
+    fast = StripedCodec(n, k, kernels=True)
+    slow = StripedCodec(n, k, kernels=False)
+    value = _value(size)
+    rng = SimRng(size, f"codec-bench-{n}-{f}")
+    encoded = fast.encode(value)
+    clean = encoded[: n - f]
+    corrupted = _corrupt(encoded, f, rng)
+
+    assert fast.decode(clean) == value
+    assert slow.decode(clean) == value
+    assert fast.decode(corrupted, max_errors=2 * f) == value
+
+    mb = size / 1e6
+    rows = []
+    for path, fast_fn, slow_fn in (
+        ("encode", lambda: fast.encode(value), lambda: slow.encode(value)),
+        ("decode_clean", lambda: fast.decode(clean), lambda: slow.decode(clean)),
+        ("decode_corrupted",
+         lambda: fast.decode(corrupted, max_errors=2 * f),
+         lambda: slow.decode(corrupted, max_errors=2 * f)),
+    ):
+        kernel_s = _time(fast_fn, kernel_repeats)
+        scalar_s = _time(slow_fn, scalar_repeats)
+        rows.append({
+            "shape": [n, k],
+            "f": f,
+            "value_bytes": size,
+            "path": path,
+            "scalar_mbps": round(mb / scalar_s, 3),
+            "kernels_mbps": round(mb / kernel_s, 3),
+            "speedup": round(scalar_s / kernel_s, 1),
+        })
+    return rows
+
+
+def run_benchmark(sizes=SIZES, shapes=SHAPES) -> dict:
+    results = []
+    for n, f in shapes:
+        for size in sizes:
+            results.extend(_measure_shape(n, f, size))
+    return {
+        "benchmark": "codec_throughput",
+        "unit": "MB/s",
+        "paths": ["encode", "decode_clean", "decode_corrupted"],
+        "results": results,
+    }
+
+
+def write_report(report: dict) -> None:
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def format_report(report: dict) -> str:
+    header = (f"{'shape':>8} {'size':>8} {'path':>17} "
+              f"{'scalar MB/s':>12} {'kernel MB/s':>12} {'speedup':>8}")
+    lines = [header, "-" * len(header)]
+    for row in report["results"]:
+        n, k = row["shape"]
+        lines.append(
+            f"[{n},{k:2d}] {row['value_bytes']:>8} {row['path']:>17} "
+            f"{row['scalar_mbps']:>12.2f} {row['kernels_mbps']:>12.2f} "
+            f"{row['speedup']:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_codec_kernel_speedup_floor():
+    """Kernels hold the promised floor on 64 KiB values, every shape."""
+    report = run_benchmark(sizes=(65536,))
+    for row in report["results"]:
+        floor = (MIN_SPEEDUP_CORRUPTED if row["path"] == "decode_corrupted"
+                 else MIN_SPEEDUP_CLEAN)
+        assert row["speedup"] >= floor, (
+            f"{row['path']} on {row['shape']} only {row['speedup']}x "
+            f"(need >= {floor}x)"
+        )
+
+
+def main() -> None:
+    report = run_benchmark()
+    write_report(report)
+    print(format_report(report))
+    print(f"\nwrote {OUTPUT}")
+    big = [r for r in report["results"] if r["value_bytes"] >= 65536]
+    clean = [r for r in big if r["path"] != "decode_corrupted"]
+    corrupted = [r for r in big if r["path"] == "decode_corrupted"]
+    print(f"min clean-path speedup  (>=64 KiB): "
+          f"{min(r['speedup'] for r in clean):.1f}x (target {MIN_SPEEDUP_CLEAN}x)")
+    print(f"min corrupted-path speedup (>=64 KiB): "
+          f"{min(r['speedup'] for r in corrupted):.1f}x (target {MIN_SPEEDUP_CORRUPTED}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,8 @@ uses the bounded exhaustive model checker instead:
 Explored state counts are reported so the "exhaustive" claim is auditable.
 """
 
+import pytest
+
 from repro.metrics import format_table
 from repro.modelcheck import ModelChecker
 from repro.modelcheck.scenarios import (
@@ -23,6 +25,9 @@ from repro.modelcheck.scenarios import (
 )
 
 from benchmarks.conftest import emit
+
+#: The exhaustive schedule search runs ~50s; keep it out of default runs.
+pytestmark = pytest.mark.slow_bench
 
 AT_BOUND_SAMPLES = (
     ((0, 1, 2, 3), (0, 1, 2, 3)),

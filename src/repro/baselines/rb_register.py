@@ -35,6 +35,7 @@ from repro.core.messages import (
     RBReady,
     RBSend,
     TagReply,
+    stored_size,
 )
 from repro.core.operation import ClientOperation, ReplyCollector
 from repro.core.quorum import kth_highest, validate_rb_config, witness_threshold
@@ -70,8 +71,7 @@ class RBRegisterServer:
 
     def storage_bytes(self) -> int:
         """Bytes of user data stored (full replication, like BSR)."""
-        value = self.latest.value
-        return len(value) if isinstance(value, (bytes, bytearray)) else len(repr(value))
+        return stored_size(self.latest.value)
 
     # -- message handling ---------------------------------------------------
     def handle(self, sender: ProcessId, message: Any) -> List[Envelope]:

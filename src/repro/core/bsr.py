@@ -29,6 +29,7 @@ from repro.core.messages import (
     QueryData,
     QueryTag,
     TagReply,
+    stored_size,
 )
 from repro.core.operation import ClientOperation, ReplyCollector
 from repro.core.quorum import kth_highest, validate_bsr_config, witness_threshold
@@ -73,8 +74,7 @@ class BSRServer:
         Charges only the *current* value, matching the replication baseline
         of Section I-C where each server stores one copy of the register.
         """
-        value = self.latest.value
-        return len(value) if isinstance(value, (bytes, bytearray)) else len(repr(value))
+        return stored_size(self.latest.value)
 
     # -- message handling -----------------------------------------------------
     def handle(self, sender: ProcessId, message: Any) -> List[Envelope]:
@@ -106,16 +106,7 @@ class BSRServer:
 
     def history_bytes(self) -> int:
         """Approximate bytes of the whole list ``L`` (for the E12 ablation)."""
-        total = 0
-        for pair in self.history:
-            value = pair.value
-            if isinstance(value, (bytes, bytearray)):
-                total += len(value)
-            elif hasattr(value, "data"):
-                total += len(value.data)
-            else:
-                total += len(repr(value))
-        return total
+        return sum(stored_size(pair.value) for pair in self.history)
 
     def _get_data_resp(self, sender: ProcessId, message: QueryData) -> List[Envelope]:
         latest = self.latest

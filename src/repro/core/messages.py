@@ -15,28 +15,47 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Tuple
 
-from repro.core.tags import Tag, TaggedValue
-from repro.erasure.striping import CodedElement
+from repro.core.tags import TAG_BYTES, Tag, TaggedValue
 
 #: Fixed per-message overhead charged by ``wire_size`` (type, ids, framing).
 HEADER_BYTES = 24
 
-#: Charged per tag on the wire (an int plus a short writer id).
-TAG_BYTES = 12
-
 
 def payload_size(value: Any) -> int:
-    """Approximate byte size of a value or coded element on the wire."""
+    """Byte size of a value or coded element on the wire.
+
+    Payload types that know their actual encoded length (coded elements,
+    tagged values, tags) report it through their own ``wire_size()``; the
+    ``repr`` fallback only remains for exotic payloads no protocol message
+    carries, so the E4/E13 communication-cost numbers reflect real bytes.
+    """
     if value is None:
         return 0
     if isinstance(value, (bytes, bytearray)):
         return len(value)
-    if isinstance(value, CodedElement):
-        return len(value.data) + 4
+    if hasattr(value, "wire_size"):
+        return int(value.wire_size())
     if isinstance(value, str):
         return len(value.encode())
-    if isinstance(value, TaggedValue):
-        return TAG_BYTES + payload_size(value.value)
+    return len(repr(value))
+
+
+def stored_size(value: Any) -> int:
+    """Bytes of user data a server stores for ``value`` (experiment E4).
+
+    Unlike :func:`payload_size` this excludes wire framing: a coded element
+    counts only its data bytes, matching the ``1/k`` storage accounting of
+    Section I-C.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    data = getattr(value, "data", None)
+    if isinstance(data, (bytes, bytearray)):
+        return len(data)
+    if hasattr(value, "wire_size"):
+        return int(value.wire_size())
     return len(repr(value))
 
 

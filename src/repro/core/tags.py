@@ -15,6 +15,11 @@ from typing import Any, Tuple
 
 from repro.types import ProcessId
 
+#: Bytes a tag occupies on the wire (an int plus a short writer id).  Lives
+#: here, next to the type, so payload carriers (messages, namespace
+#: wrappers) and the tagged values themselves charge the same amount.
+TAG_BYTES = 12
+
 
 @functools.total_ordering
 @dataclass(frozen=True)
@@ -50,6 +55,10 @@ class Tag:
         num, writer = wire
         return cls(int(num), str(writer))
 
+    def wire_size(self) -> int:
+        """Approximate on-the-wire size of a tag."""
+        return TAG_BYTES
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"({self.num},{self.writer})"
 
@@ -72,6 +81,26 @@ class TaggedValue:
 
     def __lt__(self, other: "TaggedValue") -> bool:
         return self.tag < other.tag
+
+    def wire_size(self) -> int:
+        """Actual encoded length of the pair: tag plus its value's bytes.
+
+        Delegates to the value's own ``wire_size()`` when it has one (coded
+        elements, nested pairs); the ``repr`` fallback only remains for
+        exotic test payloads.
+        """
+        value = self.value
+        if value is None:
+            inner = 0
+        elif hasattr(value, "wire_size"):
+            inner = int(value.wire_size())
+        elif isinstance(value, (bytes, bytearray)):
+            inner = len(value)
+        elif isinstance(value, str):
+            inner = len(value.encode())
+        else:
+            inner = len(repr(value))
+        return TAG_BYTES + inner
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.tag}:{self.value!r}"

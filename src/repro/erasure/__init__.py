@@ -10,9 +10,11 @@ any ``k`` correct coded elements determine the value, and a decoder given
 ``k = n - 5f``, ``N = n - f`` and ``e = 2f``.
 """
 
+from repro.erasure import kernels
 from repro.erasure.gf256 import GF256
 from repro.erasure.poly import Poly
 from repro.erasure.rs import ReedSolomon
 from repro.erasure.striping import CodedElement, StripedCodec
 
-__all__ = ["GF256", "Poly", "ReedSolomon", "StripedCodec", "CodedElement"]
+__all__ = ["GF256", "Poly", "ReedSolomon", "StripedCodec", "CodedElement",
+           "kernels"]

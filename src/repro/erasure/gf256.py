@@ -101,3 +101,17 @@ class GF256:
     def generator_power(i: int) -> int:
         """The ``i``-th power of the field generator (0x02)."""
         return _EXP[i % ORDER]
+
+    @staticmethod
+    def mul_row(c: int) -> List[int]:
+        """One row of the multiplication table: ``[c * x for x in 0..255]``.
+
+        Feeds the ``bytes.translate`` kernels in
+        :mod:`repro.erasure.kernels`; computed directly from the log/exp
+        tables so building a row costs one addition per entry.
+        """
+        GF256.validate(c)
+        if c == 0:
+            return [0] * 256
+        log_c = _LOG[c]
+        return [0] + [_EXP[log_c + _LOG[x]] for x in range(1, 256)]

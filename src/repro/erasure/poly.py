@@ -44,6 +44,29 @@ class Poly:
         return cls([0] * degree + [coeff])
 
     @classmethod
+    def lagrange_basis(cls, xs: Sequence[int]) -> List["Poly"]:
+        """All Lagrange basis polynomials over distinct points ``xs``.
+
+        ``basis[i]`` has degree ``len(xs) - 1`` with ``basis[i](xs[i]) == 1``
+        and ``basis[i](xs[j]) == 0`` for ``j != i``.  Built by dividing the
+        master polynomial ``prod(x - xj)`` once per point instead of
+        re-multiplying ``k - 1`` linear factors per basis -- O(k^2) field
+        operations total instead of O(k^3), which keeps (re)building the
+        codec's parity and recovery matrices cheap.
+        """
+        if len(set(xs)) != len(xs):
+            raise ValueError("basis points must have distinct x")
+        master = cls.constant(1)
+        for xj in xs:
+            master = master * cls((xj, 1))  # (x - xj) == (x + xj) in GF(2^8)
+        basis: List[Poly] = []
+        for xi in xs:
+            # xi is a root of master, so the division is exact.
+            quotient, _ = master.divmod(cls((xi, 1)))
+            basis.append(quotient.scale(GF256.inv(quotient.evaluate(xi))))
+        return basis
+
+    @classmethod
     def interpolate(cls, points: Sequence[Tuple[int, int]]) -> "Poly":
         """Lagrange interpolation through ``(x, y)`` points with distinct x.
 

@@ -14,8 +14,10 @@ Section IV-A of the paper assumes with ``k = n - f - 2e``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.erasure import kernels
 from repro.erasure.gf256 import GF256
 from repro.erasure.poly import Poly
 from repro.errors import ConfigurationError, DecodingError
@@ -64,6 +66,31 @@ def solve_linear_system(matrix: List[List[int]], rhs: List[int]) -> Optional[Lis
     return solution
 
 
+#: Recovery-matrix LRU capacity per ``[n, k]`` shape.
+_RECOVERY_CACHE_SIZE = 64
+
+
+class _CodeTables:
+    """Tables shared by every :class:`ReedSolomon` instance of one shape.
+
+    Keyed by ``(n, k)`` in :data:`_TABLES_BY_SHAPE`, so short-lived codec
+    objects (one per operation in the simulator) never rebuild the parity
+    matrix or the recovery matrices; the per-multiplier translation tables
+    live process-wide in :mod:`repro.erasure.kernels` already.
+    """
+
+    __slots__ = ("parity", "recovery")
+
+    def __init__(self) -> None:
+        self.parity: Optional[List[List[int]]] = None
+        #: position-tuple -> (recovery matrix, verification matrix), an LRU
+        #: ordered oldest-first; see ReedSolomon._recovery_for.
+        self.recovery: "OrderedDict[Tuple[int, ...], tuple]" = OrderedDict()
+
+
+_TABLES_BY_SHAPE: Dict[Tuple[int, int], _CodeTables] = {}
+
+
 class ReedSolomon:
     """A systematic ``[n, k]`` Reed-Solomon code over GF(2^8)."""
 
@@ -78,32 +105,25 @@ class ReedSolomon:
         self.k = k
         #: Distinct non-zero evaluation points, one per coded element.
         self.points: Tuple[int, ...] = tuple(range(1, n + 1))
-        self._parity_matrix: Optional[List[List[int]]] = None
-        #: position-tuple -> (recovery matrix, verification matrix) cache
-        #: for the errorless fast path; bounded, see _recovery_for.
-        self._recovery_cache: dict = {}
+        self._tables = _TABLES_BY_SHAPE.setdefault((n, k), _CodeTables())
+        #: Alias kept for introspection/tests; the LRU itself is shared.
+        self._recovery_cache = self._tables.recovery
 
     def _parity(self) -> List[List[int]]:
         """``(n-k) x k`` generator columns for the parity positions.
 
         ``parity[j][i] = l_i(x_{k+j})`` where ``l_i`` is the i-th Lagrange
-        basis polynomial over the first ``k`` points.  Computed once, so
-        encoding a stripe is a plain matrix-vector product instead of a
-        fresh interpolation -- the hot path when striping large values.
+        basis polynomial over the first ``k`` points.  Computed once per
+        shape, so encoding a stripe is a plain matrix-vector product instead
+        of a fresh interpolation -- the hot path when striping large values.
         """
-        if self._parity_matrix is None:
-            matrix: List[List[int]] = []
-            for j in range(self.k, self.n):
-                row = []
-                for i in range(self.k):
-                    unit = [0] * self.k
-                    unit[i] = 1
-                    basis = Poly.interpolate(
-                        list(zip(self.points[: self.k], unit)))
-                    row.append(basis.evaluate(self.points[j]))
-                matrix.append(row)
-            self._parity_matrix = matrix
-        return self._parity_matrix
+        if self._tables.parity is None:
+            basis = Poly.lagrange_basis(list(self.points[: self.k]))
+            self._tables.parity = [
+                [basis[i].evaluate(self.points[j]) for i in range(self.k)]
+                for j in range(self.k, self.n)
+            ]
+        return self._tables.parity
 
     # -- encoding ----------------------------------------------------------
     def message_polynomial(self, message: Sequence[int]) -> Poly:
@@ -124,6 +144,19 @@ class ReedSolomon:
                     acc = GF256.add(acc, GF256.mul(coeff, symbol))
             codeword.append(acc)
         return codeword
+
+    def encode_columns(self, cols: Sequence[bytes]) -> List[bytes]:
+        """Encode ``k`` equal-length byte columns into ``n`` coded columns.
+
+        Column ``i`` holds message symbol ``i`` of every stripe, so this is
+        :meth:`encode` applied to all stripes at once: the systematic
+        columns pass through and each parity column is one row of the
+        cached parity matrix applied to the message columns via the bulk
+        kernels.  Produces bytes identical to the per-stripe scalar path.
+        """
+        if len(cols) != self.k:
+            raise ValueError(f"need k={self.k} columns, got {len(cols)}")
+        return [bytes(col) for col in cols] + kernels.matvec(self._parity(), cols)
 
     @property
     def max_correctable_errors(self) -> int:
@@ -202,27 +235,26 @@ class ReedSolomon:
         first ``k``) to message symbol ``i``.  ``verify[v][j]``: predicted
         symbol at extra received position ``v`` from the same inputs.  The
         cache is keyed by the exact received-position tuple -- constant
-        across the stripes of one value, which is the hot path.
+        across the stripes of one value, which is the hot path -- and kept
+        as an LRU shared by every instance of this ``[n, k]`` shape.
         """
-        cached = self._recovery_cache.get(positions)
+        cache = self._tables.recovery
+        cached = cache.get(positions)
         if cached is not None:
+            cache.move_to_end(positions)
             return cached
         base_points = [self.points[p] for p in positions[: self.k]]
         extra_points = [self.points[p] for p in positions[self.k:]]
-        recover: List[List[int]] = [[0] * self.k for _ in range(self.k)]
-        verify: List[List[int]] = [[0] * self.k for _ in range(len(extra_points))]
-        for j in range(self.k):
-            unit = [0] * self.k
-            unit[j] = 1
-            basis = Poly.interpolate(list(zip(base_points, unit)))
-            for i in range(self.k):
-                recover[i][j] = basis.evaluate(self.points[i])
-            for v, x in enumerate(extra_points):
-                verify[v][j] = basis.evaluate(x)
-        if len(self._recovery_cache) > 64:
-            self._recovery_cache.clear()
-        self._recovery_cache[positions] = (recover, verify)
-        return recover, verify
+        basis = Poly.lagrange_basis(base_points)
+        recover = [[basis[j].evaluate(self.points[i]) for j in range(self.k)]
+                   for i in range(self.k)]
+        verify = [[basis[j].evaluate(x) for j in range(self.k)]
+                  for x in extra_points]
+        entry = (recover, verify)
+        cache[positions] = entry
+        while len(cache) > _RECOVERY_CACHE_SIZE:
+            cache.popitem(last=False)
+        return entry
 
     def decode_fast(self, positions: Tuple[int, ...],
                     symbols: Sequence[int]) -> Optional[List[int]]:
@@ -252,6 +284,34 @@ class ReedSolomon:
             if acc != symbols[self.k + v]:
                 return None
         return message
+
+    def decode_fast_columns(self, positions: Tuple[int, ...],
+                            cols: Sequence[bytes]) -> Tuple[List[bytes], Set[int]]:
+        """Errorless decode of every stripe at once using cached matrices.
+
+        ``cols[j]`` holds the symbol received at codeword position
+        ``positions[j]`` for every stripe.  Returns ``(message_cols, bad)``:
+        the recovered message columns plus the set of stripe indices where
+        some extra received symbol disagrees with the reconstruction --
+        exactly the stripes :meth:`decode_fast` would return ``None`` for.
+        Message columns are only trustworthy at stripes outside ``bad``.
+        """
+        if len(positions) < self.k:
+            raise DecodingError(
+                f"need at least k={self.k} coded elements, got {len(positions)}"
+            )
+        recover, verify = self._recovery_for(tuple(positions))
+        base = list(cols[: self.k])
+        message = kernels.matvec(recover, base)
+        bad: Set[int] = set()
+        stripe_count = len(cols[0]) if cols else 0
+        if verify:
+            predicted = kernels.matvec(verify, base)
+            for pred, actual in zip(predicted, cols[self.k:]):
+                bad.update(kernels.diff_indices(pred, actual))
+                if len(bad) == stripe_count:
+                    break
+        return message, bad
 
     def _berlekamp_welch_with_errors(self, points: Sequence[Tuple[int, int]],
                                      e: int) -> Optional[Poly]:

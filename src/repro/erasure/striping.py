@@ -12,17 +12,32 @@ Section I-C.
 
 Framing: a 4-byte big-endian length prefix precedes the value so padding can
 be stripped after decoding.
+
+Layout note: a coded element *is* one column of the codeword matrix
+(symbol ``i`` across all stripes), which is what lets the default
+``kernels=True`` paths hand whole elements to the bulk GF(256) kernels in
+:mod:`repro.erasure.kernels` -- encoding is a parity-matrix x column product
+and the errorless decode recovers and verifies entire columns at once,
+falling back to per-stripe Berlekamp-Welch only for the few stripe indices a
+C-level compare flags as inconsistent.  ``kernels=False`` keeps the original
+byte-at-a-time implementation as a differential-testing reference; both
+paths produce bit-identical output and raise identical errors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.erasure import kernels
 from repro.erasure.rs import ReedSolomon
 from repro.errors import DecodingError
 
 _LENGTH_PREFIX = 4
+
+#: Bytes a compact wire encoding spends on one coded element beyond its
+#: data: a 4-byte codeword index plus a 4-byte length prefix.
+_ELEMENT_OVERHEAD = 8
 
 
 @dataclass(frozen=True)
@@ -35,14 +50,24 @@ class CodedElement:
     def __len__(self) -> int:
         return len(self.data)
 
+    def wire_size(self) -> int:
+        """Actual encoded length on the wire: index + length + data."""
+        return _ELEMENT_OVERHEAD + len(self.data)
+
 
 class StripedCodec:
-    """Encode/decode byte values through an ``[n, k]`` Reed-Solomon code."""
+    """Encode/decode byte values through an ``[n, k]`` Reed-Solomon code.
 
-    def __init__(self, n: int, k: int) -> None:
+    ``kernels`` selects the column-oriented bulk-GF(256) paths (the
+    default); ``kernels=False`` runs the scalar per-byte reference
+    implementation, kept for differential testing.
+    """
+
+    def __init__(self, n: int, k: int, kernels: bool = True) -> None:
         self.code = ReedSolomon(n, k)
         self.n = n
         self.k = k
+        self.kernels = bool(kernels)
 
     # -- encoding ------------------------------------------------------------
     def _frame(self, value: bytes) -> bytes:
@@ -56,14 +81,23 @@ class StripedCodec:
         if not isinstance(value, (bytes, bytearray)):
             raise TypeError(f"values must be bytes, got {type(value).__name__}")
         framed = self._frame(bytes(value))
+        if self.kernels:
+            shares: Sequence[bytes] = self.code.encode_columns(
+                kernels.deinterleave(framed, self.k))
+        else:
+            shares = self._encode_scalar(framed)
+        return [CodedElement(index=i, data=bytes(share))
+                for i, share in enumerate(shares)]
+
+    def _encode_scalar(self, framed: bytes) -> List[bytearray]:
+        """Reference path: one :meth:`ReedSolomon.encode` per stripe."""
         stripes = [framed[off:off + self.k] for off in range(0, len(framed), self.k)]
         shares: List[bytearray] = [bytearray() for _ in range(self.n)]
         for stripe in stripes:
             codeword = self.code.encode(list(stripe))
             for i, symbol in enumerate(codeword):
                 shares[i].append(symbol)
-        return [CodedElement(index=i, data=bytes(share))
-                for i, share in enumerate(shares)]
+        return shares
 
     def element_size(self, value_len: int) -> int:
         """Size in bytes of each coded element for a value of ``value_len``."""
@@ -81,6 +115,23 @@ class StripedCodec:
         ``#errors <= (#received - k) // 2`` per stripe.  Raises
         :class:`DecodingError` when reconstruction is impossible.
         """
+        positions, cols = self._received_columns(elements)
+        error_budget = ((len(positions) - self.k) // 2 if max_errors is None
+                        else min(max_errors, (len(positions) - self.k) // 2))
+        if self.kernels:
+            framed = self._decode_columns(positions, cols, error_budget, max_errors)
+        else:
+            framed = self._decode_stripes(positions, cols, error_budget, max_errors)
+        return self._unframe(framed)
+
+    def _received_columns(self, elements: Sequence[CodedElement]
+                          ) -> Tuple[Tuple[int, ...], List[bytes]]:
+        """Validate received elements into position-ordered columns.
+
+        Applies the majority-length filter: corrupt elements may report
+        bogus lengths, so only the most common length is kept (ties broken
+        deterministically in favour of the larger length).
+        """
         by_index: Dict[int, bytes] = {}
         for element in elements:
             if not 0 <= element.index < self.n:
@@ -94,21 +145,70 @@ class StripedCodec:
             )
         lengths = {len(data) for data in by_index.values()}
         if len(lengths) != 1:
-            # Corrupt elements may have bogus lengths; keep only the majority
-            # length so honest stripes still line up.
-            majority = max(lengths, key=lambda ln: sum(
-                1 for d in by_index.values() if len(d) == ln))
+            majority = max(lengths, key=lambda ln: (sum(
+                1 for d in by_index.values() if len(d) == ln), ln))
             by_index = {i: d for i, d in by_index.items() if len(d) == majority}
             if len(by_index) < self.k:
                 raise DecodingError("too few equal-length coded elements to decode")
-        stripe_count = len(next(iter(by_index.values())))
-        framed = bytearray()
         # Fixed position order across stripes lets the errorless fast path
         # reuse its cached recovery matrices.
         ordered = sorted(by_index.items())
-        positions = tuple(index for index, _ in ordered)
-        error_budget = ((len(positions) - self.k) // 2 if max_errors is None
-                        else min(max_errors, (len(positions) - self.k) // 2))
+        return (tuple(index for index, _ in ordered),
+                [bytes(data) for _, data in ordered])
+
+    def _decode_columns(self, positions: Tuple[int, ...], cols: List[bytes],
+                        error_budget: int, max_errors: Optional[int]) -> bytearray:
+        """Kernel path: recover and verify whole columns at once.
+
+        The bulk pass handles every stripe a single codeword explains; only
+        the stripe indices its C-level compare flags as inconsistent fall
+        back to per-stripe Berlekamp-Welch.  Corruption is per *element*
+        (per server), so positions found erroneous in one stripe are prime
+        suspects in every stripe: once suspects are known, the remaining bad
+        stripes are retried with one more bulk pass over the non-suspect
+        columns (sound for the same counting reason as the scalar path --
+        ``|kept| - budget >= k`` pins the codeword uniquely).
+        """
+        message_cols, bad = self.code.decode_fast_columns(positions, cols)
+        framed = kernels.interleave(message_cols)
+        if not bad:
+            return framed
+        k = self.k
+        suspected: Set[int] = set()
+        unresolved = sorted(bad)
+        retry_columns = False
+        while unresolved:
+            if retry_columns:
+                retry_columns = False
+                if len(positions) - len(suspected) - error_budget >= k:
+                    kept = [j for j, p in enumerate(positions)
+                            if p not in suspected]
+                    kept_cols, kept_bad = self.code.decode_fast_columns(
+                        tuple(positions[j] for j in kept),
+                        [cols[j] for j in kept])
+                    fixed = [s for s in unresolved if s not in kept_bad]
+                    for s in fixed:
+                        for i in range(k):
+                            framed[s * k + i] = kept_cols[i][s]
+                    unresolved = [s for s in unresolved if s in kept_bad]
+                    if not unresolved:
+                        break
+            stripe = unresolved.pop(0)
+            received = [(p, col[stripe]) for p, col in zip(positions, cols)]
+            message = self.code.decode(received, max_errors=max_errors)
+            codeword = self.code.encode(message)
+            erroneous = {p for p, symbol in received if codeword[p] != symbol}
+            if not erroneous <= suspected:
+                suspected |= erroneous
+                retry_columns = True
+            framed[stripe * k:(stripe + 1) * k] = bytes(message)
+        return framed
+
+    def _decode_stripes(self, positions: Tuple[int, ...], cols: List[bytes],
+                        error_budget: int, max_errors: Optional[int]) -> bytearray:
+        """Reference path: decode one stripe of symbols at a time."""
+        stripe_count = len(cols[0]) if cols else 0
+        framed = bytearray()
         #: Corruption is per *element* (per server), so positions found
         #: erroneous in one stripe are prime suspects in every stripe:
         #: excluding them turns the expensive error correction back into a
@@ -116,9 +216,9 @@ class StripedCodec:
         #: agree on one codeword, at least k of them are honest
         #: (|remaining| - budget >= k by the [n, k] arithmetic), which pins
         #: the codeword uniquely.
-        suspected: set = set()
+        suspected: Set[int] = set()
         for stripe in range(stripe_count):
-            symbols = [data[stripe] for _, data in ordered]
+            symbols = [col[stripe] for col in cols]
             fast = self.code.decode_fast(positions, symbols)
             if fast is not None:
                 framed.extend(fast)
@@ -136,6 +236,9 @@ class StripedCodec:
             codeword = self.code.encode(message)
             suspected.update(p for p, s in received if codeword[p] != s)
             framed.extend(message)
+        return framed
+
+    def _unframe(self, framed: bytearray) -> bytes:
         if len(framed) < _LENGTH_PREFIX:
             raise DecodingError("decoded frame shorter than its length prefix")
         value_len = int.from_bytes(framed[:_LENGTH_PREFIX], "big")

@@ -32,12 +32,22 @@ def test_payload_size_bytes():
 
 
 def test_payload_size_coded_element():
-    assert payload_size(CodedElement(3, b"12345678")) == 12  # data + index
+    # data + 4-byte index + 4-byte length: the actual encoded length.
+    assert payload_size(CodedElement(3, b"12345678")) == 16
+    assert payload_size(CodedElement(3, b"12345678")) == \
+        CodedElement(3, b"12345678").wire_size()
 
 
 def test_payload_size_tagged_value():
     pair = TaggedValue(Tag(1, "w"), b"123")
     assert payload_size(pair) == TAG_BYTES + 3
+
+
+def test_payload_size_tagged_coded_element_nests():
+    pair = TaggedValue(Tag(2, "w"), CodedElement(1, b"abcdef"))
+    assert payload_size(pair) == TAG_BYTES + 8 + 6
+    # No repr-based charging for protocol payload types.
+    assert payload_size(pair) != len(repr(pair))
 
 
 def test_query_messages_are_headers_only():

@@ -150,6 +150,47 @@ def test_max_errors_parameter_restricts_budget():
     assert rs.decode(received) == message  # default budget handles it
 
 
+# -- shared tables and the recovery LRU ---------------------------------------
+
+def test_parity_matrix_shared_across_instances():
+    # Two instances of the same [n, k] shape share one parity matrix, so
+    # short-lived codec objects never rebuild tables.
+    assert ReedSolomon(13, 4)._parity() is ReedSolomon(13, 4)._parity()
+    assert ReedSolomon(13, 4)._parity() is not ReedSolomon(13, 5)._parity()
+
+
+def test_recovery_cache_shared_across_instances():
+    a, b = ReedSolomon(21, 2), ReedSolomon(21, 2)
+    a._recovery_cache.clear()
+    a._recovery_for((0, 1, 2))
+    assert (0, 1, 2) in b._recovery_cache
+
+
+def test_recovery_cache_is_a_bounded_lru():
+    from repro.erasure.rs import _RECOVERY_CACHE_SIZE
+
+    rs = ReedSolomon(200, 1)
+    cache = rs._recovery_cache
+    cache.clear()
+    for p in range(_RECOVERY_CACHE_SIZE):
+        rs._recovery_for((p,))
+    assert len(cache) == _RECOVERY_CACHE_SIZE
+    # A hit moves the entry to the MRU end...
+    rs._recovery_for((0,))
+    # ...so the next insert evicts the oldest *untouched* entry, not (0,).
+    rs._recovery_for((199,))
+    assert len(cache) == _RECOVERY_CACHE_SIZE
+    assert (0,) in cache
+    assert (1,) not in cache
+    assert (199,) in cache
+
+
+def test_recovery_cache_hit_returns_same_matrices():
+    rs = ReedSolomon(9, 3)
+    first = rs._recovery_for((1, 3, 5, 7))
+    assert rs._recovery_for((1, 3, 5, 7)) is first
+
+
 @settings(max_examples=60, deadline=None)
 @given(st.data())
 def test_decode_roundtrip_random_patterns(data):

@@ -86,6 +86,25 @@ def test_wrong_length_elements_filtered_by_majority():
     assert codec.decode(received) == value
 
 
+def test_majority_length_tie_prefers_larger_length():
+    """Regression: a 2-vs-2 length tie must resolve deterministically.
+
+    ``max`` over a ``set`` of lengths used to break ties by hash iteration
+    order; the tie-break now always prefers the larger length, so honest
+    full-size elements survive truncated Byzantine ones.
+    """
+    codec = StripedCodec(7, 1)
+    value = b"tie-breaking-must-be-deterministic"
+    elements = codec.encode(value)
+    truncated = [CodedElement(e.index, e.data[:-1]) for e in elements[2:4]]
+    received = list(elements[:2]) + truncated
+    # 2 elements of the true length vs 2 one-byte-shorter: the larger
+    # length wins the tie, so decoding recovers the value.
+    assert codec.decode(received) == value
+    # Same outcome regardless of element arrival order.
+    assert codec.decode(list(reversed(received))) == value
+
+
 def test_all_wrong_lengths_fails_cleanly():
     codec = StripedCodec(6, 3)
     with pytest.raises(DecodingError):
