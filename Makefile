@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-codec bench-tables examples modelcheck clean
+.PHONY: install test bench bench-codec bench-tables chaos-soak examples modelcheck clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -25,6 +25,13 @@ bench-codec:
 # Regenerate every experiment table (what EXPERIMENTS.md records).
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s -m ""
+
+# Extended chaos soak: every nemesis schedule against bsr and bcsr over
+# live TCP, plus the E17 latency-under-faults benchmark (-m "" clears the
+# default marker filter so the soak-marked tests run).
+chaos-soak:
+	$(PYTHON) -m pytest tests/ -m soak -q
+	$(PYTHON) -m pytest benchmarks/bench_e17_chaos.py --benchmark-only -s -m ""
 
 examples:
 	@for script in examples/*.py; do \

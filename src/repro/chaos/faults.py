@@ -1,0 +1,173 @@
+"""Deterministic per-link fault plans.
+
+A :class:`FaultPlan` decides the fate of every frame crossing a chaos
+proxy.  Decisions are drawn from seeded per-``(link, direction)`` RNG
+streams (:class:`~repro.sim.rng.SimRng` forks), and every frame consumes
+exactly two draws regardless of outcome, so the decision sequence on a
+link is a pure function of ``(seed, link, direction, frame index,
+policy in force)`` -- replaying the same schedule with the same seed
+injects the same fault sequence.
+
+The plan is also the runtime control surface: the nemesis flips links
+into blackhole, degrades them with drop/delay rates, and heals them, all
+without touching the proxy's sockets.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.rng import SimRng
+
+#: Keep the injected-fault log bounded under long soaks.
+MAX_EVENTS = 10_000
+
+
+class FaultKind(enum.Enum):
+    """What happens to one frame."""
+
+    DELIVER = "deliver"
+    DROP = "drop"
+    DELAY = "delay"
+    DUPLICATE = "duplicate"
+    SEVER = "sever"
+    BLACKHOLE = "blackhole"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The plan's verdict for one frame."""
+
+    kind: FaultKind
+    delay: float = 0.0
+
+
+@dataclass
+class LinkPolicy:
+    """Fault rates in force on one link (or the plan-wide default).
+
+    Rates are per-frame probabilities; ``sever``, ``drop`` and
+    ``duplicate`` are mutually exclusive draws, ``delay`` applies to the
+    remainder.  ``throttle`` is a fixed pacing delay added to every
+    delivered frame; ``blackhole`` silently discards everything (a live
+    connection that transports nothing -- how a partition looks from the
+    endpoints).
+    """
+
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_min: float = 0.02
+    delay_max: float = 0.2
+    duplicate_rate: float = 0.0
+    sever_rate: float = 0.0
+    throttle: float = 0.0
+    blackhole: bool = False
+
+
+class FaultPlan:
+    """Seeded, per-link fault decisions plus a runtime control surface."""
+
+    def __init__(self, seed: int = 0,
+                 default_policy: Optional[LinkPolicy] = None) -> None:
+        self.seed = int(seed)
+        self.default_policy = default_policy or LinkPolicy()
+        self._root = SimRng(self.seed, "chaos")
+        self._streams: Dict[Tuple[str, str], SimRng] = {}
+        self._policies: Dict[str, LinkPolicy] = {}
+        self._frames: Counter = Counter()
+        self.counts: Counter = Counter()
+        self.events: List[str] = []
+        self.events_dropped = 0
+
+    # -- policy control --------------------------------------------------
+    def policy(self, link: str) -> LinkPolicy:
+        """The policy in force on ``link`` (falls back to the default)."""
+        return self._policies.get(link, self.default_policy)
+
+    def set_policy(self, link: Optional[str] = None, **rates) -> LinkPolicy:
+        """Override fault rates for ``link`` (or the default when None)."""
+        base = self.policy(link) if link is not None else self.default_policy
+        policy = replace(base, **rates)
+        if link is None:
+            self.default_policy = policy
+        else:
+            self._policies[link] = policy
+        return policy
+
+    def blackhole(self, link: str) -> None:
+        """Discard every frame on ``link`` until :meth:`heal`."""
+        self.set_policy(link, blackhole=True)
+
+    def heal(self, link: Optional[str] = None) -> None:
+        """Restore ``link`` (or every link) to the default policy."""
+        if link is None:
+            self._policies.clear()
+        else:
+            self._policies.pop(link, None)
+
+    @property
+    def blackholed(self) -> List[str]:
+        """Links currently blackholed."""
+        return sorted(link for link, policy in self._policies.items()
+                      if policy.blackhole)
+
+    # -- frame decisions -------------------------------------------------
+    def _stream(self, link: str, direction: str) -> SimRng:
+        key = (link, direction)
+        if key not in self._streams:
+            self._streams[key] = self._root.fork(f"{link}/{direction}")
+        return self._streams[key]
+
+    def decide(self, link: str, direction: str) -> Decision:
+        """The fate of the next frame on ``link`` in ``direction``.
+
+        Exactly two uniform draws are consumed per call, so the stream
+        position depends only on the frame count -- not on which faults
+        fired before.
+        """
+        stream = self._stream(link, direction)
+        u, v = stream.random(), stream.random()
+        seq = self._frames[(link, direction)]
+        self._frames[(link, direction)] += 1
+        policy = self.policy(link)
+        if policy.blackhole:
+            return self._record(link, direction, seq,
+                                Decision(FaultKind.BLACKHOLE))
+        edge = policy.sever_rate
+        if u < edge:
+            return self._record(link, direction, seq, Decision(FaultKind.SEVER))
+        edge += policy.drop_rate
+        if u < edge:
+            return self._record(link, direction, seq, Decision(FaultKind.DROP))
+        edge += policy.duplicate_rate
+        if u < edge:
+            return self._record(link, direction, seq,
+                                Decision(FaultKind.DUPLICATE,
+                                         delay=policy.throttle))
+        edge += policy.delay_rate
+        if u < edge:
+            span = policy.delay_max - policy.delay_min
+            return self._record(
+                link, direction, seq,
+                Decision(FaultKind.DELAY,
+                         delay=policy.delay_min + v * span + policy.throttle))
+        if policy.throttle > 0.0:
+            return Decision(FaultKind.DELIVER, delay=policy.throttle)
+        return Decision(FaultKind.DELIVER)
+
+    def _record(self, link: str, direction: str, seq: int,
+                decision: Decision) -> Decision:
+        self.counts[decision.kind.value] += 1
+        if len(self.events) < MAX_EVENTS:
+            suffix = f" {decision.delay:.3f}s" if decision.delay else ""
+            self.events.append(
+                f"{link}/{direction}#{seq}: {decision.kind.value}{suffix}")
+        else:
+            self.events_dropped += 1
+        return decision

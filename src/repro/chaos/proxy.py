@@ -1,0 +1,151 @@
+"""A frame-aware asyncio TCP interposer that injects faults on a link.
+
+One :class:`ChaosProxy` fronts one server node: clients dial the proxy,
+the proxy dials the real node, and every length-prefixed frame crossing
+either direction is submitted to the shared :class:`FaultPlan` for a
+verdict.  Because the proxy speaks the runtime's framing (4-byte length
+prefix), faults land on protocol-message boundaries -- a dropped frame
+is a lost message, not a torn one.
+
+The proxy is also the hand that executes connection-level faults: the
+nemesis can :meth:`sever_all` live pipes (both sides see a reset) while
+the plan's blackhole flag silently swallows traffic on connections that
+stay open.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Optional, Set, Tuple
+
+from repro.chaos.faults import FaultKind, FaultPlan
+from repro.errors import ProtocolError
+from repro.transport.codec import read_frame, write_frame
+
+logger = logging.getLogger(__name__)
+
+
+class _Severed(Exception):
+    """The plan ordered this connection cut."""
+
+
+class ChaosProxy:
+    """Interpose on the TCP link in front of one server node.
+
+    ``link`` names the link in the plan (the cluster uses the server id);
+    ``upstream`` is the real node's ``(host, port)``.
+    """
+
+    def __init__(self, link: str, upstream: Tuple[str, int], plan: FaultPlan,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.link = link
+        self.upstream = upstream
+        self.plan = plan
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._pipes: Set[asyncio.Task] = set()
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the proxy listener; fills in ``self.port`` when it was 0."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("chaos proxy for %s listening on %s:%d -> %s:%d",
+                    self.link, self.host, self.port, *self.upstream)
+
+    async def stop(self) -> None:
+        """Close the listener and every live pipe."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.sever_all()
+        for task in list(self._pipes):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # pragma: no cover
+                pass
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` clients should dial instead of the node."""
+        return (self.host, self.port)
+
+    # -- connection-level faults ----------------------------------------
+    def sever_all(self) -> int:
+        """Cut every live connection through this proxy; returns the count."""
+        count = len(self._writers)
+        for writer in list(self._writers):
+            writer.close()
+        return count
+
+    def blackhole(self) -> None:
+        """Swallow all traffic on this link until :meth:`heal`."""
+        self.plan.blackhole(self.link)
+
+    def heal(self) -> None:
+        """Restore this link to the plan's default policy."""
+        self.plan.heal(self.link)
+
+    # -- data path -------------------------------------------------------
+    async def _serve_connection(self, client_reader: asyncio.StreamReader,
+                                client_writer: asyncio.StreamWriter) -> None:
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                *self.upstream)
+        except OSError:
+            # Node down (crashed / restarting): refuse, so the client's
+            # backoff takes over.
+            client_writer.close()
+            return
+        self._writers.add(client_writer)
+        self._writers.add(upstream_writer)
+        pipes = [
+            asyncio.ensure_future(
+                self._pipe(client_reader, upstream_writer, "c2s")),
+            asyncio.ensure_future(
+                self._pipe(upstream_reader, client_writer, "s2c")),
+        ]
+        self._pipes.update(pipes)
+        try:
+            # Either direction ending (EOF, reset, sever verdict) tears
+            # down the whole connection, like a real broken TCP link.
+            await asyncio.wait(pipes, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for pipe in pipes:
+                pipe.cancel()
+                self._pipes.discard(pipe)
+            for writer in (client_writer, upstream_writer):
+                self._writers.discard(writer)
+                writer.close()
+            for writer in (client_writer, upstream_writer):
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+
+    async def _pipe(self, reader: asyncio.StreamReader,
+                    writer: asyncio.StreamWriter, direction: str) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                decision = self.plan.decide(self.link, direction)
+                if decision.kind in (FaultKind.DROP, FaultKind.BLACKHOLE):
+                    continue
+                if decision.kind is FaultKind.SEVER:
+                    raise _Severed()
+                if decision.delay > 0.0:
+                    await asyncio.sleep(decision.delay)
+                write_frame(writer, frame)
+                if decision.kind is FaultKind.DUPLICATE:
+                    write_frame(writer, frame)
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError, ProtocolError, _Severed,
+                asyncio.CancelledError):
+            return

@@ -5,14 +5,18 @@ Subcommands:
 * ``demo``      -- run a tiny write/read execution of any algorithm.
 * ``scenario``  -- replay one of the paper's proof executions (t3, t5, t6).
 * ``workload``  -- run a synthetic workload and print latency statistics.
+* ``chaos``     -- run a live TCP workload under a nemesis fault schedule.
 * ``algorithms`` -- list the implemented algorithms and their bounds.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import List, Optional
+
+from repro.chaos import SCHEDULES, run_soak
 
 from repro.byzantine.scenarios import (
     theorem3_regularity_violation,
@@ -101,6 +105,39 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0 if safety.ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    result = asyncio.run(run_soak(
+        algorithm=args.algorithm, f=args.f, schedule=args.schedule,
+        ops=args.ops, read_ratio=args.read_ratio,
+        value_size=args.value_size, seed=args.seed, period=args.period,
+        timeout=args.timeout,
+    ))
+    print(f"nemesis schedule {args.schedule!r} (seed {args.seed}):")
+    for event in result.nemesis_events or ["  (no faults)"]:
+        print(f"  {event}")
+    if result.fault_counts:
+        injected = ", ".join(f"{kind}={count}" for kind, count
+                             in sorted(result.fault_counts.items()))
+        print(f"frames faulted: {injected}")
+    rows = []
+    for kind, summary in result.latency_summary().items():
+        lat = summary.latency
+        rows.append((kind, lat.count, f"{lat.mean * 1000:.1f}",
+                     f"{lat.p50 * 1000:.1f}", f"{lat.p99 * 1000:.1f}"))
+    print(format_table(
+        ("op", "count", "mean(ms)", "p50(ms)", "p99(ms)"), rows,
+        title=f"{args.algorithm} under {args.schedule}: "
+              f"{result.ops_completed} ops in {result.wall_time:.1f}s",
+    ))
+    for client_id, stats in sorted(result.client_stats.items()):
+        interesting = {k: v for k, v in sorted(stats.items()) if v}
+        print(f"  {client_id}: {interesting}")
+    for error in result.errors:
+        print(f"  LIVENESS FAILURE: {error}")
+    print(result.safety)
+    return 0 if result.ok else 1
+
+
 def _cmd_modelcheck(args: argparse.Namespace) -> int:
     n, f = args.n, args.f
     print(f"model-checking the BSR read stage at n={n}, f={f} "
@@ -162,6 +199,25 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--interarrival", type=float, default=1.0)
     workload.add_argument("--seed", type=int, default=0)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a workload on a live TCP cluster under a nemesis "
+             "fault schedule and check safety + liveness",
+    )
+    from repro.runtime.client import CLIENT_ALGORITHMS
+    chaos.add_argument("--algorithm", default="bsr",
+                       choices=CLIENT_ALGORITHMS)
+    chaos.add_argument("--schedule", default="combo", choices=SCHEDULES)
+    chaos.add_argument("--f", type=int, default=1)
+    chaos.add_argument("--ops", type=int, default=40)
+    chaos.add_argument("--read-ratio", type=float, default=0.6)
+    chaos.add_argument("--value-size", type=int, default=32)
+    chaos.add_argument("--period", type=float, default=0.8,
+                       help="seconds per nemesis fault window")
+    chaos.add_argument("--timeout", type=float, default=15.0,
+                       help="per-operation liveness timeout")
+    chaos.add_argument("--seed", type=int, default=0)
+
     modelcheck = sub.add_parser(
         "modelcheck",
         help="exhaustively explore read-stage schedules (Theorem 5)",
@@ -184,6 +240,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": _cmd_demo,
         "scenario": _cmd_scenario,
         "workload": _cmd_workload,
+        "chaos": _cmd_chaos,
         "modelcheck": _cmd_modelcheck,
     }
     return handlers[args.command](args)

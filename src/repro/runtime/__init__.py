@@ -11,6 +11,12 @@ in one process for examples and the E10 benchmark.
 Only client-to-server protocols run here (BSR, BCSR, the regular variants
 and ABD); the RB baseline needs server-to-server links and lives in the
 simulator.
+
+The runtime is fault-hardened: clients self-heal lost connections
+(backoff + jitter + in-flight re-send), nodes crash-restart from
+snapshots, and ``LocalCluster(..., chaos=True)`` interposes
+:mod:`repro.chaos` proxies on every link for fault injection (see
+``docs/runtime.md``).
 """
 
 from repro.runtime.client import AsyncRegisterClient

@@ -1,9 +1,21 @@
-"""Asyncio client executing register operations against TCP server nodes."""
+"""Asyncio client executing register operations against TCP server nodes.
+
+The client is *self-healing*: each server has a supervisor task that pumps
+replies while the connection is up and re-dials with exponential backoff
+plus jitter while it is down (including servers that were unreachable when
+:meth:`AsyncRegisterClient.connect` first ran).  When a connection comes
+back mid-operation, the frames the in-flight operation already sent to
+that server are re-sent -- safe, because every operation is an idempotent
+quorum state machine keyed by ``op_id`` (duplicate requests produce
+duplicate replies, which the reply filter already tolerates).
+"""
 
 from __future__ import annotations
 
 import asyncio
 import logging
+import random
+from collections import Counter
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.baselines.abd import ABDReadOperation, ABDWriteOperation
@@ -32,7 +44,9 @@ class AsyncRegisterClient:
 
     The client opens one connection per server (lazily, tolerating servers
     that are down -- the protocols only need ``n - f`` of them) and drives
-    the same operation state machines the simulator uses.
+    the same operation state machines the simulator uses.  With
+    ``reconnect=True`` (the default) lost or never-established connections
+    are re-dialed in the background with exponential backoff and jitter.
 
     Usage::
 
@@ -40,6 +54,7 @@ class AsyncRegisterClient:
         await client.connect()
         await client.write(b"hello")
         value = await client.read()
+        print(client.stats())
         await client.close()
     """
 
@@ -47,7 +62,9 @@ class AsyncRegisterClient:
                  addresses: Dict[ProcessId, Tuple[str, int]], f: int,
                  auth: Authenticator, algorithm: str = "bsr",
                  timeout: float = 30.0, initial_value: bytes = b"",
-                 namespaced: bool = False) -> None:
+                 namespaced: bool = False, reconnect: bool = True,
+                 backoff_base: float = 0.05, backoff_max: float = 2.0,
+                 drain_timeout: float = 1.0) -> None:
         if algorithm not in CLIENT_ALGORITHMS:
             raise ConfigurationError(
                 f"algorithm {algorithm!r} not supported by the asyncio "
@@ -62,6 +79,10 @@ class AsyncRegisterClient:
         self.timeout = timeout
         self.initial_value = initial_value
         self.namespaced = namespaced
+        self.reconnect = reconnect
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.drain_timeout = drain_timeout
         self.reader_state = BSRReaderState(initial_value)
         self._register_states: Dict[str, BSRReaderState] = {}
         self._codec = (make_codec(len(self.servers), f)
@@ -69,37 +90,43 @@ class AsyncRegisterClient:
         self._connections: Dict[ProcessId, Tuple[asyncio.StreamReader,
                                                  asyncio.StreamWriter]] = {}
         self._reply_queue: "asyncio.Queue[Tuple[ProcessId, Any]]" = asyncio.Queue()
-        self._reader_tasks: List[asyncio.Task] = []
+        self._supervisors: Dict[ProcessId, asyncio.Task] = {}
+        #: Sealed frames of the in-flight operation, per destination --
+        #: replayed on reconnect so a healed link can still serve the op.
+        self._pending: Dict[ProcessId, List[bytes]] = {}
+        self._op_retried = False
+        self._closing = False
+        self._stats: Counter = Counter()
 
     # -- connection management ----------------------------------------------
     async def connect(self) -> int:
-        """Open connections to every reachable server; returns the count."""
+        """Open connections to every reachable server; returns the count.
+
+        Servers that are down are not fatal: with ``reconnect`` enabled a
+        background supervisor keeps re-dialing them, so a server that
+        comes up later joins the quorum without another ``connect`` call.
+        """
         for pid in self.servers:
             if pid in self._connections:
                 continue
-            host, port = self.addresses[pid]
-            try:
-                reader, writer = await asyncio.open_connection(host, port)
-            except OSError as exc:
-                logger.warning("client %s cannot reach %s: %s",
-                               self.client_id, pid, exc)
+            if await self._dial(pid):
+                self._stats["connects"] += 1
+            elif not self.reconnect:
                 continue
-            self._connections[pid] = (reader, writer)
-            self._reader_tasks.append(
-                asyncio.ensure_future(self._pump_replies(pid, reader))
-            )
+            self._ensure_supervisor(pid)
         return len(self._connections)
 
     async def close(self) -> None:
-        """Tear down all connections and reader tasks."""
-        for task in self._reader_tasks:
+        """Tear down all connections and supervisor tasks."""
+        self._closing = True
+        for task in self._supervisors.values():
             task.cancel()
-        for task in self._reader_tasks:
+        for task in self._supervisors.values():
             try:
                 await task
             except (asyncio.CancelledError, Exception):  # pragma: no cover
                 pass
-        self._reader_tasks.clear()
+        self._supervisors.clear()
         for _, writer in self._connections.values():
             writer.close()
         for _, writer in list(self._connections.values()):
@@ -109,7 +136,74 @@ class AsyncRegisterClient:
                 pass
         self._connections.clear()
 
-    async def _pump_replies(self, pid: ProcessId, reader: asyncio.StreamReader) -> None:
+    def stats(self) -> Dict[str, int]:
+        """Resilience counters: reconnects, disconnects, frames dropped /
+        resent, operations retried, drain timeouts, live connections."""
+        stats = dict(self._stats)
+        stats["connected"] = len(self._connections)
+        return stats
+
+    async def _dial(self, pid: ProcessId) -> bool:
+        if pid in self._connections:
+            return True
+        host, port = self.addresses[pid]
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            logger.debug("client %s cannot reach %s: %s",
+                         self.client_id, pid, exc)
+            return False
+        self._connections[pid] = (reader, writer)
+        return True
+
+    def _drop_connection(self, pid: ProcessId) -> None:
+        connection = self._connections.pop(pid, None)
+        if connection is not None:
+            connection[1].close()
+
+    def _ensure_supervisor(self, pid: ProcessId) -> None:
+        task = self._supervisors.get(pid)
+        if task is None or task.done():
+            self._supervisors[pid] = asyncio.ensure_future(
+                self._supervise(pid))
+
+    async def _supervise(self, pid: ProcessId) -> None:
+        """Pump replies while connected; re-dial with backoff while not."""
+        attempt = 0
+        while not self._closing:
+            connection = self._connections.get(pid)
+            if connection is None:
+                if not self.reconnect:
+                    return
+                delay = min(self.backoff_max,
+                            self.backoff_base * (2 ** min(attempt, 16)))
+                # Full jitter keeps a fleet of clients from re-dialing a
+                # freshly restarted server in lockstep.
+                await asyncio.sleep(delay * (0.5 + random.random()))
+                if self._closing:
+                    return
+                if not await self._dial(pid):
+                    attempt += 1
+                    continue
+                attempt = 0
+                self._stats["reconnects"] += 1
+                await self._resend_pending(pid)
+                connection = self._connections.get(pid)
+                if connection is None:
+                    continue
+            await self._pump_replies(pid, connection[0])
+            if self._closing:
+                return
+            self._drop_connection(pid)
+            self._stats["disconnects"] += 1
+
+    async def _pump_replies(self, pid: ProcessId,
+                            reader: asyncio.StreamReader) -> None:
+        """Deliver verified frames to the reply queue until the link dies.
+
+        Connection loss returns (it never poisons the queue): the
+        supervisor decides whether to re-dial.
+        """
         try:
             while True:
                 frame = await read_frame(reader)
@@ -117,50 +211,98 @@ class AsyncRegisterClient:
                     sender, payload = self.auth.open(frame)
                     message = decode_message(payload)
                 except (AuthenticationError, ProtocolError) as exc:
+                    self._stats["frames_dropped"] += 1
                     logger.warning("client %s dropping bad frame from %s: %s",
                                    self.client_id, pid, exc)
                     continue
                 if sender != pid:
                     # A Byzantine server cannot speak for another server:
                     # the signature pins the sender.
+                    self._stats["frames_dropped"] += 1
                     logger.warning("client %s: connection to %s delivered a "
                                    "frame signed by %s; dropping",
                                    self.client_id, pid, sender)
                     continue
                 await self._reply_queue.put((sender, message))
         except (asyncio.IncompleteReadError, ConnectionResetError,
-                asyncio.CancelledError):
+                BrokenPipeError, OSError, asyncio.CancelledError):
             return
 
     # -- operations -------------------------------------------------------------
-    def _send(self, envelopes) -> None:
+    async def _resend_pending(self, pid: ProcessId) -> None:
+        """Replay the in-flight operation's frames on a fresh connection."""
+        frames = list(self._pending.get(pid, ()))
+        connection = self._connections.get(pid)
+        if not frames or connection is None:
+            return
+        _, writer = connection
+        try:
+            for sealed in frames:
+                write_frame(writer, sealed)
+            await asyncio.wait_for(writer.drain(), self.drain_timeout)
+        except (OSError, ConnectionError, asyncio.TimeoutError):
+            return
+        self._stats["frames_resent"] += len(frames)
+        self._op_retried = True
+
+    async def _send(self, envelopes) -> None:
+        drains = []
         for dest, message in envelopes:
+            sealed = self.auth.seal(self.client_id, encode_message(message))
+            self._pending.setdefault(dest, []).append(sealed)
             connection = self._connections.get(dest)
             if connection is None:
-                continue  # unreachable server; quorum logic tolerates it
+                continue  # down right now; resent if the link heals in time
             _, writer = connection
-            sealed = self.auth.seal(self.client_id, encode_message(message))
-            write_frame(writer, sealed)
+            try:
+                write_frame(writer, sealed)
+            except (OSError, ConnectionError, RuntimeError):
+                self._drop_connection(dest)
+                continue
+            drains.append(self._drain(dest, writer))
+        if drains:
+            # Backpressure: flush every connection before proceeding, but
+            # concurrently and with a cap -- one blackholed server must not
+            # stall the quorum.
+            await asyncio.gather(*drains)
+
+    async def _drain(self, pid: ProcessId, writer: asyncio.StreamWriter) -> None:
+        try:
+            await asyncio.wait_for(writer.drain(), self.drain_timeout)
+        except asyncio.TimeoutError:
+            # Slow or blackholed peer: leave the bytes buffered rather
+            # than stalling the operation on one link.
+            self._stats["drain_timeouts"] += 1
+        except (OSError, ConnectionError):
+            self._stats["drain_failures"] += 1
+            self._drop_connection(pid)
 
     async def _run_operation(self, operation: ClientOperation) -> Any:
-        self._send(operation.start())
-        loop = asyncio.get_event_loop()
-        deadline = loop.time() + self.timeout
-        while not operation.done:
-            remaining = deadline - loop.time()
-            if remaining <= 0:
-                raise LivenessError(
-                    f"{operation.kind} by {self.client_id} did not complete "
-                    f"within {self.timeout}s (are n - f servers up?)"
-                )
-            try:
-                sender, message = await asyncio.wait_for(
-                    self._reply_queue.get(), timeout=remaining
-                )
-            except asyncio.TimeoutError:
-                continue
-            self._send(operation.on_reply(sender, message))
-        return operation.result
+        self._pending = {}
+        self._op_retried = False
+        try:
+            await self._send(operation.start())
+            loop = asyncio.get_event_loop()
+            deadline = loop.time() + self.timeout
+            while not operation.done:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    raise LivenessError(
+                        f"{operation.kind} by {self.client_id} did not complete "
+                        f"within {self.timeout}s (are n - f servers up?)"
+                    )
+                try:
+                    sender, message = await asyncio.wait_for(
+                        self._reply_queue.get(), timeout=remaining
+                    )
+                except asyncio.TimeoutError:
+                    continue
+                await self._send(operation.on_reply(sender, message))
+            return operation.result
+        finally:
+            self._pending = {}
+            if self._op_retried:
+                self._stats["ops_retried"] += 1
 
     def _reader_state_for(self, register: str) -> BSRReaderState:
         if not self.namespaced:

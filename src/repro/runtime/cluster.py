@@ -7,6 +7,8 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.baselines.abd import ABDServer
 from repro.byzantine.behaviors import Behavior, make_behavior
+from repro.chaos.faults import FaultPlan
+from repro.chaos.proxy import ChaosProxy
 from repro.core.bcsr import BCSRServer, make_codec
 from repro.core.bsr import BSRServer
 from repro.core.namespace import NamespacedServer
@@ -34,6 +36,13 @@ _MIN_SERVERS = {
 class LocalCluster:
     """Spin up ``n`` register server nodes on localhost.
 
+    With ``chaos=True`` every node sits behind a
+    :class:`~repro.chaos.proxy.ChaosProxy` applying a seeded
+    :class:`~repro.chaos.faults.FaultPlan` (link label = the server id),
+    and :meth:`crash` / :meth:`restart` model crash-recovery: a crash
+    closes the listener and every live connection, a restart rebuilds the
+    protocol from scratch and restores it from its snapshot.
+
     Usage::
 
         cluster = LocalCluster("bsr", f=1)
@@ -52,7 +61,9 @@ class LocalCluster:
                                           Union[str, Behavior]]] = None,
                  initial_value: bytes = b"",
                  namespaced: bool = False,
-                 snapshot_dir: Optional[str] = None) -> None:
+                 snapshot_dir: Optional[str] = None,
+                 chaos: bool = False, chaos_seed: int = 0,
+                 chaos_plan: Optional[FaultPlan] = None) -> None:
         if algorithm not in CLIENT_ALGORITHMS:
             raise ConfigurationError(
                 f"algorithm {algorithm!r} not supported by the asyncio "
@@ -76,7 +87,11 @@ class LocalCluster:
             self._behaviors[pid] = behavior
         self.namespaced = namespaced
         self.snapshot_dir = snapshot_dir
+        self.chaos = chaos or chaos_plan is not None
+        self.chaos_plan: Optional[FaultPlan] = (
+            (chaos_plan or FaultPlan(chaos_seed)) if self.chaos else None)
         self.nodes: Dict[ProcessId, RegisterServerNode] = {}
+        self.proxies: Dict[ProcessId, ChaosProxy] = {}
         self._codec = make_codec(self.n, f) if algorithm == "bcsr" else None
         self._clients: list = []
 
@@ -93,57 +108,100 @@ class LocalCluster:
                               initial_value=self.initial_value)
         return ABDServer(pid, initial_value=self.initial_value)
 
+    def _make_node(self, pid: ProcessId, index: int,
+                   auth: Authenticator) -> RegisterServerNode:
+        if self.namespaced:
+            # The namespace wrapper applies the behaviour per hosted
+            # register, so the node itself stays behaviour-free.
+            protocol = NamespacedServer(
+                pid,
+                factory=lambda name, pid=pid, index=index:
+                    self._make_protocol(pid, index),
+                behavior=self._behaviors.get(pid),
+            )
+            return RegisterServerNode(pid, protocol, auth,
+                                      host=self.host, port=0)
+        snapshot_path = None
+        if self.snapshot_dir is not None:
+            import os
+            os.makedirs(self.snapshot_dir, exist_ok=True)
+            snapshot_path = os.path.join(self.snapshot_dir, f"{pid}.snapshot")
+        return RegisterServerNode(
+            pid, self._make_protocol(pid, index), auth, host=self.host,
+            port=0, behavior=self._behaviors.get(pid),
+            snapshot_path=snapshot_path,
+        )
+
     async def start(self) -> None:
-        """Start every server node on an ephemeral port."""
+        """Start every server node (and its chaos proxy, when enabled)."""
         auth = Authenticator(self._keychain_for([]))
         for index, pid in enumerate(self.server_ids):
-            if self.namespaced:
-                # The namespace wrapper applies the behaviour per hosted
-                # register, so the node itself stays behaviour-free.
-                protocol = NamespacedServer(
-                    pid,
-                    factory=lambda name, pid=pid, index=index:
-                        self._make_protocol(pid, index),
-                    behavior=self._behaviors.get(pid),
-                )
-                node = RegisterServerNode(pid, protocol, auth,
-                                          host=self.host, port=0)
-            else:
-                snapshot_path = None
-                if self.snapshot_dir is not None:
-                    import os
-                    os.makedirs(self.snapshot_dir, exist_ok=True)
-                    snapshot_path = os.path.join(self.snapshot_dir,
-                                                 f"{pid}.snapshot")
-                node = RegisterServerNode(
-                    pid, self._make_protocol(pid, index), auth, host=self.host,
-                    port=0, behavior=self._behaviors.get(pid),
-                    snapshot_path=snapshot_path,
-                )
+            node = self._make_node(pid, index, auth)
             await node.start()
             self.nodes[pid] = node
+            if self.chaos:
+                proxy = ChaosProxy(str(pid), node.address, self.chaos_plan,
+                                   host=self.host)
+                await proxy.start()
+                self.proxies[pid] = proxy
 
     async def stop(self) -> None:
         """Close all clients created via :meth:`client`, then all nodes."""
         for client in self._clients:
             await client.close()
         self._clients.clear()
+        for proxy in self.proxies.values():
+            await proxy.stop()
+        self.proxies.clear()
         for node in self.nodes.values():
             await node.stop()
         self.nodes.clear()
 
+    # -- chaos control -------------------------------------------------------
+    async def crash(self, pid: ProcessId) -> None:
+        """Crash server ``pid``: listener and every live connection die."""
+        await self.nodes[pid].stop()
+        if pid in self.proxies:
+            self.proxies[pid].sever_all()
+
+    async def restart(self, pid: ProcessId) -> None:
+        """Restart a crashed server from its snapshot on the same port.
+
+        The in-memory protocol state is rebuilt from scratch -- exactly
+        what a process restart loses -- and :meth:`RegisterServerNode.start`
+        re-adopts whatever the snapshot preserved.
+        """
+        node = self.nodes[pid]
+        index = self.server_ids.index(pid)
+        if not self.namespaced:
+            node.protocol = self._make_protocol(pid, index)
+        await node.start()
+
     @property
     def addresses(self) -> Dict[ProcessId, Tuple[str, int]]:
-        """Server id -> (host, port) of every running node."""
+        """Server id -> (host, port) clients should dial.
+
+        With chaos enabled these are the proxy addresses, so every client
+        connection is interposable.
+        """
+        if self.chaos:
+            return {pid: proxy.address for pid, proxy in self.proxies.items()}
         return {pid: node.address for pid, node in self.nodes.items()}
 
-    def client(self, client_id: ProcessId, timeout: float = 30.0) -> AsyncRegisterClient:
-        """Create a client wired to this cluster (closed by :meth:`stop`)."""
+    def client(self, client_id: ProcessId, timeout: float = 30.0,
+               **client_kwargs) -> AsyncRegisterClient:
+        """Create a client wired to this cluster (closed by :meth:`stop`).
+
+        Extra keyword arguments (``reconnect``, ``backoff_base``,
+        ``backoff_max``, ``drain_timeout``) pass through to
+        :class:`AsyncRegisterClient`.
+        """
         keychain = self._keychain_for([client_id])
         client = AsyncRegisterClient(
             client_id, self.addresses, self.f, Authenticator(keychain),
             algorithm=self.algorithm, timeout=timeout,
             initial_value=self.initial_value, namespaced=self.namespaced,
+            **client_kwargs,
         )
         self._clients.append(client)
         return client

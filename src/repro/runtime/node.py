@@ -5,7 +5,7 @@ from __future__ import annotations
 import asyncio
 import logging
 import os
-from typing import Any, Optional
+from typing import Any, Optional, Set
 
 from repro.errors import AuthenticationError, ProtocolError
 from repro.transport.auth import Authenticator
@@ -30,6 +30,11 @@ class RegisterServerNode:
 
     A ``behavior`` may be supplied to make the node Byzantine: it receives
     the same hooks as in the simulator.
+
+    The node is restartable: :meth:`stop` closes the listener *and* every
+    live connection (a crash severs established links too), and a
+    subsequent :meth:`start` rebinds the same port and restores state from
+    the snapshot, which is how the chaos nemesis models crash-recovery.
     """
 
     def __init__(self, server_id: ProcessId, protocol: Any,
@@ -46,6 +51,10 @@ class RegisterServerNode:
         #: mutation and restores from it on start (crash recovery).
         self.snapshot_path = snapshot_path
         self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_writers: Set[asyncio.StreamWriter] = set()
+        self._checkpoint_lock: Optional[asyncio.Lock] = None
+        self._checkpoint_seq = 0
+        self._checkpoint_written = 0
 
     def _restore_from_snapshot(self) -> None:
         if self.snapshot_path is None or not os.path.exists(self.snapshot_path):
@@ -60,13 +69,33 @@ class RegisterServerNode:
         logger.info("server %s restored %d history entries from %s",
                     self.server_id, len(restored.history), self.snapshot_path)
 
-    def _checkpoint(self) -> None:
+    async def _checkpoint(self) -> None:
+        """Write a snapshot without stalling the event loop.
+
+        Serialization happens on the loop (a consistent view of the
+        protocol state between awaits); the file write and atomic rename
+        are offloaded to a thread.  Writes are ordered by a lock, and a
+        write is skipped when a newer snapshot already reached disk while
+        it waited (coalescing under bursts of mutations).
+        """
         if self.snapshot_path is None:
             return
         from repro.core.persistence import snapshot_server
+        data = snapshot_server(self.protocol)
+        self._checkpoint_seq += 1
+        seq = self._checkpoint_seq
+        if self._checkpoint_lock is None:
+            self._checkpoint_lock = asyncio.Lock()
+        async with self._checkpoint_lock:
+            if seq <= self._checkpoint_written:
+                return  # a newer snapshot is already durable
+            await asyncio.to_thread(self._write_snapshot, data)
+            self._checkpoint_written = seq
+
+    def _write_snapshot(self, data: bytes) -> None:
         tmp_path = self.snapshot_path + ".tmp"
         with open(tmp_path, "wb") as fh:
-            fh.write(snapshot_server(self.protocol))
+            fh.write(data)
         os.replace(tmp_path, self.snapshot_path)  # atomic on POSIX
 
     async def start(self) -> None:
@@ -79,11 +108,18 @@ class RegisterServerNode:
         logger.info("server %s listening on %s:%d", self.server_id, self.host, self.port)
 
     async def stop(self) -> None:
-        """Close the listener and wait for it to wind down."""
+        """Close the listener and every live connection (crash semantics)."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for writer in list(self._conn_writers):
+            writer.close()
+        if self._checkpoint_lock is not None:
+            # Let an in-flight snapshot write finish so a restart does not
+            # race a stale file replacing a newer one.
+            async with self._checkpoint_lock:
+                pass
 
     @property
     def address(self) -> tuple:
@@ -92,6 +128,7 @@ class RegisterServerNode:
 
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
+        self._conn_writers.add(writer)
         try:
             await self._connection_loop(reader, writer)
         except asyncio.CancelledError:
@@ -99,6 +136,7 @@ class RegisterServerNode:
             # quietly rather than spamming the event loop's exception hook.
             pass
         finally:
+            self._conn_writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -127,7 +165,7 @@ class RegisterServerNode:
                     self.protocol, sender, message, replies
                 )
             if len(getattr(self.protocol, "history", ())) != history_before:
-                self._checkpoint()
+                await self._checkpoint()
             for dest, reply in replies:
                 if dest != sender:
                     logger.warning(

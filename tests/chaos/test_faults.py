@@ -1,0 +1,103 @@
+"""Unit tests for the deterministic fault plan."""
+
+import pytest
+
+from repro.chaos.faults import Decision, FaultKind, FaultPlan, LinkPolicy
+
+
+def decisions(plan, link, direction, count):
+    return [plan.decide(link, direction) for _ in range(count)]
+
+
+def test_same_seed_same_decision_sequence():
+    policy = LinkPolicy(drop_rate=0.2, delay_rate=0.3, duplicate_rate=0.1,
+                        sever_rate=0.05)
+    a = FaultPlan(seed=42, default_policy=policy)
+    b = FaultPlan(seed=42, default_policy=policy)
+    for link in ("s000", "s001"):
+        for direction in ("c2s", "s2c"):
+            assert (decisions(a, link, direction, 200)
+                    == decisions(b, link, direction, 200))
+
+
+def test_different_seeds_diverge():
+    policy = LinkPolicy(drop_rate=0.5)
+    a = FaultPlan(seed=1, default_policy=policy)
+    b = FaultPlan(seed=2, default_policy=policy)
+    assert (decisions(a, "s000", "c2s", 100)
+            != decisions(b, "s000", "c2s", 100))
+
+
+def test_links_are_independent_streams():
+    """Interleaving frames on other links must not perturb a link's fate."""
+    policy = LinkPolicy(drop_rate=0.5)
+    a = FaultPlan(seed=7, default_policy=policy)
+    b = FaultPlan(seed=7, default_policy=policy)
+    expected = decisions(a, "s000", "c2s", 50)
+    got = []
+    for _ in range(50):
+        b.decide("s001", "c2s")          # noise on another link
+        got.append(b.decide("s000", "c2s"))
+        b.decide("s000", "s2c")          # noise on the other direction
+    assert got == expected
+
+
+def test_default_policy_delivers_everything():
+    plan = FaultPlan(seed=0)
+    assert decisions(plan, "s000", "c2s", 50) == [Decision(FaultKind.DELIVER)] * 50
+    assert plan.counts == {}
+
+
+def test_certain_rates_fire_always():
+    plan = FaultPlan(seed=0, default_policy=LinkPolicy(drop_rate=1.0))
+    assert all(d.kind is FaultKind.DROP
+               for d in decisions(plan, "s000", "c2s", 20))
+    plan.set_policy("s000", drop_rate=0.0, sever_rate=1.0)
+    assert plan.decide("s000", "c2s").kind is FaultKind.SEVER
+    # Other links still use the default policy.
+    assert plan.decide("s001", "c2s").kind is FaultKind.DROP
+
+
+def test_blackhole_and_heal():
+    plan = FaultPlan(seed=0)
+    plan.blackhole("s002")
+    assert plan.blackholed == ["s002"]
+    assert plan.decide("s002", "s2c").kind is FaultKind.BLACKHOLE
+    assert plan.decide("s000", "s2c").kind is FaultKind.DELIVER
+    plan.heal("s002")
+    assert plan.blackholed == []
+    assert plan.decide("s002", "s2c").kind is FaultKind.DELIVER
+
+
+def test_heal_all_clears_every_override():
+    plan = FaultPlan(seed=0)
+    plan.blackhole("s000")
+    plan.set_policy("s001", drop_rate=1.0)
+    plan.heal()
+    assert plan.decide("s000", "c2s").kind is FaultKind.DELIVER
+    assert plan.decide("s001", "c2s").kind is FaultKind.DELIVER
+
+
+def test_delay_bounds_and_throttle():
+    plan = FaultPlan(seed=3, default_policy=LinkPolicy(
+        delay_rate=1.0, delay_min=0.01, delay_max=0.05, throttle=0.1))
+    for decision in decisions(plan, "s000", "c2s", 50):
+        assert decision.kind is FaultKind.DELAY
+        assert 0.11 <= decision.delay <= 0.15  # throttle + [min, max]
+
+
+def test_throttle_alone_paces_delivery():
+    plan = FaultPlan(seed=0, default_policy=LinkPolicy(throttle=0.02))
+    decision = plan.decide("s000", "c2s")
+    assert decision.kind is FaultKind.DELIVER
+    assert decision.delay == pytest.approx(0.02)
+
+
+def test_event_log_records_and_caps(monkeypatch):
+    monkeypatch.setattr("repro.chaos.faults.MAX_EVENTS", 5)
+    plan = FaultPlan(seed=0, default_policy=LinkPolicy(drop_rate=1.0))
+    decisions(plan, "s000", "c2s", 8)
+    assert len(plan.events) == 5
+    assert plan.events_dropped == 3
+    assert plan.counts["drop"] == 8
+    assert plan.events[0] == "s000/c2s#0: drop"

@@ -1,0 +1,90 @@
+"""Nemesis schedule construction and liveness-safety of the named plans."""
+
+import asyncio
+
+import pytest
+
+from repro.chaos.nemesis import SCHEDULES, Nemesis, NemesisStep, build_schedule
+from repro.errors import ConfigurationError
+from repro.runtime import LocalCluster
+from repro.types import server_id
+
+SERVERS = [server_id(i) for i in range(5)]
+
+
+def test_build_schedule_is_deterministic():
+    for name in SCHEDULES:
+        first = build_schedule(name, SERVERS, f=1, seed=9)
+        second = build_schedule(name, SERVERS, f=1, seed=9)
+        assert first == second
+
+
+def test_different_seeds_pick_different_victims():
+    diverged = any(
+        build_schedule("rolling-partition", SERVERS, f=1, seed=a)
+        != build_schedule("rolling-partition", SERVERS, f=1, seed=b)
+        for a, b in ((0, 1), (0, 2), (1, 2))
+    )
+    assert diverged
+
+
+def test_unknown_schedule_rejected():
+    with pytest.raises(ConfigurationError):
+        build_schedule("tornado", SERVERS, f=1)
+
+
+def test_crash_restart_injects_f_cycles():
+    steps = build_schedule("crash-restart", SERVERS, f=2, seed=0)
+    crashes = [s for s in steps if s.action == "crash"]
+    restarts = [s for s in steps if s.action == "restart"]
+    assert len(crashes) == len(restarts) == 2
+    for crash, restart in zip(crashes, restarts):
+        assert crash.targets == restart.targets
+        assert restart.at > crash.at
+
+
+@pytest.mark.parametrize("name", [n for n in SCHEDULES if n != "none"])
+def test_at_most_f_servers_faulted_at_once(name):
+    """Every named schedule must preserve n - f reachable servers (f=1)."""
+    steps = build_schedule(name, SERVERS, f=1, seed=5)
+    open_faults = {}
+    for step in sorted(steps, key=lambda s: s.at):
+        if step.action in ("crash", "partition", "degrade"):
+            for pid in step.targets:
+                open_faults[pid] = step.action
+        elif step.action in ("restart", "heal"):
+            for pid in step.targets:
+                open_faults.pop(pid, None)
+        assert len(open_faults) <= 1, f"{name} faults {open_faults} at once"
+    assert not open_faults, f"{name} leaves {open_faults} unhealed"
+
+
+def test_describe_is_stable():
+    step = NemesisStep(1.25, "degrade", ("s001",), (("drop_rate", 0.15),))
+    assert step.describe() == "1.25s degrade s001 drop_rate=0.15"
+
+
+def test_nemesis_requires_chaos_cluster():
+    cluster = LocalCluster("bsr", f=1)  # chaos disabled
+    with pytest.raises(ConfigurationError):
+        Nemesis(cluster, [])
+
+
+def test_nemesis_applies_steps_in_order():
+    async def scenario():
+        cluster = LocalCluster("bsr", f=1, chaos=True, chaos_seed=1)
+        await cluster.start()
+        try:
+            steps = [
+                NemesisStep(0.05, "partition", (cluster.server_ids[0],)),
+                NemesisStep(0.10, "sever", (cluster.server_ids[0],)),
+                NemesisStep(0.15, "heal", ()),
+            ]
+            nemesis = Nemesis(cluster, steps)
+            await nemesis.run()
+            assert nemesis.events == [s.describe() for s in steps]
+            assert cluster.chaos_plan.blackholed == []
+        finally:
+            await cluster.stop()
+
+    asyncio.run(scenario())

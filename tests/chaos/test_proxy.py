@@ -1,0 +1,163 @@
+"""ChaosProxy behaviour against a frame-echo upstream."""
+
+import asyncio
+
+import pytest
+
+from repro.chaos.faults import FaultPlan, LinkPolicy
+from repro.chaos.proxy import ChaosProxy
+from repro.transport.codec import read_frame, write_frame
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class EchoServer:
+    """Upstream that echoes every frame it receives."""
+
+    def __init__(self):
+        self._server = None
+        self.address = None
+
+    async def start(self):
+        self._server = await asyncio.start_server(self._serve, "127.0.0.1", 0)
+        self.address = self._server.sockets[0].getsockname()[:2]
+
+    async def stop(self):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _serve(self, reader, writer):
+        try:
+            while True:
+                frame = await read_frame(reader)
+                write_frame(writer, frame)
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        finally:
+            writer.close()
+
+
+async def proxied_echo(plan):
+    upstream = EchoServer()
+    await upstream.start()
+    proxy = ChaosProxy("s000", upstream.address, plan)
+    await proxy.start()
+    return upstream, proxy
+
+
+def test_passthrough_roundtrip():
+    async def scenario():
+        upstream, proxy = await proxied_echo(FaultPlan(seed=0))
+        try:
+            reader, writer = await asyncio.open_connection(*proxy.address)
+            write_frame(writer, b"ping")
+            await writer.drain()
+            assert await read_frame(reader) == b"ping"
+            writer.close()
+        finally:
+            await proxy.stop()
+            await upstream.stop()
+
+    run(scenario())
+
+
+def test_duplicate_rate_doubles_frames_each_direction():
+    plan = FaultPlan(seed=0, default_policy=LinkPolicy(duplicate_rate=1.0))
+
+    async def scenario():
+        upstream, proxy = await proxied_echo(plan)
+        try:
+            reader, writer = await asyncio.open_connection(*proxy.address)
+            write_frame(writer, b"dup")
+            await writer.drain()
+            # Doubled on the way in (2 echoes) and each echo doubled on
+            # the way out: 4 identical frames arrive.
+            frames = [await asyncio.wait_for(read_frame(reader), 2.0)
+                      for _ in range(4)]
+            assert frames == [b"dup"] * 4
+            writer.close()
+        finally:
+            await proxy.stop()
+            await upstream.stop()
+
+    run(scenario())
+
+
+def test_blackhole_swallows_then_heal_restores():
+    plan = FaultPlan(seed=0)
+
+    async def scenario():
+        upstream, proxy = await proxied_echo(plan)
+        try:
+            reader, writer = await asyncio.open_connection(*proxy.address)
+            proxy.blackhole()
+            write_frame(writer, b"lost")
+            await writer.drain()
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(read_frame(reader), 0.3)
+            proxy.heal()
+            write_frame(writer, b"back")
+            await writer.drain()
+            assert await asyncio.wait_for(read_frame(reader), 2.0) == b"back"
+            writer.close()
+        finally:
+            await proxy.stop()
+            await upstream.stop()
+
+    run(scenario())
+
+
+def test_sever_all_cuts_live_connections():
+    async def scenario():
+        upstream, proxy = await proxied_echo(FaultPlan(seed=0))
+        try:
+            reader, writer = await asyncio.open_connection(*proxy.address)
+            write_frame(writer, b"warm")
+            await writer.drain()
+            assert await read_frame(reader) == b"warm"
+            assert proxy.sever_all() > 0
+            with pytest.raises((asyncio.IncompleteReadError,
+                                ConnectionResetError)):
+                await asyncio.wait_for(read_frame(reader), 2.0)
+        finally:
+            await proxy.stop()
+            await upstream.stop()
+
+    run(scenario())
+
+
+def test_sever_decision_cuts_connection():
+    plan = FaultPlan(seed=0, default_policy=LinkPolicy(sever_rate=1.0))
+
+    async def scenario():
+        upstream, proxy = await proxied_echo(plan)
+        try:
+            reader, writer = await asyncio.open_connection(*proxy.address)
+            write_frame(writer, b"doomed")
+            await writer.drain()
+            with pytest.raises((asyncio.IncompleteReadError,
+                                ConnectionResetError)):
+                await asyncio.wait_for(read_frame(reader), 2.0)
+        finally:
+            await proxy.stop()
+            await upstream.stop()
+
+    run(scenario())
+
+
+def test_upstream_down_refuses_clients():
+    async def scenario():
+        upstream, proxy = await proxied_echo(FaultPlan(seed=0))
+        await upstream.stop()  # node "crashed"
+        try:
+            reader, writer = await asyncio.open_connection(*proxy.address)
+            with pytest.raises((asyncio.IncompleteReadError,
+                                ConnectionResetError)):
+                await asyncio.wait_for(read_frame(reader), 2.0)
+        finally:
+            await proxy.stop()
+
+    run(scenario())

@@ -74,6 +74,28 @@ def test_modelcheck_below_bound_finds_violations(capsys):
     assert "12 of 16" in out
 
 
+def test_chaos_runs_schedule_and_reports(capsys):
+    assert main(["chaos", "--schedule", "crash-restart", "--ops", "8",
+                 "--period", "0.3", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "crash s" in out and "restart s" in out
+    assert "MWMR safety: OK" in out
+    assert "reconnects" in out
+
+
+def test_chaos_baseline_schedule_has_no_faults(capsys):
+    assert main(["chaos", "--schedule", "none", "--ops", "6",
+                 "--period", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "(no faults)" in out
+    assert "MWMR safety: OK" in out
+
+
+def test_chaos_rejects_unknown_schedule():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["chaos", "--schedule", "tornado"])
+
+
 def test_modelcheck_accepts_exhaustive_flag(capsys):
     # Tiny state cap: outcome may be truncated, but the command must run.
     assert main(["modelcheck", "--n", "4", "--exhaustive",
