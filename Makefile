@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-codec bench-tables chaos-soak examples modelcheck clean
+.PHONY: install test bench bench-codec bench-tables chaos-soak cluster-smoke examples modelcheck clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -32,6 +32,11 @@ bench-tables:
 chaos-soak:
 	$(PYTHON) -m pytest tests/ -m soak -q
 	$(PYTHON) -m pytest benchmarks/bench_e17_chaos.py --benchmark-only -s -m ""
+
+# Process-per-node smoke: just the tests that spawn real node processes
+# (supervisor lifecycle, SIGKILL recovery, the acceptance soak).
+cluster-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests -m procs -q
 
 examples:
 	@for script in examples/*.py; do \

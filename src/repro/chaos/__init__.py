@@ -25,6 +25,7 @@ Three layers:
 
 from repro.chaos.faults import Decision, FaultKind, FaultPlan, LinkPolicy
 from repro.chaos.nemesis import (
+    PROCESS_SCHEDULES,
     SCHEDULES,
     Nemesis,
     NemesisStep,
@@ -41,6 +42,7 @@ __all__ = [
     "LinkPolicy",
     "Nemesis",
     "NemesisStep",
+    "PROCESS_SCHEDULES",
     "SCHEDULES",
     "SoakResult",
     "build_schedule",

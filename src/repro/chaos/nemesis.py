@@ -8,10 +8,22 @@ schedule with the same seed and server set injects the same faults at
 the same offsets, which is what the determinism check in the soak test
 asserts.
 
-Named schedules keep every window down to at most ``f`` servers faulted
-at a time, so the paper's liveness condition (``n - f`` reachable
-servers, Lemma 6) holds throughout and every client operation must still
-complete.
+Named schedules (except ``exceed-f``) keep every window down to at most
+``f`` servers faulted at a time, so the paper's liveness condition
+(``n - f`` reachable servers, Lemma 6) holds throughout and every client
+operation must still complete.  ``f-concurrent`` spends the whole fault
+budget at once -- exactly ``f`` servers down simultaneously -- and
+``exceed-f`` deliberately crashes ``f + 1``, demonstrating the *loss* of
+liveness as a negative test.
+
+A nemesis drives any cluster-like object that offers the capabilities
+its steps need: ``crash``/``restart`` methods for process faults (both
+:class:`~repro.runtime.cluster.LocalCluster` and
+:class:`~repro.deploy.supervisor.ClusterSupervisor` -- the latter backs
+them with SIGKILL and snapshot-recovering respawns), a ``chaos_plan``
+for frame-level faults, and ``proxies`` for connection severing.
+Capability checks happen up front, so an incompatible schedule fails at
+construction rather than mid-soak.
 """
 
 from __future__ import annotations
@@ -29,7 +41,16 @@ logger = logging.getLogger(__name__)
 
 #: Named schedules understood by :func:`build_schedule` and the CLI.
 SCHEDULES = ("none", "crash-restart", "rolling-partition", "flaky-links",
-             "combo")
+             "combo", "f-concurrent", "exceed-f")
+
+#: Schedules made purely of crash/restart steps -- the ones a
+#: process-per-node cluster (no chaos proxies) can run.
+PROCESS_SCHEDULES = ("none", "crash-restart", "f-concurrent", "exceed-f")
+
+#: Capability each action needs from the cluster object.
+_NEEDS_PLAN = ("partition", "heal", "degrade")
+_NEEDS_PROXIES = ("sever",)
+_NEEDS_CRASH = ("crash", "restart")
 
 
 @dataclass(frozen=True)
@@ -56,16 +77,36 @@ class NemesisStep:
 
 
 class Nemesis:
-    """Apply a schedule of faults to a chaos-enabled cluster."""
+    """Apply a schedule of faults to a cluster that can execute it.
+
+    Each step's action is checked against the cluster's capabilities at
+    construction: frame-level actions (``partition``/``heal``/``degrade``)
+    need a ``chaos_plan``, ``sever`` needs live ``proxies``, and
+    ``crash``/``restart`` need the corresponding methods (a
+    :class:`~repro.deploy.supervisor.ClusterSupervisor` implements them
+    with SIGKILL and respawn-from-snapshot -- the real-crash mode).
+    """
 
     def __init__(self, cluster, steps: Sequence[NemesisStep]) -> None:
-        if not getattr(cluster, "chaos", False):
-            raise ConfigurationError(
-                "Nemesis needs a chaos-enabled cluster "
-                "(LocalCluster(..., chaos=True))"
-            )
         self.cluster = cluster
         self.steps = sorted(steps, key=lambda step: step.at)
+        for step in self.steps:
+            if (step.action in _NEEDS_PLAN
+                    and getattr(cluster, "chaos_plan", None) is None):
+                raise ConfigurationError(
+                    f"step {step.describe()!r} needs a chaos-enabled "
+                    f"cluster (LocalCluster(..., chaos=True))")
+            if (step.action in _NEEDS_PROXIES
+                    and not getattr(cluster, "proxies", None)):
+                raise ConfigurationError(
+                    f"step {step.describe()!r} needs chaos proxies in "
+                    f"front of the nodes")
+            if (step.action in _NEEDS_CRASH
+                    and not (hasattr(cluster, "crash")
+                             and hasattr(cluster, "restart"))):
+                raise ConfigurationError(
+                    f"step {step.describe()!r} needs crash/restart "
+                    f"support on the cluster")
         #: Applied steps, in order -- the injected-fault record.
         self.events: List[str] = []
 
@@ -114,8 +155,12 @@ def build_schedule(name: str, server_ids: Sequence[ProcessId], f: int,
                    period: float = 1.0) -> List[NemesisStep]:
     """Build the named schedule for a cluster of ``server_ids``.
 
-    Every window faults at most ``f`` servers at once (one at a time, in
-    fact), so ``n - f`` servers stay reachable and liveness must hold.
+    Every window of every schedule except ``exceed-f`` faults at most
+    ``f`` servers at once, so ``n - f`` servers stay reachable and
+    liveness must hold; ``f-concurrent`` takes all ``f`` down in a single
+    step (the paper's worst *tolerated* case), while ``exceed-f`` crashes
+    ``f + 1`` concurrently and holds them down for two periods -- the
+    smallest violation of the fault budget, expected to cost liveness.
     The victim order is drawn from ``seed``; equal inputs yield an
     identical step list.
     """
@@ -143,12 +188,28 @@ def build_schedule(name: str, server_ids: Sequence[ProcessId], f: int,
             steps.append(NemesisStep(t + 0.5 * period, "heal", (pid,)))
             t += period
 
+    def concurrent_crash(count: int, cycles: int, hold: float) -> None:
+        nonlocal t
+        for _ in range(cycles):
+            victims = tuple(rng.sample(servers, min(count, len(servers))))
+            steps.append(NemesisStep(t, "crash", victims))
+            steps.append(NemesisStep(t + hold, "restart", victims))
+            t += hold + 0.5 * period
+
     if name == "none":
         return steps
     if name in ("crash-restart", "combo"):
         crash_restart_cycles()
     if name in ("rolling-partition", "combo"):
         rolling_partition()
+    if name == "f-concurrent":
+        # The whole fault budget at once, twice: exactly f servers down
+        # simultaneously still leaves n - f reachable (Lemma 6).
+        concurrent_crash(f, cycles=2, hold=0.5 * period)
+    if name == "exceed-f":
+        # One server past the budget, held down for two periods: clients
+        # cannot gather n - f replies, so operations in the window stall.
+        concurrent_crash(f + 1, cycles=1, hold=2.0 * period)
     if name == "flaky-links":
         for pid in rng.sample(servers, min(f, len(servers))):
             rates = (("drop_rate", 0.15), ("delay_rate", 0.3),

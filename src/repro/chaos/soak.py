@@ -1,29 +1,49 @@
 """Soak runs: a mixed read/write workload under a nemesis schedule.
 
 :func:`run_soak` is the one entry point behind the ``repro chaos`` CLI,
-the chaos integration tests and benchmark E17.  It starts a chaos-enabled
-:class:`~repro.runtime.cluster.LocalCluster`, lets a writer and a pair of
-readers issue operations paced across the schedule window while the
-:class:`~repro.chaos.nemesis.Nemesis` injects faults, and records every
-operation into a :class:`~repro.sim.trace.Trace` so the paper's safety
-checker (Definition 1) can judge the execution afterwards.
+the chaos integration tests and benchmark E17.  It starts a cluster,
+lets a writer and a pair of readers issue operations paced across the
+schedule window while the :class:`~repro.chaos.nemesis.Nemesis` injects
+faults, and records every operation into a
+:class:`~repro.sim.trace.Trace` so the paper's safety checker
+(Definition 1) can judge the execution afterwards.
 
-Liveness is checked the strong way: every named schedule keeps ``n - f``
-servers reachable, so any operation that raises ``LivenessError`` (or
-otherwise fails) is recorded as an error and fails the soak.
+Two cluster backends:
+
+* ``procs=False`` (default): a chaos-enabled in-process
+  :class:`~repro.runtime.cluster.LocalCluster` -- every schedule works,
+  including frame-level faults through the chaos proxies.
+* ``procs=True``: a real process-per-node cluster via
+  :class:`~repro.deploy.supervisor.ClusterSupervisor` -- crashes are
+  SIGKILLs of OS processes and restarts are snapshot-recovering
+  respawns, so only crash/restart schedules
+  (:data:`~repro.chaos.nemesis.PROCESS_SCHEDULES`) apply.
+
+Liveness is checked the strong way: every schedule that keeps ``n - f``
+servers reachable must complete every operation, so any raised
+``LivenessError`` (or other failure) is recorded as an error and fails
+the soak.  The deliberate exception is ``exceed-f``, which takes down
+``f + 1`` servers to *demonstrate* lost liveness -- there the recorded
+errors are the expected result.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import shutil
 import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.chaos.nemesis import Nemesis, build_schedule
+from repro.chaos.nemesis import (
+    PROCESS_SCHEDULES,
+    Nemesis,
+    build_schedule,
+)
 from repro.consistency import check_safety
 from repro.consistency.result import CheckResult
+from repro.errors import ConfigurationError
 from repro.metrics import summarize_trace
 from repro.sim.rng import SimRng
 from repro.sim.trace import OpKind, Trace
@@ -43,6 +63,10 @@ class SoakResult:
     client_stats: Dict[str, Dict[str, int]]
     errors: List[str]
     wall_time: float
+    #: Whether the workload ran against real OS processes.
+    procs: bool = False
+    #: Final on-disk snapshot size per node (bytes), when snapshots exist.
+    snapshot_bytes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -84,17 +108,42 @@ async def _client_loop(client, trace: Trace, kinds: List[OpKind],
         await asyncio.sleep(think * (0.5 + rng.random()))
 
 
+def _snapshot_sizes(snapshot_dir: Optional[str]) -> Dict[str, int]:
+    """On-disk bytes per node snapshot (empty when nothing persisted)."""
+    if snapshot_dir is None or not os.path.isdir(snapshot_dir):
+        return {}
+    sizes = {}
+    for name in sorted(os.listdir(snapshot_dir)):
+        if name.endswith(".snapshot"):
+            sizes[name[:-len(".snapshot")]] = os.path.getsize(
+                os.path.join(snapshot_dir, name))
+    return sizes
+
+
 async def run_soak(algorithm: str = "bsr", f: int = 1,
                    schedule: str = "combo", ops: int = 40,
                    read_ratio: float = 0.6, value_size: int = 32,
                    seed: int = 0, start: float = 0.5, period: float = 1.0,
                    timeout: float = 15.0,
                    snapshot_dir: Optional[str] = None,
+                   max_history: Optional[int] = None,
+                   procs: bool = False,
                    client_kwargs: Optional[Dict[str, Any]] = None) -> SoakResult:
-    """Run ``ops`` mixed operations under the named nemesis schedule."""
+    """Run ``ops`` mixed operations under the named nemesis schedule.
+
+    ``procs=True`` runs the workload against a process-per-node cluster
+    (one OS process per server, SIGKILL crashes, snapshot-recovery
+    restarts); ``max_history`` bounds every server's history list so long
+    soaks keep snapshots from growing without bound.
+    """
     # Imported here: repro.runtime.cluster itself imports the chaos proxy,
     # so a module-level import would be circular.
     from repro.runtime.cluster import LocalCluster
+
+    if procs and schedule not in PROCESS_SCHEDULES:
+        raise ConfigurationError(
+            f"schedule {schedule!r} needs frame-level chaos proxies; a "
+            f"process cluster runs {PROCESS_SCHEDULES}")
 
     rng = SimRng(seed, f"soak/{algorithm}/{schedule}")
     own_snapshots = snapshot_dir is None
@@ -102,8 +151,19 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
         snapshot_dir = tempfile.mkdtemp(prefix="repro-chaos-")
     loop = asyncio.get_event_loop()
     started = loop.time()
-    cluster = LocalCluster(algorithm, f=f, chaos=True, chaos_seed=seed,
-                           snapshot_dir=snapshot_dir)
+    if procs:
+        from repro.deploy import ClusterSpec, ClusterSupervisor
+        spec = ClusterSpec(algorithm=algorithm, f=f,
+                           snapshot_dir=snapshot_dir,
+                           max_history=max_history,
+                           secret=f"soak-{seed}")
+        cluster = ClusterSupervisor(spec)
+        initial_value = spec.initial_value.encode()
+    else:
+        cluster = LocalCluster(algorithm, f=f, chaos=True, chaos_seed=seed,
+                               snapshot_dir=snapshot_dir,
+                               max_history=max_history)
+        initial_value = cluster.initial_value
     await cluster.start()
     try:
         steps = build_schedule(schedule, cluster.server_ids, f, seed=seed,
@@ -138,16 +198,19 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
                 client, trace, kinds, think, rng.fork(prefix), value_size,
                 f"{prefix}/{seed}", errors)))
         await asyncio.gather(*tasks)
-        cluster.chaos_plan.heal()
+        if getattr(cluster, "chaos_plan", None) is not None:
+            cluster.chaos_plan.heal()
 
-        safety = check_safety(trace, initial_value=cluster.initial_value)
+        safety = check_safety(trace, initial_value=initial_value)
+        plan = getattr(cluster, "chaos_plan", None)
         return SoakResult(
             algorithm=algorithm, schedule=schedule, seed=seed, trace=trace,
             safety=safety, nemesis_events=list(nemesis.events),
-            fault_counts=dict(cluster.chaos_plan.counts),
+            fault_counts=dict(plan.counts) if plan is not None else {},
             client_stats={c.client_id: c.stats()
                           for c in [writer] + readers},
             errors=errors, wall_time=loop.time() - started,
+            procs=procs, snapshot_bytes=_snapshot_sizes(snapshot_dir),
         )
     finally:
         await cluster.stop()

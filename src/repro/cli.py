@@ -5,7 +5,10 @@ Subcommands:
 * ``demo``      -- run a tiny write/read execution of any algorithm.
 * ``scenario``  -- replay one of the paper's proof executions (t3, t5, t6).
 * ``workload``  -- run a synthetic workload and print latency statistics.
-* ``chaos``     -- run a live TCP workload under a nemesis fault schedule.
+* ``chaos``     -- run a live TCP workload under a nemesis fault schedule
+  (``--procs`` runs it against real OS processes).
+* ``node``      -- serve exactly one register node in this process.
+* ``cluster``   -- serve / inspect / signal a process-per-node cluster.
 * ``algorithms`` -- list the implemented algorithms and their bounds.
 """
 
@@ -13,10 +16,12 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
+import signal as signal_module
 import sys
 from typing import List, Optional
 
-from repro.chaos import SCHEDULES, run_soak
+from repro.chaos import PROCESS_SCHEDULES, SCHEDULES, run_soak
 
 from repro.byzantine.scenarios import (
     theorem3_regularity_violation,
@@ -110,9 +115,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         algorithm=args.algorithm, f=args.f, schedule=args.schedule,
         ops=args.ops, read_ratio=args.read_ratio,
         value_size=args.value_size, seed=args.seed, period=args.period,
-        timeout=args.timeout,
+        timeout=args.timeout, procs=args.procs,
+        max_history=args.max_history,
     ))
-    print(f"nemesis schedule {args.schedule!r} (seed {args.seed}):")
+    backend = "OS processes" if result.procs else "in-process cluster"
+    print(f"nemesis schedule {args.schedule!r} (seed {args.seed}, "
+          f"{backend}):")
     for event in result.nemesis_events or ["  (no faults)"]:
         print(f"  {event}")
     if result.fault_counts:
@@ -132,10 +140,124 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     for client_id, stats in sorted(result.client_stats.items()):
         interesting = {k: v for k, v in sorted(stats.items()) if v}
         print(f"  {client_id}: {interesting}")
+    if result.snapshot_bytes:
+        total = sum(result.snapshot_bytes.values())
+        print(f"snapshots: {total} bytes across "
+              f"{len(result.snapshot_bytes)} nodes")
     for error in result.errors:
         print(f"  LIVENESS FAILURE: {error}")
     print(result.safety)
     return 0 if result.ok else 1
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    from repro.deploy import ClusterSpec, serve_node
+
+    spec = ClusterSpec.from_file(args.spec)
+    try:
+        asyncio.run(serve_node(spec, args.node, port=args.port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
+def _parse_signal(name: str) -> int:
+    """``KILL`` / ``SIGKILL`` / ``9`` -> the signal number."""
+    if name.isdigit():
+        return int(name)
+    upper = name.upper()
+    if not upper.startswith("SIG"):
+        upper = "SIG" + upper
+    try:
+        return getattr(signal_module, upper)
+    except AttributeError:
+        raise SystemExit(f"unknown signal {name!r}")
+
+
+def _print_cluster_status(rows) -> None:
+    print(format_table(("node", "pid", "address", "state", "restarts"), rows))
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.deploy import (
+        ClusterSpec,
+        ClusterSupervisor,
+        PING_FAILURES,
+        default_state_path,
+        health_ping,
+        read_state,
+    )
+
+    spec = ClusterSpec.from_file(args.spec)
+    state_path = args.state or default_state_path(spec, args.spec)
+
+    if args.cluster_command == "serve":
+        async def serve() -> None:
+            supervisor = ClusterSupervisor(spec, spec_path=args.spec,
+                                           state_path=state_path)
+            await supervisor.start()
+            rows = [(s["node"], s["pid"],
+                     "{}:{}".format(*s["address"]), "up", s["restarts"])
+                    for s in supervisor.status()]
+            _print_cluster_status(rows)
+            print(f"state file: {supervisor.state_path}")
+            try:
+                if args.duration > 0:
+                    await asyncio.sleep(args.duration)
+                else:
+                    await asyncio.Event().wait()  # until Ctrl-C
+            finally:
+                await supervisor.stop()
+
+        try:
+            asyncio.run(serve())
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        return 0
+
+    if args.cluster_command == "status":
+        state = read_state(state_path)
+        auth = spec.authenticator()
+
+        async def probe() -> List[tuple]:
+            rows = []
+            for node, info in sorted(state["nodes"].items()):
+                pid = info.get("pid")
+                alive = False
+                if pid:
+                    try:
+                        os.kill(pid, 0)
+                        alive = True
+                    except (OSError, ProcessLookupError):
+                        alive = False
+                healthy = False
+                if info.get("port"):
+                    try:
+                        await health_ping((info["host"], info["port"]), auth,
+                                          timeout=args.timeout)
+                        healthy = True
+                    except PING_FAILURES:
+                        healthy = False
+                state_word = ("healthy" if healthy
+                              else "running" if alive else "down")
+                rows.append((node, pid, f"{info.get('host')}:{info.get('port')}",
+                             state_word, info.get("restarts", 0)))
+            return rows
+
+        rows = asyncio.run(probe())
+        _print_cluster_status(rows)
+        return 0 if all(row[3] == "healthy" for row in rows) else 1
+
+    # kill
+    state = read_state(state_path)
+    info = state["nodes"].get(args.node)
+    if info is None or not info.get("pid"):
+        print(f"node {args.node!r} not found in {state_path}")
+        return 1
+    signum = _parse_signal(args.signal)
+    os.kill(info["pid"], signum)
+    print(f"sent signal {signum} to node {args.node} (pid {info['pid']})")
+    return 0
 
 
 def _cmd_modelcheck(args: argparse.Namespace) -> int:
@@ -217,6 +339,52 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--timeout", type=float, default=15.0,
                        help="per-operation liveness timeout")
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--procs", action="store_true",
+                       help="run against real OS processes (SIGKILL "
+                            f"crashes; schedules {PROCESS_SCHEDULES})")
+    chaos.add_argument("--max-history", type=int, default=None,
+                       help="bound every server's history list (GC)")
+
+    node = sub.add_parser(
+        "node", help="serve a single register node in this process")
+    node_sub = node.add_subparsers(dest="node_command", required=True)
+    node_serve = node_sub.add_parser(
+        "serve", help="host one node from a cluster spec until SIGTERM")
+    node_serve.add_argument("--spec", required=True,
+                            help="cluster spec file (.toml or .json)")
+    node_serve.add_argument("--node", required=True,
+                            help="node id to serve (e.g. s002)")
+    node_serve.add_argument("--port", type=int, default=None,
+                            help="override the spec's port (supervisors pin "
+                                 "a restarted node's previous port)")
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="serve / inspect / signal a process-per-node cluster",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command",
+                                         required=True)
+    cluster_serve = cluster_sub.add_parser(
+        "serve", help="spawn one OS process per node and supervise them")
+    cluster_serve.add_argument("--spec", required=True)
+    cluster_serve.add_argument("--state", default=None,
+                               help="state file path (default: next to "
+                                    "snapshots / the spec)")
+    cluster_serve.add_argument("--duration", type=float, default=0.0,
+                               help="serve for N seconds then exit "
+                                    "(0 = until Ctrl-C)")
+    cluster_status = cluster_sub.add_parser(
+        "status", help="health-ping every node of a served cluster")
+    cluster_status.add_argument("--spec", required=True)
+    cluster_status.add_argument("--state", default=None)
+    cluster_status.add_argument("--timeout", type=float, default=2.0)
+    cluster_kill = cluster_sub.add_parser(
+        "kill", help="signal one node process of a served cluster")
+    cluster_kill.add_argument("--spec", required=True)
+    cluster_kill.add_argument("--state", default=None)
+    cluster_kill.add_argument("--node", required=True)
+    cluster_kill.add_argument("--signal", default="KILL",
+                              help="signal name or number (default KILL)")
 
     modelcheck = sub.add_parser(
         "modelcheck",
@@ -241,6 +409,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scenario": _cmd_scenario,
         "workload": _cmd_workload,
         "chaos": _cmd_chaos,
+        "node": _cmd_node,
+        "cluster": _cmd_cluster,
         "modelcheck": _cmd_modelcheck,
     }
     return handlers[args.command](args)

@@ -251,3 +251,41 @@ class PushData(BaseMessage):
 
     def wire_size(self) -> int:
         return HEADER_BYTES + TAG_BYTES + payload_size(self.payload)
+
+
+# --------------------------------------------------------------------------
+# Runtime-level messages (not part of any paper protocol)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HealthPing(BaseMessage):
+    """Node-level liveness probe, answered by the TCP node itself.
+
+    Handled before the protocol state machine, so a probe works against
+    any hosted algorithm (the supervisor's readiness and status checks
+    use it).
+    """
+
+
+@dataclass(frozen=True)
+class HealthAck(BaseMessage):
+    """Reply to :class:`HealthPing` with a little node telemetry."""
+
+    node_id: str = ""
+    history_len: int = 0
+
+
+@dataclass(frozen=True)
+class Throttled(BaseMessage):
+    """Flow-control error: the node shed this frame (rate limit exceeded).
+
+    ``retry_after`` is the server's estimate of when the client's token
+    bucket will hold a token again, and ``dropped`` names the shed
+    message's type; the client backs off for that long and re-sends only
+    the matching in-flight frame (re-sending everything pending would
+    spend each refilled token on the oldest frame and starve the shed
+    one).
+    """
+
+    retry_after: float = 0.0
+    dropped: str = ""

@@ -1,0 +1,45 @@
+"""Process-per-node cluster deployments.
+
+Where :class:`~repro.runtime.cluster.LocalCluster` hosts every node in
+one Python process (fine for tests, dishonest about crashes), this
+package runs **one OS process per node** so the chaos nemesis can kill
+servers the way operating systems do -- SIGKILL, no goodbye -- and the
+supervisor can bring them back through real snapshot recovery.  It is
+the stepping stone to the multi-host deployments the ROADMAP targets:
+everything a node needs travels in one :class:`ClusterSpec` file.
+
+* :class:`ClusterSpec` -- declarative deployment config (TOML/JSON):
+  algorithm, fault budget, addresses, snapshot dirs, shared key
+  material, flow-control limits.
+* :func:`serve_node` / ``repro node serve`` -- the single-node process
+  entrypoint with a readiness line and an authenticated health ping.
+* :class:`ClusterSupervisor` / ``repro cluster serve|status|kill`` --
+  spawns all node processes, waits for readiness, monitors liveness,
+  and exposes ``kill``/``restart`` for the nemesis' real-crash mode.
+"""
+
+from repro.deploy.serve import (
+    PING_FAILURES,
+    READY_PREFIX,
+    health_ping,
+    serve_node,
+)
+from repro.deploy.spec import ClusterSpec
+from repro.deploy.supervisor import (
+    ClusterSupervisor,
+    NodeHandle,
+    default_state_path,
+    read_state,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "ClusterSupervisor",
+    "NodeHandle",
+    "PING_FAILURES",
+    "READY_PREFIX",
+    "default_state_path",
+    "health_ping",
+    "read_state",
+    "serve_node",
+]

@@ -1,0 +1,238 @@
+"""Declarative cluster configuration: one file describes one deployment.
+
+A :class:`ClusterSpec` is the single source of truth a process-per-node
+deployment is built from: the algorithm and fault budget pick the server
+count and quorums, the address block tells every party where the nodes
+listen, and the shared secret derives the per-process HMAC keys
+(:class:`~repro.transport.auth.KeyChain`).  The same spec file drives
+
+* ``repro node serve --spec cluster.toml --node s002`` -- one OS process
+  hosting exactly one :class:`~repro.runtime.node.RegisterServerNode`,
+* :class:`~repro.deploy.supervisor.ClusterSupervisor` -- spawns and
+  babysits all node processes, and
+* :meth:`ClusterSpec.client` -- an
+  :class:`~repro.runtime.client.AsyncRegisterClient` wired to the
+  cluster's addresses, algorithm, fault budget and key material.
+
+Specs load from TOML (stdlib ``tomllib``) or JSON and round-trip through
+:meth:`to_dict`/:meth:`save` so supervisors can hand child processes an
+exact copy of their own configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.byzantine.behaviors import make_behavior
+from repro.core.quorum import abd_min_servers, bcsr_min_servers, bsr_min_servers
+from repro.errors import ConfigurationError
+from repro.runtime.client import CLIENT_ALGORITHMS, AsyncRegisterClient
+from repro.runtime.node import RegisterServerNode
+from repro.transport.auth import Authenticator, KeyChain
+from repro.types import ProcessId, server_id
+
+_MIN_SERVERS = {
+    "bsr": bsr_min_servers,
+    "bsr-history": bsr_min_servers,
+    "bsr-2round": bsr_min_servers,
+    "bcsr": bcsr_min_servers,
+    "abd": abd_min_servers,
+}
+
+
+@dataclass
+class ClusterSpec:
+    """Static description of a process-per-node register deployment.
+
+    ``base_port = 0`` (the default) lets every node bind an ephemeral
+    port; the supervisor learns the real port from the node's readiness
+    line and pins it across restarts.  A non-zero ``base_port`` assigns
+    node ``i`` port ``base_port + i``.  ``nodes`` overrides addresses
+    per node id (``{"s000": ["10.0.0.1", 7000], ...}``) for multi-host
+    layouts.
+    """
+
+    algorithm: str = "bsr"
+    f: int = 1
+    n: Optional[int] = None
+    host: str = "127.0.0.1"
+    base_port: int = 0
+    secret: str = "cluster-secret"
+    snapshot_dir: Optional[str] = None
+    initial_value: str = ""
+    max_history: Optional[int] = None
+    max_connections: Optional[int] = None
+    rate_limit: Optional[float] = None
+    rate_burst: Optional[float] = None
+    #: node id -> behavior name (see ``repro.byzantine.behaviors``).
+    byzantine: Dict[str, str] = field(default_factory=dict)
+    #: node id -> [host, port] address overrides (multi-host layouts).
+    nodes: Dict[str, List[Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in CLIENT_ALGORITHMS:
+            raise ConfigurationError(
+                f"algorithm {self.algorithm!r} not supported by the runtime; "
+                f"choose from {CLIENT_ALGORITHMS}"
+            )
+        if self.f < 0:
+            raise ConfigurationError(f"f must be non-negative, got {self.f}")
+        floor = _MIN_SERVERS[self.algorithm](self.f)
+        if self.n is None:
+            self.n = floor
+        if self.n < floor:
+            raise ConfigurationError(
+                f"{self.algorithm} requires n >= {floor}, got {self.n}")
+        unknown = set(self.byzantine) - set(self.node_ids)
+        if unknown:
+            raise ConfigurationError(
+                f"byzantine entries for unknown nodes: {sorted(unknown)}")
+        if len(self.byzantine) > self.f:
+            raise ConfigurationError(
+                f"{len(self.byzantine)} Byzantine nodes exceed the fault "
+                f"budget f={self.f}")
+
+    # -- identity and addressing ------------------------------------------
+    @property
+    def node_ids(self) -> List[ProcessId]:
+        """Canonical server ids, in index order."""
+        return [server_id(i) for i in range(self.n)]
+
+    def address_of(self, node_id: ProcessId) -> Tuple[str, int]:
+        """Configured ``(host, port)`` for ``node_id`` (port 0 = ephemeral)."""
+        if node_id in self.nodes:
+            host, port = self.nodes[node_id]
+            return str(host), int(port)
+        index = self.node_ids.index(node_id)
+        port = self.base_port + index if self.base_port else 0
+        return self.host, port
+
+    @property
+    def addresses(self) -> Dict[ProcessId, Tuple[str, int]]:
+        """Configured node id -> ``(host, port)`` map."""
+        return {pid: self.address_of(pid) for pid in self.node_ids}
+
+    def snapshot_path(self, node_id: ProcessId) -> Optional[str]:
+        """Where ``node_id`` checkpoints, or ``None`` when not persistent."""
+        if self.snapshot_dir is None:
+            return None
+        return os.path.join(self.snapshot_dir, f"{node_id}.snapshot")
+
+    # -- key material ------------------------------------------------------
+    @property
+    def secret_bytes(self) -> bytes:
+        return self.secret.encode()
+
+    def authenticator(self) -> Authenticator:
+        """An authenticator deriving any process key from the shared secret."""
+        return Authenticator(
+            KeyChain.from_secret(self.secret_bytes, self.node_ids))
+
+    # -- component construction -------------------------------------------
+    def build_protocol(self, node_id: ProcessId) -> Any:
+        """The server state machine ``node_id`` hosts."""
+        from repro.baselines.abd import ABDServer
+        from repro.core.bcsr import BCSRServer, make_codec
+        from repro.core.bsr import BSRServer
+        from repro.core.regular import RegularBSRServer
+
+        index = self.node_ids.index(node_id)
+        initial = self.initial_value.encode()
+        if self.algorithm == "bsr":
+            return BSRServer(node_id, initial_value=initial,
+                             max_history=self.max_history)
+        if self.algorithm in ("bsr-history", "bsr-2round"):
+            return RegularBSRServer(node_id, initial_value=initial,
+                                    max_history=self.max_history)
+        if self.algorithm == "bcsr":
+            return BCSRServer(node_id, index, make_codec(self.n, self.f),
+                              initial_value=initial,
+                              max_history=self.max_history)
+        return ABDServer(node_id, initial_value=initial,
+                         max_history=self.max_history)
+
+    def build_node(self, node_id: ProcessId,
+                   port: Optional[int] = None) -> RegisterServerNode:
+        """A fully configured node for ``node_id`` (not yet started).
+
+        ``port`` overrides the spec's address -- the supervisor uses it to
+        pin a previously-bound ephemeral port across restarts.
+        """
+        if node_id not in self.node_ids:
+            raise ConfigurationError(
+                f"unknown node {node_id!r}; this spec has {self.node_ids}")
+        host, spec_port = self.address_of(node_id)
+        behavior_name = self.byzantine.get(node_id)
+        if self.snapshot_dir is not None:
+            os.makedirs(self.snapshot_dir, exist_ok=True)
+        return RegisterServerNode(
+            node_id, self.build_protocol(node_id), self.authenticator(),
+            host=host, port=port if port is not None else spec_port,
+            behavior=make_behavior(behavior_name) if behavior_name else None,
+            snapshot_path=self.snapshot_path(node_id),
+            max_connections=self.max_connections,
+            rate_limit=self.rate_limit, rate_burst=self.rate_burst,
+        )
+
+    def client(self, client_id: ProcessId,
+               addresses: Optional[Dict[ProcessId, Tuple[str, int]]] = None,
+               **client_kwargs) -> AsyncRegisterClient:
+        """An :class:`AsyncRegisterClient` wired to this cluster.
+
+        ``addresses`` overrides the spec's (pass the supervisor's live map
+        when nodes bound ephemeral ports).  Extra keyword arguments pass
+        through (``timeout``, ``reconnect``, ``backoff_base`` ...).
+        """
+        keychain = KeyChain.from_secret(self.secret_bytes,
+                                        self.node_ids + [client_id])
+        return AsyncRegisterClient(
+            client_id, addresses if addresses is not None else self.addresses,
+            self.f, Authenticator(keychain), algorithm=self.algorithm,
+            initial_value=self.initial_value.encode(), **client_kwargs,
+        )
+
+    # -- serialisation -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON/TOML-ready dict; ``None`` fields are omitted."""
+        raw = dataclasses.asdict(self)
+        return {key: value for key, value in raw.items()
+                if value is not None and value != {} }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClusterSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown cluster spec keys: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def from_file(cls, path: str) -> "ClusterSpec":
+        """Load a spec from a ``.toml`` or ``.json`` file."""
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        if path.endswith(".toml"):
+            import tomllib
+            data = tomllib.loads(raw.decode())
+        else:
+            try:
+                data = json.loads(raw.decode())
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"cluster spec {path!r} is not valid JSON: {exc}"
+                ) from exc
+        if not isinstance(data, dict):
+            raise ConfigurationError(f"cluster spec {path!r} must be a table")
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> str:
+        """Write the spec as JSON (loadable by :meth:`from_file`)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path

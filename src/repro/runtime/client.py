@@ -22,6 +22,7 @@ from repro.baselines.abd import ABDReadOperation, ABDWriteOperation
 from repro.core.bcsr import BCSRReadOperation, BCSRWriteOperation, make_codec
 from repro.core.bsr import BSRReadOperation, BSRReaderState, BSRWriteOperation
 from repro.core.namespace import DEFAULT_REGISTER, NamespacedOperation
+from repro.core.messages import Throttled
 from repro.core.operation import ClientOperation
 from repro.core.regular import HistoryReadOperation, TwoRoundReadOperation
 from repro.errors import AuthenticationError, ConfigurationError, LivenessError, ProtocolError
@@ -91,9 +92,11 @@ class AsyncRegisterClient:
                                                  asyncio.StreamWriter]] = {}
         self._reply_queue: "asyncio.Queue[Tuple[ProcessId, Any]]" = asyncio.Queue()
         self._supervisors: Dict[ProcessId, asyncio.Task] = {}
-        #: Sealed frames of the in-flight operation, per destination --
-        #: replayed on reconnect so a healed link can still serve the op.
-        self._pending: Dict[ProcessId, List[bytes]] = {}
+        #: ``(message type name, sealed frame)`` of the in-flight
+        #: operation, per destination -- replayed on reconnect so a healed
+        #: link can still serve the op, and replayed per-type after a
+        #: throttle (the server names the shed frame's type).
+        self._pending: Dict[ProcessId, List[Tuple[str, bytes]]] = {}
         self._op_retried = False
         self._closing = False
         self._stats: Counter = Counter()
@@ -138,7 +141,8 @@ class AsyncRegisterClient:
 
     def stats(self) -> Dict[str, int]:
         """Resilience counters: reconnects, disconnects, frames dropped /
-        resent, operations retried, drain timeouts, live connections."""
+        resent, operations retried, throttle backoffs, drain timeouts,
+        live connections."""
         stats = dict(self._stats)
         stats["connected"] = len(self._connections)
         return stats
@@ -229,9 +233,17 @@ class AsyncRegisterClient:
             return
 
     # -- operations -------------------------------------------------------------
-    async def _resend_pending(self, pid: ProcessId) -> None:
-        """Replay the in-flight operation's frames on a fresh connection."""
-        frames = list(self._pending.get(pid, ()))
+    async def _resend_pending(self, pid: ProcessId,
+                              only_type: Optional[str] = None) -> None:
+        """Replay the in-flight operation's frames to ``pid``.
+
+        ``only_type`` narrows the replay to frames of one message type
+        (the throttle path: the server names the frame it shed, and
+        replaying anything more would spend the refilled token on an
+        already-delivered frame).
+        """
+        frames = [sealed for type_name, sealed in self._pending.get(pid, ())
+                  if only_type is None or type_name == only_type]
         connection = self._connections.get(pid)
         if not frames or connection is None:
             return
@@ -249,7 +261,8 @@ class AsyncRegisterClient:
         drains = []
         for dest, message in envelopes:
             sealed = self.auth.seal(self.client_id, encode_message(message))
-            self._pending.setdefault(dest, []).append(sealed)
+            self._pending.setdefault(dest, []).append(
+                (type(message).__name__, sealed))
             connection = self._connections.get(dest)
             if connection is None:
                 continue  # down right now; resent if the link heals in time
@@ -296,6 +309,21 @@ class AsyncRegisterClient:
                         self._reply_queue.get(), timeout=remaining
                     )
                 except asyncio.TimeoutError:
+                    continue
+                if isinstance(message, Throttled):
+                    # The server shed our frame (rate limit).  Back off
+                    # for its estimate (bounded by the deadline), then
+                    # replay the shed frame -- the operation is an
+                    # idempotent quorum state machine, so a replay is
+                    # safe even if the original did land.
+                    self._stats["throttled"] += 1
+                    pause = min(max(message.retry_after, self.backoff_base),
+                                self.backoff_max,
+                                max(deadline - loop.time(), 0.0))
+                    if pause > 0:
+                        await asyncio.sleep(pause)
+                    await self._resend_pending(
+                        sender, only_type=message.dropped or None)
                     continue
                 await self._send(operation.on_reply(sender, message))
             return operation.result

@@ -63,7 +63,11 @@ class LocalCluster:
                  namespaced: bool = False,
                  snapshot_dir: Optional[str] = None,
                  chaos: bool = False, chaos_seed: int = 0,
-                 chaos_plan: Optional[FaultPlan] = None) -> None:
+                 chaos_plan: Optional[FaultPlan] = None,
+                 max_history: Optional[int] = None,
+                 max_connections: Optional[int] = None,
+                 rate_limit: Optional[float] = None,
+                 rate_burst: Optional[float] = None) -> None:
         if algorithm not in CLIENT_ALGORITHMS:
             raise ConfigurationError(
                 f"algorithm {algorithm!r} not supported by the asyncio "
@@ -87,6 +91,11 @@ class LocalCluster:
             self._behaviors[pid] = behavior
         self.namespaced = namespaced
         self.snapshot_dir = snapshot_dir
+        #: Bound every server's history list (GC; keeps snapshots small).
+        self.max_history = max_history
+        self.max_connections = max_connections
+        self.rate_limit = rate_limit
+        self.rate_burst = rate_burst
         self.chaos = chaos or chaos_plan is not None
         self.chaos_plan: Optional[FaultPlan] = (
             (chaos_plan or FaultPlan(chaos_seed)) if self.chaos else None)
@@ -100,13 +109,17 @@ class LocalCluster:
 
     def _make_protocol(self, pid: ProcessId, index: int) -> Any:
         if self.algorithm == "bsr":
-            return BSRServer(pid, initial_value=self.initial_value)
+            return BSRServer(pid, initial_value=self.initial_value,
+                             max_history=self.max_history)
         if self.algorithm in ("bsr-history", "bsr-2round"):
-            return RegularBSRServer(pid, initial_value=self.initial_value)
+            return RegularBSRServer(pid, initial_value=self.initial_value,
+                                    max_history=self.max_history)
         if self.algorithm == "bcsr":
             return BCSRServer(pid, index, self._codec,
-                              initial_value=self.initial_value)
-        return ABDServer(pid, initial_value=self.initial_value)
+                              initial_value=self.initial_value,
+                              max_history=self.max_history)
+        return ABDServer(pid, initial_value=self.initial_value,
+                         max_history=self.max_history)
 
     def _make_node(self, pid: ProcessId, index: int,
                    auth: Authenticator) -> RegisterServerNode:
@@ -119,8 +132,10 @@ class LocalCluster:
                     self._make_protocol(pid, index),
                 behavior=self._behaviors.get(pid),
             )
-            return RegisterServerNode(pid, protocol, auth,
-                                      host=self.host, port=0)
+            return RegisterServerNode(
+                pid, protocol, auth, host=self.host, port=0,
+                max_connections=self.max_connections,
+                rate_limit=self.rate_limit, rate_burst=self.rate_burst)
         snapshot_path = None
         if self.snapshot_dir is not None:
             import os
@@ -130,6 +145,8 @@ class LocalCluster:
             pid, self._make_protocol(pid, index), auth, host=self.host,
             port=0, behavior=self._behaviors.get(pid),
             snapshot_path=snapshot_path,
+            max_connections=self.max_connections,
+            rate_limit=self.rate_limit, rate_burst=self.rate_burst,
         )
 
     async def start(self) -> None:

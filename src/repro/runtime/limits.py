@@ -1,0 +1,97 @@
+"""Server-side flow control primitives for the TCP runtime.
+
+A node accepting unbounded connections and frames is an availability
+hazard: a reconnect storm (many clients, small backoff) or one
+misbehaving client can exhaust file descriptors and buffer memory long
+before the protocol itself is stressed.  :class:`TokenBucket` implements
+the classic refill-at-rate/spend-per-frame limiter the node applies per
+authenticated client, and :class:`ConnectionGate` counts live
+connections against a cap.
+
+Both are deliberately tiny and allocation-free on the hot path: the
+bucket stores two floats and refills lazily from the event-loop clock,
+so a node with thousands of clients pays one multiply-add per frame.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+
+class TokenBucket:
+    """Refill ``rate`` tokens/second up to ``burst``; spend one per frame.
+
+    ``clock`` is injectable for tests (defaults to ``time.monotonic``).
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last", "_clock")
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def allow(self) -> bool:
+        """Spend one token if available; ``False`` means throttle."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until one token will be available (0 if one already is)."""
+        self._refill()
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class PerClientBuckets:
+    """Lazily-created :class:`TokenBucket` per authenticated client id.
+
+    The map is bounded: when more than ``max_clients`` distinct senders
+    have buckets, idle full buckets are evicted (a full bucket carries no
+    state worth keeping -- recreating it is equivalent).
+    """
+
+    def __init__(self, rate: float, burst: Optional[float] = None,
+                 max_clients: int = 4096,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(2.0 * rate, 1.0)
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def bucket_for(self, client_id: str) -> TokenBucket:
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            if len(self._buckets) >= self.max_clients:
+                self._evict_idle()
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client_id] = bucket
+        return bucket
+
+    def _evict_idle(self) -> None:
+        for cid in [cid for cid, b in self._buckets.items()
+                    if b.retry_after() == 0.0 and b._tokens >= b.burst]:
+            del self._buckets[cid]
+
+    def allow(self, client_id: str) -> bool:
+        return self.bucket_for(client_id).allow()
+
+    def retry_after(self, client_id: str) -> float:
+        return self.bucket_for(client_id).retry_after()

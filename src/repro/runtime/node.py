@@ -5,9 +5,12 @@ from __future__ import annotations
 import asyncio
 import logging
 import os
+from collections import Counter
 from typing import Any, Optional, Set
 
+from repro.core.messages import HealthAck, HealthPing, Throttled
 from repro.errors import AuthenticationError, ProtocolError
+from repro.runtime.limits import PerClientBuckets
 from repro.transport.auth import Authenticator
 from repro.transport.codec import (
     decode_message,
@@ -35,12 +38,25 @@ class RegisterServerNode:
     live connection (a crash severs established links too), and a
     subsequent :meth:`start` rebinds the same port and restores state from
     the snapshot, which is how the chaos nemesis models crash-recovery.
+
+    Flow control (both optional): ``max_connections`` caps concurrent
+    connections -- excess dials are closed immediately, pushing the
+    client into its reconnect backoff -- and ``rate_limit`` applies a
+    per-authenticated-client token bucket (``rate_limit`` frames/second,
+    ``rate_burst`` tokens deep); frames over budget are shed with a
+    :class:`~repro.core.messages.Throttled` reply instead of being
+    buffered.  :class:`~repro.core.messages.HealthPing` frames are
+    answered by the node itself (before the protocol, exempt from rate
+    limiting) so supervisors can probe readiness of any algorithm.
     """
 
     def __init__(self, server_id: ProcessId, protocol: Any,
                  authenticator: Authenticator, host: str = "127.0.0.1",
                  port: int = 0, behavior: Optional[Any] = None,
-                 snapshot_path: Optional[str] = None) -> None:
+                 snapshot_path: Optional[str] = None,
+                 max_connections: Optional[int] = None,
+                 rate_limit: Optional[float] = None,
+                 rate_burst: Optional[float] = None) -> None:
         self.server_id = server_id
         self.protocol = protocol
         self.auth = authenticator
@@ -50,6 +66,13 @@ class RegisterServerNode:
         #: When set, the node checkpoints its state here after every
         #: mutation and restores from it on start (crash recovery).
         self.snapshot_path = snapshot_path
+        self.max_connections = max_connections
+        self.rate_limit = rate_limit
+        self._buckets = (PerClientBuckets(rate_limit, rate_burst)
+                         if rate_limit is not None else None)
+        #: Flow-control counters: ``connections_refused``,
+        #: ``frames_throttled``, ``frames``, ``health_pings``.
+        self.stats: Counter = Counter()
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_writers: Set[asyncio.StreamWriter] = set()
         self._checkpoint_lock: Optional[asyncio.Lock] = None
@@ -128,6 +151,19 @@ class RegisterServerNode:
 
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
+        if (self.max_connections is not None
+                and len(self._conn_writers) >= self.max_connections):
+            # Shed the connection outright: the dialling client's backoff
+            # spreads the retry, which is the point of the cap.
+            self.stats["connections_refused"] += 1
+            logger.warning("server %s refusing connection (cap %d reached)",
+                           self.server_id, self.max_connections)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            return
         self._conn_writers.add(writer)
         try:
             await self._connection_loop(reader, writer)
@@ -157,6 +193,30 @@ class RegisterServerNode:
             except (AuthenticationError, ProtocolError) as exc:
                 logger.warning("server %s dropping bad frame: %s",
                                self.server_id, exc)
+                continue
+            self.stats["frames"] += 1
+            if isinstance(message, HealthPing):
+                # Answered by the node, not the protocol, and exempt from
+                # rate limiting: readiness probes must work under load.
+                self.stats["health_pings"] += 1
+                ack = HealthAck(
+                    op_id=message.op_id, node_id=str(self.server_id),
+                    history_len=len(getattr(self.protocol, "history", ())),
+                )
+                write_frame(writer, self.auth.seal(
+                    self.server_id, encode_message(ack)))
+                await writer.drain()
+                continue
+            if self._buckets is not None and not self._buckets.allow(sender):
+                self.stats["frames_throttled"] += 1
+                throttle = Throttled(
+                    op_id=getattr(message, "op_id", 0),
+                    retry_after=self._buckets.retry_after(sender),
+                    dropped=type(message).__name__,
+                )
+                write_frame(writer, self.auth.seal(
+                    self.server_id, encode_message(throttle)))
+                await writer.drain()
                 continue
             history_before = len(getattr(self.protocol, "history", ()))
             replies = self.protocol.handle(sender, message)

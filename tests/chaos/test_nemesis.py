@@ -43,9 +43,12 @@ def test_crash_restart_injects_f_cycles():
         assert restart.at > crash.at
 
 
-@pytest.mark.parametrize("name", [n for n in SCHEDULES if n != "none"])
+@pytest.mark.parametrize(
+    "name", [n for n in SCHEDULES if n not in ("none", "exceed-f")])
 def test_at_most_f_servers_faulted_at_once(name):
-    """Every named schedule must preserve n - f reachable servers (f=1)."""
+    """Every liveness-safe schedule preserves n - f reachable servers
+    (f=1); ``exceed-f`` is excluded because violating that bound is its
+    entire purpose."""
     steps = build_schedule(name, SERVERS, f=1, seed=5)
     open_faults = {}
     for step in sorted(steps, key=lambda s: s.at):
@@ -64,10 +67,42 @@ def test_describe_is_stable():
     assert step.describe() == "1.25s degrade s001 drop_rate=0.15"
 
 
-def test_nemesis_requires_chaos_cluster():
-    cluster = LocalCluster("bsr", f=1)  # chaos disabled
+def test_f_concurrent_spends_whole_budget_at_once():
+    steps = build_schedule("f-concurrent", SERVERS, f=2, seed=3)
+    crashes = [s for s in steps if s.action == "crash"]
+    assert len(crashes) == 2  # two cycles
+    for crash in crashes:
+        assert len(crash.targets) == 2  # exactly f victims per step
+    restarts = [s for s in steps if s.action == "restart"]
+    assert [c.targets for c in crashes] == [r.targets for r in restarts]
+
+
+def test_exceed_f_crashes_one_past_the_budget():
+    steps = build_schedule("exceed-f", SERVERS, f=1, seed=3)
+    crashes = [s for s in steps if s.action == "crash"]
+    assert len(crashes) == 1
+    assert len(crashes[0].targets) == 2  # f + 1 concurrent victims
+    (restart,) = [s for s in steps if s.action == "restart"]
+    assert restart.targets == crashes[0].targets
+
+
+def test_nemesis_capability_checks():
+    """Frame-level steps need a chaos cluster; crash steps do not."""
+    plain = LocalCluster("bsr", f=1)  # chaos disabled: no plan, no proxies
     with pytest.raises(ConfigurationError):
-        Nemesis(cluster, [])
+        Nemesis(plain, [NemesisStep(0.1, "partition", (SERVERS[0],))])
+    with pytest.raises(ConfigurationError):
+        Nemesis(plain, [NemesisStep(0.1, "sever", (SERVERS[0],))])
+    # crash/restart only need the methods, which LocalCluster has.
+    Nemesis(plain, [NemesisStep(0.1, "crash", (SERVERS[0],)),
+                    NemesisStep(0.2, "restart", (SERVERS[0],))])
+
+    class NoFaults:  # no crash/restart, no plan, no proxies
+        chaos_plan = None
+        proxies = {}
+
+    with pytest.raises(ConfigurationError):
+        Nemesis(NoFaults(), [NemesisStep(0.1, "crash", (SERVERS[0],))])
 
 
 def test_nemesis_applies_steps_in_order():

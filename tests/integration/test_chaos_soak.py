@@ -69,6 +69,35 @@ def test_flaky_links_soak_safe():
     assert sum(result.fault_counts.values()) > 0
 
 
+def test_f_concurrent_soak_stays_live():
+    """The whole fault budget down at once (f=2 of 9) must not cost
+    liveness: n - f servers remain reachable (Lemma 6)."""
+    result = run(run_soak(
+        algorithm="bsr", f=2, schedule="f-concurrent", ops=12,
+        read_ratio=0.5, seed=13, start=0.3, period=0.6, timeout=12.0,
+    ))
+    assert result.errors == [], f"liveness failures: {result.errors}"
+    assert result.safety.ok, str(result.safety)
+    # Both cycles really crashed two servers simultaneously.
+    concurrent = [e for e in result.nemesis_events
+                  if "crash" in e and "," in e]
+    assert len(concurrent) == 2
+
+
+def test_exceed_f_soak_loses_liveness_but_not_safety():
+    """f + 1 servers down is past the budget: operations inside the
+    window must time out (the negative test), yet every operation that
+    does complete still satisfies Definition 1."""
+    result = run(run_soak(
+        algorithm="bsr", f=1, schedule="exceed-f", ops=10, read_ratio=0.5,
+        seed=17, start=0.3, period=1.0, timeout=1.2,
+    ))
+    assert result.errors, "expected timeouts while f+1 servers were down"
+    assert not result.ok
+    assert result.safety.ok, str(result.safety)  # safety never bends
+    assert any("crash" in e for e in result.nemesis_events)
+
+
 @pytest.mark.soak
 @pytest.mark.parametrize("algorithm", ["bsr", "bcsr"])
 @pytest.mark.parametrize("schedule", ["crash-restart", "rolling-partition",

@@ -96,6 +96,60 @@ def test_chaos_rejects_unknown_schedule():
         build_parser().parse_args(["chaos", "--schedule", "tornado"])
 
 
+def test_chaos_procs_rejects_proxy_schedule():
+    from repro.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        main(["chaos", "--schedule", "flaky-links", "--procs", "--ops", "4"])
+
+
+def test_cluster_status_without_running_cluster(tmp_path, capsys):
+    from repro.deploy import ClusterSpec
+    from repro.errors import ConfigurationError
+
+    spec_path = ClusterSpec(
+        algorithm="bsr", f=1, snapshot_dir=str(tmp_path / "snaps"),
+    ).save(str(tmp_path / "cluster.json"))
+    with pytest.raises(ConfigurationError):
+        main(["cluster", "status", "--spec", spec_path])
+
+
+def test_cluster_kill_requires_node_flag():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["cluster", "kill", "--spec", "x.json"])
+
+
+def test_node_serve_requires_spec_and_node():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["node", "serve", "--node", "s000"])
+
+
+@pytest.mark.procs
+def test_cluster_serve_for_duration(tmp_path, capsys):
+    from repro.deploy import ClusterSpec
+
+    spec_path = ClusterSpec(
+        algorithm="bsr", f=1, snapshot_dir=str(tmp_path / "snaps"),
+        secret="cli-serve",
+    ).save(str(tmp_path / "cluster.json"))
+    assert main(["cluster", "serve", "--spec", spec_path,
+                 "--duration", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert out.count(" up ") == 5  # five nodes reported running
+    assert "state file:" in out
+
+
+@pytest.mark.procs
+def test_chaos_procs_end_to_end(capsys):
+    assert main(["chaos", "--schedule", "crash-restart", "--procs",
+                 "--ops", "8", "--period", "0.5", "--seed", "2",
+                 "--max-history", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "OS processes" in out
+    assert "crash s" in out and "restart s" in out
+    assert "snapshots:" in out
+    assert "MWMR safety: OK" in out
+
+
 def test_modelcheck_accepts_exhaustive_flag(capsys):
     # Tiny state cap: outcome may be truncated, but the command must run.
     assert main(["modelcheck", "--n", "4", "--exhaustive",
