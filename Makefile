@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-codec bench-tables chaos-soak cluster-smoke examples modelcheck clean
+.PHONY: install test bench bench-codec bench-tables chaos-soak cluster-smoke examples lint metrics-smoke modelcheck clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -37,6 +37,15 @@ chaos-soak:
 # (supervisor lifecycle, SIGKILL recovery, the acceptance soak).
 cluster-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests -m procs -q
+
+# Telemetry smoke: workload -> StatsPing scrape -> Prometheus exposition
+# validation, plus the no-bare-print lint (library code must report via
+# the metric registry / logging, never stdout).
+metrics-smoke: lint
+	PYTHONPATH=src $(PYTHON) tools/metrics_smoke.py > /dev/null
+
+lint:
+	PYTHONPATH=src $(PYTHON) tools/check_no_print.py
 
 examples:
 	@for script in examples/*.py; do \

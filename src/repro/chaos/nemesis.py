@@ -31,9 +31,10 @@ from __future__ import annotations
 import asyncio
 import logging
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs import MetricRegistry
 from repro.sim.rng import SimRng
 from repro.types import ProcessId
 
@@ -87,8 +88,10 @@ class Nemesis:
     with SIGKILL and respawn-from-snapshot -- the real-crash mode).
     """
 
-    def __init__(self, cluster, steps: Sequence[NemesisStep]) -> None:
+    def __init__(self, cluster, steps: Sequence[NemesisStep],
+                 registry: Optional[MetricRegistry] = None) -> None:
         self.cluster = cluster
+        self.registry = registry
         self.steps = sorted(steps, key=lambda step: step.at)
         for step in self.steps:
             if (step.action in _NEEDS_PLAN
@@ -124,6 +127,9 @@ class Nemesis:
 
     async def _apply(self, step: NemesisStep) -> None:
         logger.info("nemesis: %s", step.describe())
+        if self.registry is not None:
+            self.registry.counter("nemesis_steps_total",
+                                  action=step.action).inc()
         plan = self.cluster.chaos_plan
         if step.action == "crash":
             for pid in step.targets:

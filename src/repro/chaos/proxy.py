@@ -21,6 +21,7 @@ from typing import Optional, Set, Tuple
 
 from repro.chaos.faults import FaultKind, FaultPlan
 from repro.errors import ProtocolError
+from repro.obs import MetricRegistry
 from repro.transport.codec import read_frame, write_frame
 
 logger = logging.getLogger(__name__)
@@ -38,12 +39,24 @@ class ChaosProxy:
     """
 
     def __init__(self, link: str, upstream: Tuple[str, int], plan: FaultPlan,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 registry: Optional[MetricRegistry] = None) -> None:
         self.link = link
         self.upstream = upstream
         self.plan = plan
         self.host = host
         self.port = port
+        self.registry = registry if registry is not None else MetricRegistry()
+        #: Per-direction frames relayed; verdicts land in
+        #: ``proxy_faults_total{link,kind}`` (mirroring ``plan.counts``
+        #: but scrapeable alongside everything else).
+        self._frames = {
+            direction: self.registry.counter(
+                "proxy_frames_total", link=link, direction=direction)
+            for direction in ("c2s", "s2c")
+        }
+        self._severed = self.registry.counter(
+            "proxy_severed_total", link=link)
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Set[asyncio.StreamWriter] = set()
         self._pipes: Set[asyncio.Task] = set()
@@ -80,6 +93,8 @@ class ChaosProxy:
     def sever_all(self) -> int:
         """Cut every live connection through this proxy; returns the count."""
         count = len(self._writers)
+        if count:
+            self._severed.inc(count)
         for writer in list(self._writers):
             writer.close()
         return count
@@ -135,6 +150,11 @@ class ChaosProxy:
             while True:
                 frame = await read_frame(reader)
                 decision = self.plan.decide(self.link, direction)
+                self._frames[direction].inc()
+                if decision.kind is not FaultKind.DELIVER:
+                    self.registry.counter(
+                        "proxy_faults_total", link=self.link,
+                        kind=decision.kind.value).inc()
                 if decision.kind in (FaultKind.DROP, FaultKind.BLACKHOLE):
                     continue
                 if decision.kind is FaultKind.SEVER:

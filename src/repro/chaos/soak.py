@@ -45,6 +45,11 @@ from repro.consistency import check_safety
 from repro.consistency.result import CheckResult
 from repro.errors import ConfigurationError
 from repro.metrics import summarize_trace
+from repro.obs import (
+    LatencySummary,
+    MetricRegistry,
+    summarize_histogram_snapshot,
+)
 from repro.sim.rng import SimRng
 from repro.sim.trace import OpKind, Trace
 
@@ -67,6 +72,9 @@ class SoakResult:
     procs: bool = False
     #: Final on-disk snapshot size per node (bytes), when snapshots exist.
     snapshot_bytes: Dict[str, int] = field(default_factory=dict)
+    #: Snapshot of the run's shared metric registry (clients, nodes,
+    #: proxies, nemesis) -- see :meth:`repro.obs.MetricRegistry.snapshot`.
+    metrics: Dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -78,8 +86,53 @@ class SoakResult:
         return len(self.trace.completed)
 
     def latency_summary(self):
-        """Per-kind latency/round statistics (see :mod:`repro.metrics`)."""
-        return summarize_trace(self.trace)
+        """Per-kind latency/round statistics (see :mod:`repro.metrics`).
+
+        Round counts and incompletes come from the trace; the latency
+        figures come from the run's ``client_op_seconds`` histograms
+        when metrics were recorded (one aggregation path with live
+        scrapes) and fall back to the trace's raw latency lists.
+        """
+        summaries = summarize_trace(self.trace)
+        for entry in self.metrics.get("histograms", ()):
+            if entry["name"] != "client_op_seconds":
+                continue
+            op = entry.get("labels", {}).get("op")
+            if op in summaries and sum(entry["counts"]):
+                summaries[op].latency = summarize_histogram_snapshot(entry)
+        return summaries
+
+    def phase_summary(self) -> Dict[str, Dict[str, LatencySummary]]:
+        """Per-kind, per-phase latency summaries from the histograms.
+
+        ``{"write": {"get-tag": LatencySummary, "put-data": ...},
+        "read": {"get-data": ...}}`` -- empty when the run recorded no
+        metrics.
+        """
+        out: Dict[str, Dict[str, LatencySummary]] = {}
+        for entry in self.metrics.get("histograms", ()):
+            if entry["name"] != "client_phase_seconds":
+                continue
+            labels = entry.get("labels", {})
+            op = labels.get("op", "")
+            phase = labels.get("phase", "")
+            if sum(entry["counts"]):
+                out.setdefault(op, {})[phase] = (
+                    summarize_histogram_snapshot(entry))
+        return out
+
+    def outcome_counts(self) -> Dict[str, Dict[str, int]]:
+        """``{op: {outcome: count}}`` from ``client_ops_total``."""
+        out: Dict[str, Dict[str, int]] = {}
+        for entry in self.metrics.get("counters", ()):
+            if entry["name"] != "client_ops_total":
+                continue
+            labels = entry.get("labels", {})
+            op = labels.get("op", "")
+            outcome = labels.get("outcome", "")
+            out.setdefault(op, {})[outcome] = (
+                out.get(op, {}).get(outcome, 0) + int(entry["value"]))
+        return out
 
 
 async def _client_loop(client, trace: Trace, kinds: List[OpKind],
@@ -146,6 +199,10 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
             f"process cluster runs {PROCESS_SCHEDULES}")
 
     rng = SimRng(seed, f"soak/{algorithm}/{schedule}")
+    #: One registry for the whole run: clients, nemesis and (in-process)
+    #: nodes/proxies all record into it, so the result's histograms
+    #: aggregate per phase across every client.
+    registry = (client_kwargs or {}).get("registry") or MetricRegistry()
     own_snapshots = snapshot_dir is None
     if own_snapshots:
         snapshot_dir = tempfile.mkdtemp(prefix="repro-chaos-")
@@ -157,18 +214,18 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
                            snapshot_dir=snapshot_dir,
                            max_history=max_history,
                            secret=f"soak-{seed}")
-        cluster = ClusterSupervisor(spec)
+        cluster = ClusterSupervisor(spec, registry=registry)
         initial_value = spec.initial_value.encode()
     else:
         cluster = LocalCluster(algorithm, f=f, chaos=True, chaos_seed=seed,
                                snapshot_dir=snapshot_dir,
-                               max_history=max_history)
+                               max_history=max_history, registry=registry)
         initial_value = cluster.initial_value
     await cluster.start()
     try:
         steps = build_schedule(schedule, cluster.server_ids, f, seed=seed,
                                start=start, period=period)
-        nemesis = Nemesis(cluster, steps)
+        nemesis = Nemesis(cluster, steps, registry=registry)
         duration = max([step.at for step in steps], default=0.0) + period
 
         writes = max(1, round(ops * (1.0 - read_ratio)))
@@ -177,6 +234,7 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
         # workload spans the whole fault window.
         kwargs = dict(backoff_base=0.05, backoff_max=0.5, drain_timeout=0.5)
         kwargs.update(client_kwargs or {})
+        kwargs["registry"] = registry
         writer = cluster.client("w000", timeout=timeout, **kwargs)
         readers = [cluster.client(f"r{i:03d}", timeout=timeout, **kwargs)
                    for i in range(2)]
@@ -211,6 +269,7 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
                           for c in [writer] + readers},
             errors=errors, wall_time=loop.time() - started,
             procs=procs, snapshot_bytes=_snapshot_sizes(snapshot_dir),
+            metrics=registry.snapshot(),
         )
     finally:
         await cluster.stop()

@@ -8,7 +8,10 @@ Subcommands:
 * ``chaos``     -- run a live TCP workload under a nemesis fault schedule
   (``--procs`` runs it against real OS processes).
 * ``node``      -- serve exactly one register node in this process.
-* ``cluster``   -- serve / inspect / signal a process-per-node cluster.
+* ``cluster``   -- serve / inspect / signal a process-per-node cluster
+  (``status --metrics`` adds scraped per-phase latency histograms).
+* ``metrics``   -- scrape a served cluster's metric registries and dump
+  them as Prometheus text exposition or JSON.
 * ``algorithms`` -- list the implemented algorithms and their bounds.
 """
 
@@ -16,10 +19,11 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import os
 import signal as signal_module
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.chaos import PROCESS_SCHEDULES, SCHEDULES, run_soak
 
@@ -137,6 +141,26 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         title=f"{args.algorithm} under {args.schedule}: "
               f"{result.ops_completed} ops in {result.wall_time:.1f}s",
     ))
+    phase_rows = []
+    for op, phases in sorted(result.phase_summary().items()):
+        for phase, lat in sorted(phases.items()):
+            phase_rows.append((op, phase, lat.count,
+                               f"{lat.mean * 1000:.1f}",
+                               f"{lat.p50 * 1000:.1f}",
+                               f"{lat.p95 * 1000:.1f}",
+                               f"{lat.p99 * 1000:.1f}"))
+    if phase_rows:
+        print(format_table(
+            ("op", "phase", "count", "mean(ms)", "p50(ms)", "p95(ms)",
+             "p99(ms)"), phase_rows,
+            title="per-phase latency (live histograms)"))
+    outcomes = result.outcome_counts()
+    if outcomes:
+        rendered = "; ".join(
+            f"{op} " + ",".join(f"{o}={c}"
+                                for o, c in sorted(counts.items()))
+            for op, counts in sorted(outcomes.items()))
+        print(f"op outcomes: {rendered}")
     for client_id, stats in sorted(result.client_stats.items()):
         interesting = {k: v for k, v in sorted(stats.items()) if v}
         print(f"  {client_id}: {interesting}")
@@ -178,6 +202,36 @@ def _print_cluster_status(rows) -> None:
     print(format_table(("node", "pid", "address", "state", "restarts"), rows))
 
 
+def _phases_from_snapshot(snapshot: Dict,
+                          node: Optional[str] = None) -> Dict[str, Dict]:
+    """Per-phase latency digests from a registry snapshot.
+
+    Summarizes every ``node_phase_seconds`` histogram (optionally
+    filtered to one ``node`` label) into
+    ``{phase: {count, p50, p95, p99, mean}}`` -- the shape
+    ``cluster status --json --metrics`` reports per node.
+    """
+    from repro.obs import summarize_histogram_snapshot
+
+    phases: Dict[str, Dict] = {}
+    for entry in snapshot.get("histograms", ()):
+        if entry.get("name") != "node_phase_seconds":
+            continue
+        labels = entry.get("labels", {})
+        if node is not None and labels.get("node") != node:
+            continue
+        summary = summarize_histogram_snapshot(entry)
+        if summary.count:
+            phases[labels.get("phase", "")] = {
+                "count": summary.count,
+                "mean": summary.mean,
+                "p50": summary.p50,
+                "p95": summary.p95,
+                "p99": summary.p99,
+            }
+    return phases
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.deploy import (
         ClusterSpec,
@@ -186,6 +240,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         default_state_path,
         health_ping,
         read_state,
+        stats_ping,
     )
 
     spec = ClusterSpec.from_file(args.spec)
@@ -219,8 +274,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         state = read_state(state_path)
         auth = spec.authenticator()
 
-        async def probe() -> List[tuple]:
-            rows = []
+        async def probe() -> List[Dict]:
+            nodes = []
             for node, info in sorted(state["nodes"].items()):
                 pid = info.get("pid")
                 alive = False
@@ -230,23 +285,65 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                         alive = True
                     except (OSError, ProcessLookupError):
                         alive = False
-                healthy = False
+                health = None
                 if info.get("port"):
                     try:
-                        await health_ping((info["host"], info["port"]), auth,
-                                          timeout=args.timeout)
-                        healthy = True
+                        ack = await health_ping((info["host"], info["port"]),
+                                                auth, timeout=args.timeout)
+                        health = {
+                            "history_len": ack.history_len,
+                            "frames": ack.frames,
+                            "throttled": ack.throttled,
+                            "snapshot_age": ack.snapshot_age,
+                        }
                     except PING_FAILURES:
-                        healthy = False
-                state_word = ("healthy" if healthy
-                              else "running" if alive else "down")
-                rows.append((node, pid, f"{info.get('host')}:{info.get('port')}",
-                             state_word, info.get("restarts", 0)))
-            return rows
+                        health = None
+                entry = {
+                    "node": node,
+                    "pid": pid,
+                    "address": f"{info.get('host')}:{info.get('port')}",
+                    "state": ("healthy" if health is not None
+                              else "running" if alive else "down"),
+                    "restarts": info.get("restarts", 0),
+                    "health": health,
+                }
+                if args.metrics and health is not None:
+                    try:
+                        ack = await stats_ping((info["host"], info["port"]),
+                                               auth, timeout=args.timeout)
+                        entry["phases"] = _phases_from_snapshot(
+                            ack.metrics or {}, node=node)
+                    except PING_FAILURES:
+                        entry["phases"] = {}
+                nodes.append(entry)
+            return nodes
 
-        rows = asyncio.run(probe())
-        _print_cluster_status(rows)
-        return 0 if all(row[3] == "healthy" for row in rows) else 1
+        nodes = asyncio.run(probe())
+        ok = all(entry["state"] == "healthy" for entry in nodes)
+        if args.json:
+            print(json.dumps({"ok": ok, "nodes": nodes}, indent=2,
+                             sort_keys=True))
+            return 0 if ok else 1
+        _print_cluster_status([
+            (entry["node"], entry["pid"], entry["address"], entry["state"],
+             entry["restarts"])
+            for entry in nodes
+        ])
+        for entry in nodes:
+            health = entry.get("health")
+            if health is not None:
+                age = health["snapshot_age"]
+                rendered_age = f"{age:.1f}s" if age >= 0 else "none"
+                print(f"  {entry['node']}: history={health['history_len']} "
+                      f"frames={health['frames']} "
+                      f"throttled={health['throttled']} "
+                      f"snapshot_age={rendered_age}")
+            for phase, digest in sorted(entry.get("phases", {}).items()):
+                print(f"    {phase}: count={digest['count']} "
+                      f"p50={digest['p50'] * 1000:.1f}ms "
+                      f"p95={digest['p95'] * 1000:.1f}ms "
+                      f"p99={digest['p99'] * 1000:.1f}ms")
+        return 0 if ok else 1
 
     # kill
     state = read_state(state_path)
@@ -257,6 +354,49 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     signum = _parse_signal(args.signal)
     os.kill(info["pid"], signum)
     print(f"sent signal {signum} to node {args.node} (pid {info['pid']})")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.deploy import (
+        ClusterSpec,
+        PING_FAILURES,
+        default_state_path,
+        read_state,
+        stats_ping,
+    )
+    from repro.obs import merge_snapshots, render_prometheus
+
+    spec = ClusterSpec.from_file(args.spec)
+    state_path = args.state or default_state_path(spec, args.spec)
+    state = read_state(state_path)
+    auth = spec.authenticator()
+
+    async def scrape_all() -> List[Dict]:
+        snapshots = []
+        for node, info in sorted(state["nodes"].items()):
+            if not info.get("port"):
+                continue
+            try:
+                ack = await stats_ping((info["host"], info["port"]), auth,
+                                       timeout=args.timeout)
+            except PING_FAILURES:
+                print(f"# node {node} unreachable, skipped",
+                      file=sys.stderr)
+                continue
+            if ack.metrics:
+                snapshots.append(ack.metrics)
+        return snapshots
+
+    snapshots = asyncio.run(scrape_all())
+    if not snapshots:
+        print("no node answered a stats ping", file=sys.stderr)
+        return 1
+    merged = merge_snapshots(snapshots)
+    if args.format == "json":
+        print(json.dumps(merged, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_prometheus(merged))
     return 0
 
 
@@ -378,6 +518,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_status.add_argument("--spec", required=True)
     cluster_status.add_argument("--state", default=None)
     cluster_status.add_argument("--timeout", type=float, default=2.0)
+    cluster_status.add_argument("--metrics", action="store_true",
+                                help="scrape each node's registry and show "
+                                     "per-phase latency histograms")
+    cluster_status.add_argument("--json", action="store_true",
+                                help="machine-readable status document")
     cluster_kill = cluster_sub.add_parser(
         "kill", help="signal one node process of a served cluster")
     cluster_kill.add_argument("--spec", required=True)
@@ -385,6 +530,20 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_kill.add_argument("--node", required=True)
     cluster_kill.add_argument("--signal", default="KILL",
                               help="signal name or number (default KILL)")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="scrape a served cluster's metrics (Prometheus text or JSON)",
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command",
+                                         required=True)
+    metrics_dump = metrics_sub.add_parser(
+        "dump", help="scrape every node and print the merged registry")
+    metrics_dump.add_argument("--spec", required=True)
+    metrics_dump.add_argument("--state", default=None)
+    metrics_dump.add_argument("--timeout", type=float, default=2.0)
+    metrics_dump.add_argument("--format", default="prometheus",
+                              choices=("prometheus", "json"))
 
     modelcheck = sub.add_parser(
         "modelcheck",
@@ -411,6 +570,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "node": _cmd_node,
         "cluster": _cmd_cluster,
+        "metrics": _cmd_metrics,
         "modelcheck": _cmd_modelcheck,
     }
     return handlers[args.command](args)

@@ -269,10 +269,45 @@ class HealthPing(BaseMessage):
 
 @dataclass(frozen=True)
 class HealthAck(BaseMessage):
-    """Reply to :class:`HealthPing` with a little node telemetry."""
+    """Reply to :class:`HealthPing` with a little node telemetry.
+
+    Beyond identity and history length, the ack carries the counters a
+    supervisor wants before deciding a node is merely *alive* versus
+    *well*: how many frames it has served, how many it shed to rate
+    limiting, and how stale its durable snapshot is (``-1`` when the
+    node does not persist, or has not checkpointed yet).
+    """
 
     node_id: str = ""
     history_len: int = 0
+    frames: int = 0
+    throttled: int = 0
+    snapshot_age: float = -1.0
+
+
+@dataclass(frozen=True)
+class StatsPing(BaseMessage):
+    """Scrape request: ask a node for its full metric registry.
+
+    Like :class:`HealthPing` it is answered by the TCP node itself
+    (before the protocol state machine, exempt from rate limiting), so
+    ``repro cluster status --metrics`` and ``repro metrics dump`` can
+    scrape any hosted algorithm over the normal authenticated framing.
+    """
+
+
+@dataclass(frozen=True)
+class StatsAck(BaseMessage):
+    """Reply to :class:`StatsPing`: a metric-registry snapshot.
+
+    ``metrics`` is the plain-JSON document produced by
+    :meth:`repro.obs.MetricRegistry.snapshot` (counters, gauges and
+    histogram buckets), renderable to Prometheus text with
+    :func:`repro.obs.render_prometheus`.
+    """
+
+    node_id: str = ""
+    metrics: Any = None
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,7 @@ from repro.deploy.serve import (
     READY_PREFIX,
     health_ping,
     serve_node,
+    stats_ping,
 )
 from repro.deploy.spec import ClusterSpec
 from repro.deploy.supervisor import (
@@ -42,4 +43,5 @@ __all__ = [
     "health_ping",
     "read_state",
     "serve_node",
+    "stats_ping",
 ]

@@ -16,6 +16,9 @@ on it:
 authenticated framing, and returns the node's
 :class:`~repro.core.messages.HealthAck` -- proof the process is not just
 accepting TCP but authenticating, decoding and replying.
+:func:`stats_ping` is its scrape twin: same path, but the answer is the
+node's full metric-registry snapshot (a
+:class:`~repro.core.messages.StatsAck`).
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ import signal
 import sys
 from typing import IO, Optional, Tuple
 
-from repro.core.messages import HealthAck, HealthPing
+from repro.core.messages import HealthAck, HealthPing, StatsAck, StatsPing
 from repro.deploy.spec import ClusterSpec
 from repro.errors import ProtocolError
 from repro.transport.auth import Authenticator
@@ -93,6 +96,30 @@ async def serve_node(spec: ClusterSpec, node_id: ProcessId,
         logger.info("node %s stopped", node_id)
 
 
+async def _node_ping(address: Tuple[str, int], auth: Authenticator, ping,
+                     expect: type, probe_id: ProcessId, timeout: float):
+    """Send one node-level request frame and await its typed reply."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(*address), timeout)
+    try:
+        write_frame(writer, auth.seal(probe_id, encode_message(ping)))
+        await writer.drain()
+        frame = await asyncio.wait_for(read_frame(reader), timeout)
+        sender, payload = auth.open(frame)
+        message = decode_message(payload)
+        if not isinstance(message, expect):
+            raise ProtocolError(
+                f"expected {expect.__name__} from {sender}, got "
+                f"{type(message).__name__}")
+        return message
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
 async def health_ping(address: Tuple[str, int], auth: Authenticator,
                       probe_id: ProcessId = "probe",
                       timeout: float = 2.0) -> HealthAck:
@@ -102,23 +129,19 @@ async def health_ping(address: Tuple[str, int], auth: Authenticator,
     frame decoding -- so a positive answer means the node can serve real
     protocol traffic, not merely that something listens on the port.
     """
-    reader, writer = await asyncio.wait_for(
-        asyncio.open_connection(*address), timeout)
-    try:
-        ping = HealthPing(op_id=1)
-        write_frame(writer, auth.seal(probe_id, encode_message(ping)))
-        await writer.drain()
-        frame = await asyncio.wait_for(read_frame(reader), timeout)
-        sender, payload = auth.open(frame)
-        message = decode_message(payload)
-        if not isinstance(message, HealthAck):
-            raise ProtocolError(
-                f"expected HealthAck from {sender}, got "
-                f"{type(message).__name__}")
-        return message
-    finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-            pass
+    return await _node_ping(address, auth, HealthPing(op_id=1), HealthAck,
+                            probe_id, timeout)
+
+
+async def stats_ping(address: Tuple[str, int], auth: Authenticator,
+                     probe_id: ProcessId = "probe",
+                     timeout: float = 2.0) -> StatsAck:
+    """Scrape a node's metric registry over the authenticated framing.
+
+    The returned :class:`~repro.core.messages.StatsAck` carries the
+    node's :meth:`~repro.obs.MetricRegistry.snapshot` document --
+    counters, gauges and per-phase histograms -- ready for
+    :func:`repro.obs.render_prometheus` or JSON reporting.
+    """
+    return await _node_ping(address, auth, StatsPing(op_id=1), StatsAck,
+                            probe_id, timeout)

@@ -32,9 +32,15 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.deploy.serve import PING_FAILURES, health_ping, parse_ready_line
+from repro.deploy.serve import (
+    PING_FAILURES,
+    health_ping,
+    parse_ready_line,
+    stats_ping,
+)
 from repro.deploy.spec import ClusterSpec
 from repro.errors import ConfigurationError
+from repro.obs import MetricRegistry
 from repro.runtime.client import AsyncRegisterClient
 from repro.types import ProcessId
 
@@ -100,12 +106,18 @@ class ClusterSupervisor:
     def __init__(self, spec: ClusterSpec, spec_path: Optional[str] = None,
                  state_path: Optional[str] = None,
                  python: str = sys.executable,
-                 ready_timeout: float = 20.0) -> None:
+                 ready_timeout: float = 20.0,
+                 registry: Optional[MetricRegistry] = None) -> None:
         self.spec = spec
         self.spec_path = spec_path
         self.state_path = state_path or default_state_path(spec, spec_path)
         self.python = python
         self.ready_timeout = ready_timeout
+        #: Supervisor-side metrics (spawns/crashes/restarts) and the
+        #: default registry for clients made via :meth:`client`.  The
+        #: nodes' own metrics live in *their* processes; scrape them
+        #: with :meth:`scrape`.
+        self.registry = registry if registry is not None else MetricRegistry()
         self.server_ids: List[ProcessId] = list(spec.node_ids)
         self.handles: Dict[ProcessId, NodeHandle] = {
             pid: NodeHandle(pid) for pid in self.server_ids}
@@ -214,6 +226,8 @@ class ClusterSupervisor:
         handle.address = (ready[1], ready[2])
         handle._drain_task = asyncio.ensure_future(
             self._drain_stdout(node_id, process))
+        self.registry.counter("supervisor_spawns_total",
+                              node=str(node_id)).inc()
         logger.info("node %s up: pid %d at %s:%d", node_id, process.pid,
                     *handle.address)
 
@@ -264,6 +278,8 @@ class ClusterSupervisor:
         if handle._drain_task is not None:
             await handle._drain_task
             handle._drain_task = None
+        self.registry.counter("supervisor_crashes_total",
+                              node=str(node_id)).inc()
         logger.info("node %s crashed (SIGKILL)", node_id)
 
     async def restart(self, node_id: ProcessId) -> None:
@@ -278,6 +294,8 @@ class ClusterSupervisor:
         port = handle.address[1] if handle.address else None
         await self._spawn(node_id, port=port)
         handle.restarts += 1
+        self.registry.counter("supervisor_restarts_total",
+                              node=str(node_id)).inc()
         self._write_state()
 
     # -- observation -------------------------------------------------------
@@ -312,9 +330,23 @@ class ClusterSupervisor:
         except PING_FAILURES:
             return False
 
+    async def scrape(self, node_id: ProcessId,
+                     timeout: float = 2.0) -> Optional[Dict]:
+        """The node's metric-registry snapshot, or None when unreachable."""
+        handle = self.handles[node_id]
+        if handle.address is None:
+            return None
+        try:
+            ack = await stats_ping(handle.address, self.spec.authenticator(),
+                                   timeout=timeout)
+        except PING_FAILURES:
+            return None
+        return ack.metrics
+
     def client(self, client_id: ProcessId,
                **client_kwargs) -> AsyncRegisterClient:
         """A client wired to the live addresses (closed by :meth:`stop`)."""
+        client_kwargs.setdefault("registry", self.registry)
         client = self.spec.client(client_id, addresses=self.addresses,
                                   **client_kwargs)
         self._clients.append(client)

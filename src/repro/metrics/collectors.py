@@ -1,57 +1,23 @@
-"""Latency/round statistics extracted from execution traces."""
+"""Latency/round statistics extracted from execution traces.
+
+The order statistics themselves (:class:`LatencySummary`,
+:func:`percentile`, :func:`summarize_latencies`) live in
+:mod:`repro.obs.stats` -- one nearest-rank implementation shared with
+the live histogram snapshots -- and are re-exported here for
+compatibility.
+"""
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict
 
+from repro.obs.stats import (  # noqa: F401 -- re-exported compatibility names
+    LatencySummary,
+    percentile,
+    summarize_latencies,
+)
 from repro.sim.trace import OpKind, Trace
-
-
-@dataclass(frozen=True)
-class LatencySummary:
-    """Order statistics of a latency sample (simulated seconds)."""
-
-    count: int
-    mean: float
-    p50: float
-    p95: float
-    p99: float
-    minimum: float
-    maximum: float
-
-    @classmethod
-    def empty(cls) -> "LatencySummary":
-        """Summary of an empty sample (all zeros)."""
-        return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0,
-                   minimum=0.0, maximum=0.0)
-
-
-def percentile(sorted_sample: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of an ascending sample."""
-    if not sorted_sample:
-        return 0.0
-    if not 0.0 <= fraction <= 1.0:
-        raise ValueError("fraction must be within [0, 1]")
-    rank = max(0, math.ceil(fraction * len(sorted_sample)) - 1)
-    return sorted_sample[rank]
-
-
-def summarize_latencies(latencies: Sequence[float]) -> LatencySummary:
-    """Summarize a latency sample."""
-    if not latencies:
-        return LatencySummary.empty()
-    ordered = sorted(latencies)
-    return LatencySummary(
-        count=len(ordered),
-        mean=sum(ordered) / len(ordered),
-        p50=percentile(ordered, 0.50),
-        p95=percentile(ordered, 0.95),
-        p99=percentile(ordered, 0.99),
-        minimum=ordered[0],
-        maximum=ordered[-1],
-    )
 
 
 @dataclass

@@ -1,0 +1,78 @@
+"""Runtime observability: metrics, operation tracing, log flood control.
+
+The paper's headline numbers are *round-trip counts* -- one-round BSR
+reads versus two-round writes (``get-tag`` + ``put-data``), one-shot
+coded BCSR reads -- and this package is how the live runtime shows them:
+
+* :class:`MetricRegistry` -- thread/asyncio-safe counters, gauges and
+  fixed-bucket histograms, snapshotting to plain JSON (the ``StatsPing``
+  scrape payload) and Prometheus text exposition.  Histogram snapshots
+  summarize to the same :class:`LatencySummary` the simulator's trace
+  metrics use, so simulated and live numbers render through one path.
+* :class:`OpTracer` / :class:`OpSpan` -- per-operation spans with
+  per-phase timing, per-server reply latency and the quorum-wait
+  breakdown (time to ``f + 1`` witnesses vs ``n - f`` replies), emitted
+  as JSONL through pluggable sinks.
+* :class:`LogGate` -- per-reason rate limiting on warnings so a
+  Byzantine peer cannot turn logging into a denial of service.
+* :mod:`repro.obs.stats` -- the single nearest-rank percentile
+  implementation everything summarizes with.
+
+The package imports nothing from the rest of the repository (except its
+own modules), so every layer -- transport, runtime, chaos, deploy -- can
+depend on it without cycles.
+"""
+
+from repro.obs.loglimit import LogGate
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    merge_snapshots,
+    render_prometheus,
+    summarize_histogram_snapshot,
+)
+from repro.obs.stats import (
+    LatencySummary,
+    bucket_percentile,
+    nearest_rank,
+    percentile,
+    summarize_buckets,
+    summarize_latencies,
+)
+from repro.obs.tracing import (
+    PHASE_BY_MESSAGE,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    OpSpan,
+    OpTracer,
+    phase_name,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "LatencySummary",
+    "LogGate",
+    "MemorySink",
+    "MetricRegistry",
+    "NullSink",
+    "OpSpan",
+    "OpTracer",
+    "PHASE_BY_MESSAGE",
+    "bucket_percentile",
+    "merge_snapshots",
+    "nearest_rank",
+    "percentile",
+    "phase_name",
+    "render_prometheus",
+    "summarize_buckets",
+    "summarize_histogram_snapshot",
+    "summarize_latencies",
+]

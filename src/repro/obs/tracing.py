@@ -1,0 +1,245 @@
+"""Per-operation tracing: one span per client read/write.
+
+A span records what the paper's round-trip claims are *about*: which
+phases the operation ran (``get-tag`` then ``put-data`` for a write, a
+single ``get-data`` round for a semi-fast read), how long each phase
+took, how quickly each server answered, and the quorum-wait breakdown --
+the time until ``f + 1`` distinct servers had replied (enough witnesses
+to trust a value) versus the time until ``n - f`` had (enough replies to
+decide).  Spans finish with an outcome: ``ok``, ``retried`` (a lost
+link forced an in-flight re-send), ``throttled`` (a server shed a
+frame), ``timeout`` (the liveness deadline expired) or ``error``.
+
+Spans always feed the operation/phase histograms of a
+:class:`~repro.obs.registry.MetricRegistry`; attaching a *sink*
+additionally emits one structured JSON record per operation.  Sinks are
+pluggable -- :class:`JsonlSink` appends lines to a file (the default
+production choice), :class:`MemorySink` keeps records in a list for
+tests, and anything with an ``emit(record: dict)`` method works.
+
+The hot path is deliberately cheap -- a few clock reads and dict writes
+per reply -- so tracing can stay on under benchmark load (the E17
+overhead budget is 5%).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import IO, Dict, List, Optional, Union
+
+from repro.obs.registry import MetricRegistry
+
+
+class NullSink:
+    """Discard every record (tracing off, histograms still fed)."""
+
+    def emit(self, record: Dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink:
+    """Keep records in a list -- for tests and interactive inspection."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict] = []
+
+    def emit(self, record: Dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Append one JSON line per span to a file or writable stream.
+
+    Writes are serialized under a lock so several clients (or threads)
+    can share one sink; lines are flushed eagerly because trace files
+    are most wanted exactly when the process dies unexpectedly.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        self._own = isinstance(target, str)
+        self._fh = open(target, "a", encoding="utf-8") if self._own else target
+        self._lock = threading.Lock()
+
+    def emit(self, record: Dict) -> None:
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._own:
+            self._fh.close()
+
+
+class PhaseTimings:
+    """Mutable per-phase accumulator inside a span."""
+
+    __slots__ = ("name", "started", "ended", "replies", "witness_wait",
+                 "quorum_wait")
+
+    def __init__(self, name: str, started: float) -> None:
+        self.name = name
+        self.started = started
+        self.ended: Optional[float] = None
+        #: server id -> seconds from phase start to its first reply.
+        self.replies: Dict[str, float] = {}
+        self.witness_wait: Optional[float] = None
+        self.quorum_wait: Optional[float] = None
+
+
+class OpSpan:
+    """One traced operation; create through :meth:`OpTracer.start`."""
+
+    def __init__(self, tracer: "OpTracer", kind: str, op_id: int,
+                 witness: int, quorum: int, started: float) -> None:
+        self._tracer = tracer
+        self.kind = kind
+        self.op_id = op_id
+        self.witness = witness
+        self.quorum = quorum
+        self.started = started
+        self.phases: List[PhaseTimings] = []
+        self.throttles = 0
+        self.resends = 0
+        self.finished = False
+
+    # -- recording ---------------------------------------------------------
+    def begin_phase(self, name: str, now: float) -> None:
+        """Close the current phase (if any) and open ``name``."""
+        if self.phases:
+            self.phases[-1].ended = now
+        self.phases.append(PhaseTimings(name, now))
+
+    def record_reply(self, server: str, now: float) -> None:
+        """Attribute one accepted reply to the current phase."""
+        if not self.phases:
+            return
+        phase = self.phases[-1]
+        server = str(server)
+        if server in phase.replies:
+            return  # duplicate (re-sent frame / Byzantine chatter)
+        wait = now - phase.started
+        phase.replies[server] = wait
+        if len(phase.replies) == self.witness and phase.witness_wait is None:
+            phase.witness_wait = wait
+        if len(phase.replies) == self.quorum and phase.quorum_wait is None:
+            phase.quorum_wait = wait
+
+    def note_throttle(self) -> None:
+        self.throttles += 1
+
+    def note_resend(self, frames: int = 1) -> None:
+        self.resends += frames
+
+    # -- completion --------------------------------------------------------
+    def finish(self, outcome: str, now: float) -> None:
+        """Feed the histograms and emit the structured record (once)."""
+        if self.finished:
+            return
+        self.finished = True
+        if self.phases and self.phases[-1].ended is None:
+            self.phases[-1].ended = now
+        self._tracer._record(self, outcome, now)
+
+
+class OpTracer:
+    """Factory for :class:`OpSpan`; owns the registry and the sink."""
+
+    def __init__(self, registry: MetricRegistry,
+                 sink: Optional[object] = None,
+                 client_id: str = "", algorithm: str = "") -> None:
+        self.registry = registry
+        self.sink = sink
+        self.client_id = str(client_id)
+        self.algorithm = algorithm
+
+    def start(self, kind: str, op_id: int, witness: int, quorum: int,
+              now: float) -> OpSpan:
+        return OpSpan(self, kind, op_id, witness, quorum, now)
+
+    # -- internal ----------------------------------------------------------
+    def _record(self, span: OpSpan, outcome: str, now: float) -> None:
+        latency = now - span.started
+        registry = self.registry
+        registry.counter("client_ops_total", op=span.kind,
+                         outcome=outcome).inc()
+        registry.histogram("client_op_seconds", op=span.kind).observe(latency)
+        for phase in span.phases:
+            duration = (phase.ended if phase.ended is not None
+                        else now) - phase.started
+            registry.histogram("client_phase_seconds", op=span.kind,
+                               phase=phase.name).observe(duration)
+            if phase.witness_wait is not None:
+                registry.histogram("client_quorum_wait_seconds", op=span.kind,
+                                   stage="witness").observe(phase.witness_wait)
+            if phase.quorum_wait is not None:
+                registry.histogram("client_quorum_wait_seconds", op=span.kind,
+                                   stage="quorum").observe(phase.quorum_wait)
+            for server, wait in phase.replies.items():
+                registry.histogram("client_server_reply_seconds",
+                                   server=server).observe(wait)
+        if self.sink is not None:
+            self.sink.emit(self._render(span, outcome, latency, now))
+
+    def _render(self, span: OpSpan, outcome: str, latency: float,
+                now: float) -> Dict:
+        return {
+            "ts": now,
+            "client": self.client_id,
+            "algorithm": self.algorithm,
+            "kind": span.kind,
+            "op_id": span.op_id,
+            "outcome": outcome,
+            "latency": latency,
+            "throttles": span.throttles,
+            "resends": span.resends,
+            "phases": [
+                {
+                    "phase": phase.name,
+                    "duration": ((phase.ended if phase.ended is not None
+                                  else now) - phase.started),
+                    "witness_wait": phase.witness_wait,
+                    "quorum_wait": phase.quorum_wait,
+                    "replies": dict(phase.replies),
+                }
+                for phase in span.phases
+            ],
+        }
+
+
+#: Request message type -> protocol phase, shared by the client (naming
+#: its rounds) and the node (bucketing its per-frame service times), so
+#: client-side and server-side histograms line up phase for phase.
+PHASE_BY_MESSAGE = {
+    "QueryTag": "get-tag",
+    "PutData": "put-data",
+    "QueryData": "get-data",
+    "QueryHistory": "get-history",
+    "QueryTagHistory": "get-tag-history",
+    "QueryValue": "get-value",
+}
+
+
+def phase_name(kind: str, round_number: int, algorithm: str = "") -> str:
+    """Human name of a client round (``get-tag``, ``put-data``, ...)."""
+    if kind == "write":
+        return {1: "get-tag", 2: "put-data"}.get(round_number,
+                                                 f"round-{round_number}")
+    if round_number == 1:
+        if algorithm == "bsr-history":
+            return "get-history"
+        if algorithm == "bsr-2round":
+            return "get-tag-history"
+        return "get-data"
+    if algorithm == "bsr-2round":
+        return "get-value"
+    if algorithm == "abd":
+        return "write-back"
+    return f"round-{round_number}"

@@ -15,7 +15,6 @@ from __future__ import annotations
 import asyncio
 import logging
 import random
-from collections import Counter
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.baselines.abd import ABDReadOperation, ABDWriteOperation
@@ -26,6 +25,7 @@ from repro.core.messages import Throttled
 from repro.core.operation import ClientOperation
 from repro.core.regular import HistoryReadOperation, TwoRoundReadOperation
 from repro.errors import AuthenticationError, ConfigurationError, LivenessError, ProtocolError
+from repro.obs import LogGate, MetricRegistry, OpSpan, OpTracer, phase_name
 from repro.transport.auth import Authenticator
 from repro.transport.codec import (
     decode_message,
@@ -65,7 +65,9 @@ class AsyncRegisterClient:
                  timeout: float = 30.0, initial_value: bytes = b"",
                  namespaced: bool = False, reconnect: bool = True,
                  backoff_base: float = 0.05, backoff_max: float = 2.0,
-                 drain_timeout: float = 1.0) -> None:
+                 drain_timeout: float = 1.0,
+                 registry: Optional[MetricRegistry] = None,
+                 trace_sink: Optional[Any] = None) -> None:
         if algorithm not in CLIENT_ALGORITHMS:
             raise ConfigurationError(
                 f"algorithm {algorithm!r} not supported by the asyncio "
@@ -99,7 +101,23 @@ class AsyncRegisterClient:
         self._pending: Dict[ProcessId, List[Tuple[str, bytes]]] = {}
         self._op_retried = False
         self._closing = False
-        self._stats: Counter = Counter()
+        self.registry = registry if registry is not None else MetricRegistry()
+        client = str(client_id)
+        #: Resilience counters, pre-created so :meth:`stats` always shows
+        #: every key.  Labeled per client; the op/phase histograms fed by
+        #: the tracer are *not*, so clients sharing a registry (a soak
+        #: run) aggregate naturally.
+        self._counters = {
+            name: self.registry.counter(f"client_{name}_total", client=client)
+            for name in ("connects", "reconnects", "disconnects",
+                         "frames_dropped", "frames_resent", "ops_retried",
+                         "throttled", "drain_timeouts", "drain_failures")
+        }
+        self._tracer = OpTracer(self.registry, sink=trace_sink,
+                                client_id=client, algorithm=algorithm)
+        self._current_span: Optional[OpSpan] = None
+        self._log = LogGate(logger, self.registry,
+                            component=f"client/{client}")
 
     # -- connection management ----------------------------------------------
     async def connect(self) -> int:
@@ -113,7 +131,7 @@ class AsyncRegisterClient:
             if pid in self._connections:
                 continue
             if await self._dial(pid):
-                self._stats["connects"] += 1
+                self._counters["connects"].inc()
             elif not self.reconnect:
                 continue
             self._ensure_supervisor(pid)
@@ -142,8 +160,9 @@ class AsyncRegisterClient:
     def stats(self) -> Dict[str, int]:
         """Resilience counters: reconnects, disconnects, frames dropped /
         resent, operations retried, throttle backoffs, drain timeouts,
-        live connections."""
-        stats = dict(self._stats)
+        live connections.  A compatibility view over :attr:`registry`."""
+        stats = {name: int(counter.value)
+                 for name, counter in self._counters.items()}
         stats["connected"] = len(self._connections)
         return stats
 
@@ -190,7 +209,7 @@ class AsyncRegisterClient:
                     attempt += 1
                     continue
                 attempt = 0
-                self._stats["reconnects"] += 1
+                self._counters["reconnects"].inc()
                 await self._resend_pending(pid)
                 connection = self._connections.get(pid)
                 if connection is None:
@@ -199,7 +218,7 @@ class AsyncRegisterClient:
             if self._closing:
                 return
             self._drop_connection(pid)
-            self._stats["disconnects"] += 1
+            self._counters["disconnects"].inc()
 
     async def _pump_replies(self, pid: ProcessId,
                             reader: asyncio.StreamReader) -> None:
@@ -215,17 +234,19 @@ class AsyncRegisterClient:
                     sender, payload = self.auth.open(frame)
                     message = decode_message(payload)
                 except (AuthenticationError, ProtocolError) as exc:
-                    self._stats["frames_dropped"] += 1
-                    logger.warning("client %s dropping bad frame from %s: %s",
-                                   self.client_id, pid, exc)
+                    self._counters["frames_dropped"].inc()
+                    self._log.warning(
+                        "bad-frame", "client %s dropping bad frame from "
+                        "%s: %s", self.client_id, pid, exc)
                     continue
                 if sender != pid:
                     # A Byzantine server cannot speak for another server:
                     # the signature pins the sender.
-                    self._stats["frames_dropped"] += 1
-                    logger.warning("client %s: connection to %s delivered a "
-                                   "frame signed by %s; dropping",
-                                   self.client_id, pid, sender)
+                    self._counters["frames_dropped"].inc()
+                    self._log.warning(
+                        "wrong-sender", "client %s: connection to %s "
+                        "delivered a frame signed by %s; dropping",
+                        self.client_id, pid, sender)
                     continue
                 await self._reply_queue.put((sender, message))
         except (asyncio.IncompleteReadError, ConnectionResetError,
@@ -254,7 +275,9 @@ class AsyncRegisterClient:
             await asyncio.wait_for(writer.drain(), self.drain_timeout)
         except (OSError, ConnectionError, asyncio.TimeoutError):
             return
-        self._stats["frames_resent"] += len(frames)
+        self._counters["frames_resent"].inc(len(frames))
+        if self._current_span is not None:
+            self._current_span.note_resend(len(frames))
         self._op_retried = True
 
     async def _send(self, envelopes) -> None:
@@ -285,21 +308,32 @@ class AsyncRegisterClient:
         except asyncio.TimeoutError:
             # Slow or blackholed peer: leave the bytes buffered rather
             # than stalling the operation on one link.
-            self._stats["drain_timeouts"] += 1
+            self._counters["drain_timeouts"].inc()
         except (OSError, ConnectionError):
-            self._stats["drain_failures"] += 1
+            self._counters["drain_failures"].inc()
             self._drop_connection(pid)
 
     async def _run_operation(self, operation: ClientOperation) -> Any:
         self._pending = {}
         self._op_retried = False
+        loop = asyncio.get_event_loop()
+        span = self._tracer.start(
+            kind=operation.kind, op_id=operation.op_id, witness=self.f + 1,
+            quorum=len(self.servers) - self.f, now=loop.time())
+        self._current_span = span
+        outcome = "error"
         try:
+            # The phase opens before its frames go out, so send/drain time
+            # counts toward the phase that caused it.
+            span.begin_phase(phase_name(operation.kind, 1, self.algorithm),
+                             loop.time())
             await self._send(operation.start())
-            loop = asyncio.get_event_loop()
+            rounds = operation.rounds or 1
             deadline = loop.time() + self.timeout
             while not operation.done:
                 remaining = deadline - loop.time()
                 if remaining <= 0:
+                    outcome = "timeout"
                     raise LivenessError(
                         f"{operation.kind} by {self.client_id} did not complete "
                         f"within {self.timeout}s (are n - f servers up?)"
@@ -316,7 +350,8 @@ class AsyncRegisterClient:
                     # replay the shed frame -- the operation is an
                     # idempotent quorum state machine, so a replay is
                     # safe even if the original did land.
-                    self._stats["throttled"] += 1
+                    self._counters["throttled"].inc()
+                    span.note_throttle()
                     pause = min(max(message.retry_after, self.backoff_base),
                                 self.backoff_max,
                                 max(deadline - loop.time(), 0.0))
@@ -325,12 +360,30 @@ class AsyncRegisterClient:
                     await self._resend_pending(
                         sender, only_type=message.dropped or None)
                     continue
-                await self._send(operation.on_reply(sender, message))
+                if getattr(message, "op_id", None) == operation.op_id:
+                    # Attribute the reply to the phase that solicited it
+                    # (before on_reply may advance the round).
+                    span.record_reply(str(sender), loop.time())
+                envelopes = operation.on_reply(sender, message)
+                if operation.rounds != rounds and not operation.done:
+                    rounds = operation.rounds
+                    span.begin_phase(
+                        phase_name(operation.kind, rounds, self.algorithm),
+                        loop.time())
+                await self._send(envelopes)
+            if span.throttles:
+                outcome = "throttled"
+            elif self._op_retried:
+                outcome = "retried"
+            else:
+                outcome = "ok"
             return operation.result
         finally:
+            span.finish(outcome, loop.time())
+            self._current_span = None
             self._pending = {}
             if self._op_retried:
-                self._stats["ops_retried"] += 1
+                self._counters["ops_retried"].inc()
 
     def _reader_state_for(self, register: str) -> BSRReaderState:
         if not self.namespaced:

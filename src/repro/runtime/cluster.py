@@ -19,6 +19,7 @@ from repro.core.quorum import (
 )
 from repro.core.regular import RegularBSRServer
 from repro.errors import ConfigurationError
+from repro.obs import MetricRegistry
 from repro.runtime.client import CLIENT_ALGORITHMS, AsyncRegisterClient
 from repro.runtime.node import RegisterServerNode
 from repro.transport.auth import Authenticator, KeyChain
@@ -67,7 +68,8 @@ class LocalCluster:
                  max_history: Optional[int] = None,
                  max_connections: Optional[int] = None,
                  rate_limit: Optional[float] = None,
-                 rate_burst: Optional[float] = None) -> None:
+                 rate_burst: Optional[float] = None,
+                 registry: Optional[MetricRegistry] = None) -> None:
         if algorithm not in CLIENT_ALGORITHMS:
             raise ConfigurationError(
                 f"algorithm {algorithm!r} not supported by the asyncio "
@@ -96,6 +98,10 @@ class LocalCluster:
         self.max_connections = max_connections
         self.rate_limit = rate_limit
         self.rate_burst = rate_burst
+        #: One registry shared by every node, proxy and (by default)
+        #: client of this cluster, so a single snapshot shows the whole
+        #: deployment.
+        self.registry = registry if registry is not None else MetricRegistry()
         self.chaos = chaos or chaos_plan is not None
         self.chaos_plan: Optional[FaultPlan] = (
             (chaos_plan or FaultPlan(chaos_seed)) if self.chaos else None)
@@ -135,7 +141,8 @@ class LocalCluster:
             return RegisterServerNode(
                 pid, protocol, auth, host=self.host, port=0,
                 max_connections=self.max_connections,
-                rate_limit=self.rate_limit, rate_burst=self.rate_burst)
+                rate_limit=self.rate_limit, rate_burst=self.rate_burst,
+                registry=self.registry)
         snapshot_path = None
         if self.snapshot_dir is not None:
             import os
@@ -147,6 +154,7 @@ class LocalCluster:
             snapshot_path=snapshot_path,
             max_connections=self.max_connections,
             rate_limit=self.rate_limit, rate_burst=self.rate_burst,
+            registry=self.registry,
         )
 
     async def start(self) -> None:
@@ -158,7 +166,7 @@ class LocalCluster:
             self.nodes[pid] = node
             if self.chaos:
                 proxy = ChaosProxy(str(pid), node.address, self.chaos_plan,
-                                   host=self.host)
+                                   host=self.host, registry=self.registry)
                 await proxy.start()
                 self.proxies[pid] = proxy
 
@@ -210,9 +218,11 @@ class LocalCluster:
         """Create a client wired to this cluster (closed by :meth:`stop`).
 
         Extra keyword arguments (``reconnect``, ``backoff_base``,
-        ``backoff_max``, ``drain_timeout``) pass through to
-        :class:`AsyncRegisterClient`.
+        ``backoff_max``, ``drain_timeout``, ``registry``, ``trace_sink``)
+        pass through to :class:`AsyncRegisterClient`; clients default to
+        the cluster's shared metric registry.
         """
+        client_kwargs.setdefault("registry", self.registry)
         keychain = self._keychain_for([client_id])
         client = AsyncRegisterClient(
             client_id, self.addresses, self.f, Authenticator(keychain),

@@ -5,11 +5,19 @@ from __future__ import annotations
 import asyncio
 import logging
 import os
-from collections import Counter
-from typing import Any, Optional, Set
+import time
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Set
 
-from repro.core.messages import HealthAck, HealthPing, Throttled
+from repro.core.messages import (
+    HealthAck,
+    HealthPing,
+    StatsAck,
+    StatsPing,
+    Throttled,
+)
 from repro.errors import AuthenticationError, ProtocolError
+from repro.obs import PHASE_BY_MESSAGE, LogGate, MetricRegistry
 from repro.runtime.limits import PerClientBuckets
 from repro.transport.auth import Authenticator
 from repro.transport.codec import (
@@ -21,6 +29,10 @@ from repro.transport.codec import (
 from repro.types import ProcessId
 
 logger = logging.getLogger(__name__)
+
+#: How many recent ``(sender, op_id, type)`` triples a node remembers to
+#: recognize re-sent frames (client retries after reconnect/throttle).
+RETRY_WINDOW = 2048
 
 
 class RegisterServerNode:
@@ -45,9 +57,19 @@ class RegisterServerNode:
     per-authenticated-client token bucket (``rate_limit`` frames/second,
     ``rate_burst`` tokens deep); frames over budget are shed with a
     :class:`~repro.core.messages.Throttled` reply instead of being
-    buffered.  :class:`~repro.core.messages.HealthPing` frames are
-    answered by the node itself (before the protocol, exempt from rate
-    limiting) so supervisors can probe readiness of any algorithm.
+    buffered.  :class:`~repro.core.messages.HealthPing` and
+    :class:`~repro.core.messages.StatsPing` frames are answered by the
+    node itself (before the protocol, exempt from rate limiting) so
+    supervisors can probe readiness -- and scrapers can pull metrics --
+    of any algorithm.
+
+    Observability: every event lands in a
+    :class:`~repro.obs.MetricRegistry` (pass a shared one, or the node
+    creates its own), including a per-phase service-time histogram
+    (``node_phase_seconds{phase="get-tag"|"put-data"|"get-data",...}``)
+    keyed by the protocol round each inbound frame belongs to.  The
+    legacy :attr:`stats` mapping remains as a read-only compatibility
+    view over the registry.
     """
 
     def __init__(self, server_id: ProcessId, protocol: Any,
@@ -56,7 +78,8 @@ class RegisterServerNode:
                  snapshot_path: Optional[str] = None,
                  max_connections: Optional[int] = None,
                  rate_limit: Optional[float] = None,
-                 rate_burst: Optional[float] = None) -> None:
+                 rate_burst: Optional[float] = None,
+                 registry: Optional[MetricRegistry] = None) -> None:
         self.server_id = server_id
         self.protocol = protocol
         self.auth = authenticator
@@ -70,14 +93,31 @@ class RegisterServerNode:
         self.rate_limit = rate_limit
         self._buckets = (PerClientBuckets(rate_limit, rate_burst)
                          if rate_limit is not None else None)
-        #: Flow-control counters: ``connections_refused``,
-        #: ``frames_throttled``, ``frames``, ``health_pings``.
-        self.stats: Counter = Counter()
+        self.registry = registry if registry is not None else MetricRegistry()
+        node = str(server_id)
+        self._counters = {
+            name: self.registry.counter(f"node_{name}_total", node=node)
+            for name in ("frames", "frames_bad", "frames_retried",
+                         "frames_throttled", "connections_refused",
+                         "health_pings", "stats_pings")
+        }
+        self._connections_gauge = self.registry.gauge(
+            "node_connections", node=node)
+        self._log = LogGate(logger, self.registry, component=f"node/{node}")
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_writers: Set[asyncio.StreamWriter] = set()
         self._checkpoint_lock: Optional[asyncio.Lock] = None
         self._checkpoint_seq = 0
         self._checkpoint_written = 0
+        self._last_snapshot_at: Optional[float] = None
+        #: Recently served ``(sender, op_id, type)`` triples, newest last.
+        self._recent_frames: "OrderedDict[tuple, None]" = OrderedDict()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Compatibility view: the registry counters as a plain mapping."""
+        return {name: int(counter.value)
+                for name, counter in self._counters.items()}
 
     def _restore_from_snapshot(self) -> None:
         if self.snapshot_path is None or not os.path.exists(self.snapshot_path):
@@ -120,6 +160,13 @@ class RegisterServerNode:
         with open(tmp_path, "wb") as fh:
             fh.write(data)
         os.replace(tmp_path, self.snapshot_path)  # atomic on POSIX
+        self._last_snapshot_at = time.monotonic()
+
+    def snapshot_age(self) -> float:
+        """Seconds since the last durable checkpoint (-1 when none)."""
+        if self._last_snapshot_at is None:
+            return -1.0
+        return time.monotonic() - self._last_snapshot_at
 
     async def start(self) -> None:
         """Bind the listener; ``self.port`` is filled in when it was 0."""
@@ -155,9 +202,10 @@ class RegisterServerNode:
                 and len(self._conn_writers) >= self.max_connections):
             # Shed the connection outright: the dialling client's backoff
             # spreads the retry, which is the point of the cap.
-            self.stats["connections_refused"] += 1
-            logger.warning("server %s refusing connection (cap %d reached)",
-                           self.server_id, self.max_connections)
+            self._counters["connections_refused"].inc()
+            self._log.warning(
+                "conn-cap", "server %s refusing connection (cap %d reached)",
+                self.server_id, self.max_connections)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -165,6 +213,7 @@ class RegisterServerNode:
                 pass
             return
         self._conn_writers.add(writer)
+        self._connections_gauge.set(len(self._conn_writers))
         try:
             await self._connection_loop(reader, writer)
         except asyncio.CancelledError:
@@ -173,6 +222,7 @@ class RegisterServerNode:
             pass
         finally:
             self._conn_writers.discard(writer)
+            self._connections_gauge.set(len(self._conn_writers))
             writer.close()
             try:
                 await writer.wait_closed()
@@ -180,8 +230,21 @@ class RegisterServerNode:
                     BrokenPipeError):  # pragma: no cover - teardown races
                 pass
 
+    def _note_repeat(self, sender: ProcessId, message: Any) -> None:
+        """Count frames the node has already seen (client re-sends)."""
+        key = (str(sender), getattr(message, "op_id", None),
+               type(message).__name__)
+        if key in self._recent_frames:
+            self._recent_frames.move_to_end(key)
+            self._counters["frames_retried"].inc()
+            return
+        self._recent_frames[key] = None
+        if len(self._recent_frames) > RETRY_WINDOW:
+            self._recent_frames.popitem(last=False)
+
     async def _connection_loop(self, reader: asyncio.StreamReader,
                                writer: asyncio.StreamWriter) -> None:
+        loop = asyncio.get_event_loop()
         while True:
             try:
                 frame = await read_frame(reader)
@@ -191,24 +254,39 @@ class RegisterServerNode:
                 sender, payload = self.auth.open(frame)
                 message = decode_message(payload)
             except (AuthenticationError, ProtocolError) as exc:
-                logger.warning("server %s dropping bad frame: %s",
-                               self.server_id, exc)
+                self._counters["frames_bad"].inc()
+                self._log.warning("bad-frame", "server %s dropping bad "
+                                  "frame: %s", self.server_id, exc)
                 continue
-            self.stats["frames"] += 1
+            self._counters["frames"].inc()
             if isinstance(message, HealthPing):
                 # Answered by the node, not the protocol, and exempt from
                 # rate limiting: readiness probes must work under load.
-                self.stats["health_pings"] += 1
+                self._counters["health_pings"].inc()
                 ack = HealthAck(
                     op_id=message.op_id, node_id=str(self.server_id),
                     history_len=len(getattr(self.protocol, "history", ())),
+                    frames=int(self._counters["frames"].value),
+                    throttled=int(self._counters["frames_throttled"].value),
+                    snapshot_age=self.snapshot_age(),
                 )
                 write_frame(writer, self.auth.seal(
                     self.server_id, encode_message(ack)))
                 await writer.drain()
                 continue
+            if isinstance(message, StatsPing):
+                # The scrape path: same exemption as health pings, so
+                # metrics stay readable exactly when the node is drowning.
+                self._counters["stats_pings"].inc()
+                ack = StatsAck(op_id=message.op_id,
+                               node_id=str(self.server_id),
+                               metrics=self.registry.snapshot())
+                write_frame(writer, self.auth.seal(
+                    self.server_id, encode_message(ack)))
+                await writer.drain()
+                continue
             if self._buckets is not None and not self._buckets.allow(sender):
-                self.stats["frames_throttled"] += 1
+                self._counters["frames_throttled"].inc()
                 throttle = Throttled(
                     op_id=getattr(message, "op_id", 0),
                     retry_after=self._buckets.retry_after(sender),
@@ -218,6 +296,9 @@ class RegisterServerNode:
                     self.server_id, encode_message(throttle)))
                 await writer.drain()
                 continue
+            self._note_repeat(sender, message)
+            started = loop.time()
+            phase = self._frame_phase(message)
             history_before = len(getattr(self.protocol, "history", ()))
             replies = self.protocol.handle(sender, message)
             if self.behavior is not None:
@@ -228,7 +309,8 @@ class RegisterServerNode:
                 await self._checkpoint()
             for dest, reply in replies:
                 if dest != sender:
-                    logger.warning(
+                    self._log.warning(
+                        "misrouted-envelope",
                         "server %s dropping envelope to %s (only "
                         "client-to-server replies are routable)",
                         self.server_id, dest,
@@ -237,3 +319,12 @@ class RegisterServerNode:
                 sealed = self.auth.seal(self.server_id, encode_message(reply))
                 write_frame(writer, sealed)
             await writer.drain()
+            self.registry.histogram(
+                "node_phase_seconds", node=str(self.server_id),
+                phase=phase).observe(loop.time() - started)
+
+    def _frame_phase(self, message: Any) -> str:
+        """Protocol phase an inbound frame belongs to (for histograms)."""
+        inner = getattr(message, "inner", message)  # unwrap namespacing
+        name = type(inner).__name__
+        return PHASE_BY_MESSAGE.get(name, name)

@@ -8,8 +8,8 @@ import asyncio
 
 import pytest
 
-from repro.core.messages import HealthAck
-from repro.deploy import ClusterSpec, health_ping
+from repro.core.messages import HealthAck, StatsAck
+from repro.deploy import ClusterSpec, health_ping, stats_ping
 from repro.runtime import LocalCluster
 from repro.runtime.limits import PerClientBuckets, TokenBucket
 
@@ -107,8 +107,58 @@ def test_health_ping_round_trip_and_rate_limit_exemption():
             assert isinstance(ack, HealthAck)
             assert ack.node_id == "s000"
             assert ack.history_len == 1  # just the initial pair
+            # Telemetry fields are real counters, not defaults: the ack
+            # counts its own frame, reports no shed traffic, and carries
+            # no snapshot age (this node does not persist).
+            assert ack.frames == 5
+            assert ack.throttled == 0
+            assert ack.snapshot_age == -1.0
             assert node.stats["health_pings"] == 5
             assert node.stats["frames_throttled"] == 0
+        finally:
+            await node.stop()
+
+    run(scenario())
+
+
+def test_stats_ping_returns_node_labeled_snapshot():
+    async def scenario():
+        spec = ClusterSpec(algorithm="bsr", f=1, rate_limit=5.0,
+                           rate_burst=1.0)
+        node = spec.build_node("s000")
+        await node.start()
+        try:
+            auth = spec.authenticator()
+            await health_ping(node.address, auth)
+            for _ in range(8):  # deep enough to outrun the rate limit
+                ack = await stats_ping(node.address, auth)
+            assert isinstance(ack, StatsAck)
+            assert ack.node_id == "s000"
+            counters = {(c["name"], c["labels"].get("node")): c["value"]
+                        for c in ack.metrics["counters"]}
+            assert counters[("node_stats_pings_total", "s000")] == 8
+            assert counters[("node_health_pings_total", "s000")] == 1
+            assert counters[("node_frames_total", "s000")] == 9
+        finally:
+            await node.stop()
+
+    run(scenario())
+
+
+def test_stats_ping_exempt_from_rate_limit_and_reports_throttles():
+    async def scenario():
+        spec = ClusterSpec(algorithm="bsr", f=1, rate_limit=2.0,
+                           rate_burst=1.0)
+        node = spec.build_node("s000")
+        await node.start()
+        try:
+            auth = spec.authenticator()
+            for _ in range(6):  # far beyond a 1-token bucket
+                ack = await stats_ping(node.address, auth)
+            snapshot = ack.metrics
+            throttled = [c["value"] for c in snapshot["counters"]
+                         if c["name"] == "node_frames_throttled_total"]
+            assert throttled == [0]  # pings are exempt, nothing was shed
         finally:
             await node.stop()
 

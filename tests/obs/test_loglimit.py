@@ -1,0 +1,47 @@
+"""LogGate: per-reason warning rate limits with counted suppression."""
+
+import logging
+
+from repro.obs import LogGate, MetricRegistry
+
+
+def make_gate(caplog_logger="test.loglimit", rate=1.0, burst=2.0):
+    now = [0.0]
+    registry = MetricRegistry()
+    gate = LogGate(logging.getLogger(caplog_logger), registry,
+                   component="node/s000", rate=rate, burst=burst,
+                   clock=lambda: now[0])
+    return gate, registry, now
+
+
+def test_burst_passes_then_flood_is_suppressed_and_counted(caplog):
+    gate, registry, now = make_gate()
+    with caplog.at_level(logging.WARNING, logger="test.loglimit"):
+        results = [gate.warning("bad-frame", "bad frame %d", i)
+                   for i in range(10)]
+    assert results[:2] == [True, True]
+    assert not any(results[2:])
+    assert gate.suppressed("bad-frame") == 8
+    assert registry.counter_value(
+        "log_suppressed_total", component="node/s000",
+        reason="bad-frame") == 8
+    # The gate announces itself once: 2 real warnings + 1 marker line.
+    assert len(caplog.records) == 3
+    assert "suppressing further" in caplog.records[2].getMessage()
+
+
+def test_refill_reopens_the_gate(caplog):
+    gate, _, now = make_gate()
+    with caplog.at_level(logging.WARNING, logger="test.loglimit"):
+        assert gate.warning("r", "a") and gate.warning("r", "b")
+        assert not gate.warning("r", "c")
+        now[0] += 1.0  # refills one token at rate=1/s
+        assert gate.warning("r", "d")
+
+
+def test_reasons_are_independent():
+    gate, registry, _ = make_gate(burst=1.0)
+    assert gate.warning("one", "x")
+    assert not gate.warning("one", "x")
+    assert gate.warning("two", "y")  # a different reason has its own bucket
+    assert gate.suppressed("two") == 0

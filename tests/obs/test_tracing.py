@@ -1,0 +1,89 @@
+"""OpSpan/OpTracer: phases, quorum waits, outcomes, sinks."""
+
+import json
+
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    MetricRegistry,
+    OpTracer,
+    phase_name,
+)
+
+
+def make_tracer(sink=None):
+    registry = MetricRegistry()
+    return registry, OpTracer(registry, sink=sink, client_id="w000",
+                              algorithm="bsr")
+
+
+def test_span_records_phases_and_quorum_waits():
+    registry, tracer = make_tracer(sink=MemorySink())
+    span = tracer.start(kind="write", op_id=7, witness=2, quorum=4, now=0.0)
+    span.begin_phase("get-tag", 0.0)
+    span.record_reply("s000", 0.010)
+    span.record_reply("s001", 0.020)   # witness threshold (f + 1 = 2)
+    span.record_reply("s001", 0.025)   # duplicate: ignored
+    span.record_reply("s002", 0.030)
+    span.record_reply("s003", 0.040)   # quorum threshold (n - f = 4)
+    span.begin_phase("put-data", 0.050)
+    span.record_reply("s000", 0.060)
+    span.finish("ok", 0.100)
+    span.finish("error", 9.9)          # idempotent: first outcome wins
+
+    [record] = tracer.sink.records
+    assert record["kind"] == "write" and record["outcome"] == "ok"
+    assert record["latency"] == 0.100
+    get_tag, put_data = record["phases"]
+    assert get_tag["phase"] == "get-tag"
+    assert get_tag["witness_wait"] == 0.020
+    assert get_tag["quorum_wait"] == 0.040
+    assert len(get_tag["replies"]) == 4  # the duplicate was dropped
+    assert put_data["phase"] == "put-data"
+    assert put_data["duration"] == 0.050  # closed by finish()
+
+    assert registry.counter_value("client_ops_total", op="write",
+                                  outcome="ok") == 1
+    [histogram] = registry.histograms_named("client_op_seconds")
+    assert histogram.count == 1
+    phase_histograms = registry.histograms_named("client_phase_seconds")
+    assert {dict(h.labels)["phase"] for h in phase_histograms} == {
+        "get-tag", "put-data"}
+
+
+def test_throttle_and_resend_counters_land_in_record():
+    _, tracer = make_tracer(sink=MemorySink())
+    span = tracer.start(kind="read", op_id=1, witness=2, quorum=4, now=0.0)
+    span.begin_phase("get-data", 0.0)
+    span.note_throttle()
+    span.note_resend(3)
+    span.finish("throttled", 1.0)
+    [record] = tracer.sink.records
+    assert record["throttles"] == 1 and record["resends"] == 3
+
+
+def test_jsonl_sink_appends_parseable_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(str(path))
+    _, tracer = make_tracer()
+    tracer.sink = sink
+    for index in range(2):
+        span = tracer.start(kind="read", op_id=index, witness=2, quorum=4,
+                            now=0.0)
+        span.begin_phase("get-data", 0.0)
+        span.finish("ok", 0.5)
+    sink.close()
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 2
+    assert all(json.loads(line)["algorithm"] == "bsr" for line in lines)
+
+
+def test_phase_names_cover_algorithm_rounds():
+    assert phase_name("write", 1) == "get-tag"
+    assert phase_name("write", 2) == "put-data"
+    assert phase_name("read", 1, "bsr") == "get-data"
+    assert phase_name("read", 1, "bsr-history") == "get-history"
+    assert phase_name("read", 1, "bsr-2round") == "get-tag-history"
+    assert phase_name("read", 2, "bsr-2round") == "get-value"
+    assert phase_name("read", 2, "abd") == "write-back"
+    assert phase_name("read", 3, "bsr") == "round-3"

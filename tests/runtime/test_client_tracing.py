@@ -1,0 +1,90 @@
+"""Client-side op tracing against a live in-process cluster."""
+
+import asyncio
+
+from repro.obs import MemorySink, MetricRegistry
+from repro.runtime import LocalCluster
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_write_and_read_spans_name_the_paper_phases():
+    async def scenario():
+        sink = MemorySink()
+        cluster = LocalCluster("bsr", f=1)
+        await cluster.start()
+        try:
+            client = cluster.client("w000", timeout=10.0, trace_sink=sink)
+            await client.connect()
+            await client.write(b"hello")
+            assert await client.read() == b"hello"
+        finally:
+            await cluster.stop()
+        return sink, cluster.registry
+
+    sink, registry = run(scenario())
+    write, read = sink.records
+    assert write["kind"] == "write" and write["outcome"] == "ok"
+    assert [p["phase"] for p in write["phases"]] == ["get-tag", "put-data"]
+    # n = 4f + 1 = 5: every phase waits for f+1=2 witnesses and n-f=4
+    # replies; both waits must be recorded and ordered.
+    for phase in write["phases"]:
+        assert len(phase["replies"]) >= 4
+        assert 0 < phase["witness_wait"] <= phase["quorum_wait"]
+    assert read["kind"] == "read" and read["outcome"] == "ok"
+    assert [p["phase"] for p in read["phases"]] == ["get-data"]
+
+    # The same spans fed the cluster's shared registry.
+    assert registry.counter_value("client_ops_total", op="write",
+                                  outcome="ok") == 1
+    assert registry.counter_value("client_ops_total", op="read",
+                                  outcome="ok") == 1
+    phases = {dict(h.labels)["phase"]
+              for h in registry.histograms_named("client_phase_seconds")}
+    assert phases == {"get-tag", "put-data", "get-data"}
+    # And the nodes' service histograms bucket by the same phase names.
+    node_phases = {dict(h.labels)["phase"]
+                   for h in registry.histograms_named("node_phase_seconds")}
+    assert node_phases == {"get-tag", "put-data", "get-data"}
+
+
+def test_two_round_read_opens_a_second_phase():
+    async def scenario():
+        sink = MemorySink()
+        cluster = LocalCluster("bsr-2round", f=1)
+        await cluster.start()
+        try:
+            client = cluster.client("r000", timeout=10.0, trace_sink=sink)
+            await client.connect()
+            await client.read()
+        finally:
+            await cluster.stop()
+        return sink
+
+    sink = run(scenario())
+    [read] = [r for r in sink.records if r["kind"] == "read"]
+    assert [p["phase"] for p in read["phases"]] == [
+        "get-tag-history", "get-value"]
+
+
+def test_client_stats_compat_view_reflects_registry():
+    async def scenario():
+        registry = MetricRegistry()
+        cluster = LocalCluster("bsr", f=1, registry=registry)
+        await cluster.start()
+        try:
+            client = cluster.client("w000", timeout=10.0)
+            await client.connect()
+            await client.write(b"x")
+            stats = client.stats()
+            assert stats["connected"] == 5
+            assert stats["connects"] == 5
+            assert stats["reconnects"] == 0
+            assert registry.counter_value("client_connects_total",
+                                          client="w000") == 5
+        finally:
+            await cluster.stop()
+
+    run(scenario())
