@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-codec bench-tables chaos-soak cluster-smoke examples lint metrics-smoke modelcheck clean
+.PHONY: install test bench bench-codec bench-pipeline bench-tables chaos-soak cluster-smoke examples lint metrics-smoke modelcheck clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,11 @@ bench:
 # writes BENCH_codec.json at the repository root.
 bench-codec:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_codec_throughput.py
+
+# E18 pipelining: ops/sec vs in-flight depth over 1 ms links; writes
+# BENCH_pipeline.json at the repository root.
+bench-pipeline:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_e18_pipeline.py
 
 # Regenerate every experiment table (what EXPERIMENTS.md records).
 bench-tables:

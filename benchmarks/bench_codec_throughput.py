@@ -24,6 +24,7 @@ from pathlib import Path
 import pytest
 
 from repro.erasure.striping import CodedElement, StripedCodec
+from repro.metrics.report import emit
 from repro.sim.rng import SimRng
 
 pytestmark = pytest.mark.slow_bench
@@ -152,15 +153,15 @@ def test_codec_kernel_speedup_floor():
 def main() -> None:
     report = run_benchmark()
     write_report(report)
-    print(format_report(report))
-    print(f"\nwrote {OUTPUT}")
+    emit(format_report(report))
+    emit(f"\nwrote {OUTPUT}")
     big = [r for r in report["results"] if r["value_bytes"] >= 65536]
     clean = [r for r in big if r["path"] != "decode_corrupted"]
     corrupted = [r for r in big if r["path"] == "decode_corrupted"]
-    print(f"min clean-path speedup  (>=64 KiB): "
-          f"{min(r['speedup'] for r in clean):.1f}x (target {MIN_SPEEDUP_CLEAN}x)")
-    print(f"min corrupted-path speedup (>=64 KiB): "
-          f"{min(r['speedup'] for r in corrupted):.1f}x (target {MIN_SPEEDUP_CORRUPTED}x)")
+    emit(f"min clean-path speedup  (>=64 KiB): "
+         f"{min(r['speedup'] for r in clean):.1f}x (target {MIN_SPEEDUP_CLEAN}x)")
+    emit(f"min corrupted-path speedup (>=64 KiB): "
+         f"{min(r['speedup'] for r in corrupted):.1f}x (target {MIN_SPEEDUP_CORRUPTED}x)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,155 @@
+"""E18: read throughput vs in-flight depth on the multiplexed runtime.
+
+One :class:`AsyncRegisterClient` issues a fixed number of reads against a
+live :class:`LocalCluster` whose links carry a constant 1 ms propagation
+latency (chaos proxies with a ``latency`` policy -- delivery is
+scheduled concurrently, so it bounds the RTT without capping bandwidth),
+while ``depth`` worker coroutines keep up to ``depth`` operations in
+flight (``max_inflight=depth``).  Depth 1 is the old single-op runtime's
+shape -- each read pays its full round trip before the next starts;
+deeper pipelines overlap the waits, and the per-connection write
+batching turns the overlapping ops' frames into single bursts.
+Measured for BSR (full-copy reads) and BCSR (coded reads),
+depths 1 -> 64.
+
+Run directly (or via ``make bench-pipeline``) to write
+``BENCH_pipeline.json`` at the repository root:
+
+    PYTHONPATH=src python benchmarks/bench_e18_pipeline.py
+
+The pytest entry point is marked ``slow_bench`` and excluded from the
+tier-1 run; it asserts the acceptance floor: BSR reads at depth 16 reach
+at least 3x the depth-1 throughput.
+"""
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import LocalCluster
+
+pytestmark = pytest.mark.slow_bench
+
+ALGORITHMS = ("bsr", "bcsr")
+
+DEPTHS = (1, 2, 4, 8, 16, 32, 64)
+
+#: Reads measured per depth (after warmup).
+OPS = 256
+
+#: Unmeasured reads to settle connections and code paths.
+WARMUP = 16
+
+#: Acceptance floor: BSR depth-16 speedup over depth 1.
+MIN_SPEEDUP_DEPTH16 = 3.0
+
+#: Constant one-way propagation delay on every link (seconds).
+LINK_LATENCY = 0.001
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+
+async def _measure_depth(cluster, depth: int, ops: int) -> float:
+    """Seconds to complete ``ops`` reads at pipeline depth ``depth``."""
+    client = cluster.client(f"r{depth:03d}", timeout=30.0,
+                            max_inflight=depth)
+    await client.connect()
+    for _ in range(WARMUP):
+        await client.read()
+    remaining = ops
+
+    async def worker() -> None:
+        nonlocal remaining
+        while remaining > 0:
+            remaining -= 1
+            await client.read()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(depth)))
+    elapsed = time.perf_counter() - started
+    await client.close()
+    return elapsed
+
+
+async def _run_algorithm(algorithm: str, depths=DEPTHS, ops=OPS) -> list:
+    cluster = LocalCluster(algorithm, f=1, chaos=True)
+    await cluster.start()
+    cluster.chaos_plan.set_policy(latency=LINK_LATENCY)
+    try:
+        rows = []
+        for depth in depths:
+            seconds = await _measure_depth(cluster, depth, ops)
+            rows.append({
+                "algorithm": algorithm,
+                "depth": depth,
+                "ops": ops,
+                "seconds": round(seconds, 4),
+                "ops_per_sec": round(ops / seconds, 1),
+            })
+        base = rows[0]["ops_per_sec"]
+        for row in rows:
+            row["speedup_vs_depth1"] = round(row["ops_per_sec"] / base, 2)
+        return rows
+    finally:
+        await cluster.stop()
+
+
+def run_benchmark(algorithms=ALGORITHMS, depths=DEPTHS, ops=OPS) -> dict:
+    results = []
+    for algorithm in algorithms:
+        results.extend(asyncio.run(_run_algorithm(algorithm, depths, ops)))
+    return {
+        "experiment": ("E18: ops/sec vs in-flight depth "
+                       "(LocalCluster, f=1, 1 ms links)"),
+        "link_latency_s": LINK_LATENCY,
+        "ops_per_depth": ops,
+        "results": results,
+    }
+
+
+def write_report(report: dict) -> None:
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def format_report(report: dict) -> str:
+    header = (f"{'algorithm':>9} {'depth':>5} {'ops':>5} "
+              f"{'seconds':>8} {'ops/sec':>9} {'speedup':>8}")
+    lines = [header, "-" * len(header)]
+    for row in report["results"]:
+        lines.append(
+            f"{row['algorithm']:>9} {row['depth']:>5} {row['ops']:>5} "
+            f"{row['seconds']:>8.3f} {row['ops_per_sec']:>9.1f} "
+            f"{row['speedup_vs_depth1']:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_pipeline_depth16_speedup_floor():
+    """BSR reads at depth 16 must reach 3x the depth-1 throughput."""
+    report = run_benchmark(algorithms=("bsr",), depths=(1, 16))
+    by_depth = {row["depth"]: row for row in report["results"]}
+    speedup = by_depth[16]["ops_per_sec"] / by_depth[1]["ops_per_sec"]
+    assert speedup >= MIN_SPEEDUP_DEPTH16, (
+        f"depth-16 BSR reads only {speedup:.2f}x depth 1 "
+        f"(need >= {MIN_SPEEDUP_DEPTH16}x)"
+    )
+
+
+def main() -> None:
+    from repro.metrics.report import emit
+
+    report = run_benchmark()
+    write_report(report)
+    emit(format_report(report))
+    emit(f"\nwrote {OUTPUT}")
+    bsr = {row["depth"]: row for row in report["results"]
+           if row["algorithm"] == "bsr"}
+    emit(f"BSR depth-16 speedup: {bsr[16]['speedup_vs_depth1']:.2f}x "
+         f"(target {MIN_SPEEDUP_DEPTH16}x)")
+
+
+if __name__ == "__main__":
+    main()

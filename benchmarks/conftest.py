@@ -8,10 +8,12 @@ regressions in the simulator or the protocols show up as timing changes.
 
 import pytest
 
+from repro.metrics.report import emit as _emit
+
 
 def emit(table: str) -> None:
     """Print an experiment table, flushing so it interleaves cleanly."""
-    print("\n" + table + "\n", flush=True)
+    _emit("\n" + table + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -42,10 +42,18 @@ class FaultKind(enum.Enum):
 
 @dataclass(frozen=True)
 class Decision:
-    """The plan's verdict for one frame."""
+    """The plan's verdict for one frame.
+
+    ``delay`` is served inline by the proxy (it holds the link's pump
+    loop, modelling pacing/service time), while ``latency`` is a
+    propagation delay: delivery is *scheduled* for later without
+    blocking frames behind it, so concurrent traffic overlaps the wait
+    like it does on a real wire.
+    """
 
     kind: FaultKind
     delay: float = 0.0
+    latency: float = 0.0
 
 
 @dataclass
@@ -55,9 +63,12 @@ class LinkPolicy:
     Rates are per-frame probabilities; ``sever``, ``drop`` and
     ``duplicate`` are mutually exclusive draws, ``delay`` applies to the
     remainder.  ``throttle`` is a fixed pacing delay added to every
-    delivered frame; ``blackhole`` silently discards everything (a live
-    connection that transports nothing -- how a partition looks from the
-    endpoints).
+    delivered frame (it serializes the link -- a bandwidth bound);
+    ``latency`` is a fixed propagation delay applied to every delivered
+    frame *concurrently* (frames behind it are not held up -- an RTT
+    bound, what a latency-hiding client pipeline overlaps).
+    ``blackhole`` silently discards everything (a live connection that
+    transports nothing -- how a partition looks from the endpoints).
     """
 
     drop_rate: float = 0.0
@@ -67,6 +78,7 @@ class LinkPolicy:
     duplicate_rate: float = 0.0
     sever_rate: float = 0.0
     throttle: float = 0.0
+    latency: float = 0.0
     blackhole: bool = False
 
 
@@ -149,16 +161,19 @@ class FaultPlan:
         if u < edge:
             return self._record(link, direction, seq,
                                 Decision(FaultKind.DUPLICATE,
-                                         delay=policy.throttle))
+                                         delay=policy.throttle,
+                                         latency=policy.latency))
         edge += policy.delay_rate
         if u < edge:
             span = policy.delay_max - policy.delay_min
             return self._record(
                 link, direction, seq,
                 Decision(FaultKind.DELAY,
-                         delay=policy.delay_min + v * span + policy.throttle))
-        if policy.throttle > 0.0:
-            return Decision(FaultKind.DELIVER, delay=policy.throttle)
+                         delay=policy.delay_min + v * span + policy.throttle,
+                         latency=policy.latency))
+        if policy.throttle > 0.0 or policy.latency > 0.0:
+            return Decision(FaultKind.DELIVER, delay=policy.throttle,
+                            latency=policy.latency)
         return Decision(FaultKind.DELIVER)
 
     def _record(self, link: str, direction: str, seq: int,

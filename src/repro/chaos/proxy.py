@@ -146,6 +146,7 @@ class ChaosProxy:
 
     async def _pipe(self, reader: asyncio.StreamReader,
                     writer: asyncio.StreamWriter, direction: str) -> None:
+        loop = asyncio.get_running_loop()
         try:
             while True:
                 frame = await read_frame(reader)
@@ -160,12 +161,32 @@ class ChaosProxy:
                 if decision.kind is FaultKind.SEVER:
                     raise _Severed()
                 if decision.delay > 0.0:
+                    # Pacing/jitter holds the pump: frames behind this
+                    # one wait their turn (a service-time bound).
                     await asyncio.sleep(decision.delay)
-                write_frame(writer, frame)
-                if decision.kind is FaultKind.DUPLICATE:
+                copies = 2 if decision.kind is FaultKind.DUPLICATE else 1
+                if decision.latency > 0.0:
+                    # Propagation delay: delivery is scheduled, the pump
+                    # moves on.  The latency is constant per link, so
+                    # timer order preserves the link's FIFO.
+                    loop.call_later(decision.latency, self._deliver_late,
+                                    writer, frame, copies)
+                    continue
+                for _ in range(copies):
                     write_frame(writer, frame)
                 await writer.drain()
         except (asyncio.IncompleteReadError, ConnectionResetError,
                 BrokenPipeError, ProtocolError, _Severed,
                 asyncio.CancelledError):
             return
+
+    def _deliver_late(self, writer: asyncio.StreamWriter, frame: bytes,
+                      copies: int) -> None:
+        """Timer callback: deliver a latency-delayed frame (best effort)."""
+        if writer.is_closing():
+            return  # link died while the frame was in flight
+        try:
+            for _ in range(copies):
+                write_frame(writer, frame)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass

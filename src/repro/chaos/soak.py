@@ -135,30 +135,64 @@ class SoakResult:
         return out
 
 
+async def _run_op(client, trace: Trace, index: int, kind: OpKind,
+                  value_size: int, prefix: str, errors: List[str]) -> None:
+    """Issue one traced operation on ``client``; errors are recorded."""
+    loop = asyncio.get_running_loop()
+    if kind is OpKind.WRITE:
+        value = f"{prefix}:{index}".encode().ljust(value_size, b".")
+        record = trace.begin(client.client_id, kind, loop.time(), value=value)
+        try:
+            tag = await client.write(value)
+        except Exception as exc:
+            errors.append(f"write #{index} by {client.client_id}: {exc}")
+            return
+        trace.complete(record, loop.time(), tag=tag)
+    else:
+        record = trace.begin(client.client_id, kind, loop.time())
+        try:
+            value = await client.read()
+        except Exception as exc:
+            errors.append(f"read #{index} by {client.client_id}: {exc}")
+            return
+        trace.complete(record, loop.time(), value=value)
+
+
 async def _client_loop(client, trace: Trace, kinds: List[OpKind],
                        think: float, rng: SimRng, value_size: int,
-                       prefix: str, errors: List[str]) -> None:
-    loop = asyncio.get_event_loop()
+                       prefix: str, errors: List[str],
+                       concurrency: int = 1) -> None:
+    """Issue ``kinds`` on one client, paced across the fault window.
+
+    ``concurrency == 1`` is the classic closed loop: each operation
+    completes before the think-time sleep that precedes the next one
+    (and the pacing is byte-for-byte reproducible for a given rng, which
+    the determinism tests rely on).  With ``concurrency > 1`` the loop
+    goes open: submissions keep the schedule's pace whether or not
+    earlier operations have finished, with at most ``concurrency``
+    in flight at once -- the multiplexed-client load shape.
+    """
+    if concurrency <= 1:
+        for index, kind in enumerate(kinds):
+            await _run_op(client, trace, index, kind, value_size, prefix,
+                          errors)
+            await asyncio.sleep(think * (0.5 + rng.random()))
+        return
+    limit = asyncio.Semaphore(concurrency)
+
+    async def paced(index: int, kind: OpKind) -> None:
+        try:
+            await _run_op(client, trace, index, kind, value_size, prefix,
+                          errors)
+        finally:
+            limit.release()
+
+    tasks = []
     for index, kind in enumerate(kinds):
-        if kind is OpKind.WRITE:
-            value = f"{prefix}:{index}".encode().ljust(value_size, b".")
-            record = trace.begin(client.client_id, kind, loop.time(),
-                                 value=value)
-            try:
-                tag = await client.write(value)
-            except Exception as exc:
-                errors.append(f"write #{index} by {client.client_id}: {exc}")
-                continue
-            trace.complete(record, loop.time(), tag=tag)
-        else:
-            record = trace.begin(client.client_id, kind, loop.time())
-            try:
-                value = await client.read()
-            except Exception as exc:
-                errors.append(f"read #{index} by {client.client_id}: {exc}")
-                continue
-            trace.complete(record, loop.time(), value=value)
+        await limit.acquire()
+        tasks.append(asyncio.ensure_future(paced(index, kind)))
         await asyncio.sleep(think * (0.5 + rng.random()))
+    await asyncio.gather(*tasks)
 
 
 def _snapshot_sizes(snapshot_dir: Optional[str]) -> Dict[str, int]:
@@ -181,14 +215,19 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
                    snapshot_dir: Optional[str] = None,
                    max_history: Optional[int] = None,
                    procs: bool = False,
+                   concurrency: int = 1,
                    client_kwargs: Optional[Dict[str, Any]] = None) -> SoakResult:
     """Run ``ops`` mixed operations under the named nemesis schedule.
 
     ``procs=True`` runs the workload against a process-per-node cluster
     (one OS process per server, SIGKILL crashes, snapshot-recovery
     restarts); ``max_history`` bounds every server's history list so long
-    soaks keep snapshots from growing without bound.
+    soaks keep snapshots from growing without bound.  ``concurrency``
+    switches each client's loop from closed to open: up to that many
+    operations in flight per client at once (see :func:`_client_loop`).
     """
+    if concurrency < 1:
+        raise ConfigurationError("concurrency must be at least 1")
     # Imported here: repro.runtime.cluster itself imports the chaos proxy,
     # so a module-level import would be circular.
     from repro.runtime.cluster import LocalCluster
@@ -206,7 +245,7 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
     own_snapshots = snapshot_dir is None
     if own_snapshots:
         snapshot_dir = tempfile.mkdtemp(prefix="repro-chaos-")
-    loop = asyncio.get_event_loop()
+    loop = asyncio.get_running_loop()
     started = loop.time()
     if procs:
         from repro.deploy import ClusterSpec, ClusterSupervisor
@@ -254,7 +293,7 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
             think = duration / (len(kinds) + 1) if kinds else 0.0
             tasks.append(asyncio.ensure_future(_client_loop(
                 client, trace, kinds, think, rng.fork(prefix), value_size,
-                f"{prefix}/{seed}", errors)))
+                f"{prefix}/{seed}", errors, concurrency=concurrency)))
         await asyncio.gather(*tasks)
         if getattr(cluster, "chaos_plan", None) is not None:
             cluster.chaos_plan.heal()

@@ -115,12 +115,15 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    client_kwargs = ({"max_inflight": args.max_inflight}
+                     if args.max_inflight is not None else None)
     result = asyncio.run(run_soak(
         algorithm=args.algorithm, f=args.f, schedule=args.schedule,
         ops=args.ops, read_ratio=args.read_ratio,
         value_size=args.value_size, seed=args.seed, period=args.period,
         timeout=args.timeout, procs=args.procs,
-        max_history=args.max_history,
+        max_history=args.max_history, concurrency=args.concurrency,
+        client_kwargs=client_kwargs,
     ))
     backend = "OS processes" if result.procs else "in-process cluster"
     print(f"nemesis schedule {args.schedule!r} (seed {args.seed}, "
@@ -484,6 +487,12 @@ def build_parser() -> argparse.ArgumentParser:
                             f"crashes; schedules {PROCESS_SCHEDULES})")
     chaos.add_argument("--max-history", type=int, default=None,
                        help="bound every server's history list (GC)")
+    chaos.add_argument("--concurrency", type=int, default=1,
+                       help="in-flight operations per client (1 = the "
+                            "classic closed loop)")
+    chaos.add_argument("--max-inflight", type=int, default=None,
+                       help="client-side admission cap on concurrently "
+                            "executing operations")
 
     node = sub.add_parser(
         "node", help="serve a single register node in this process")

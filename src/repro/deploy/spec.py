@@ -68,6 +68,8 @@ class ClusterSpec:
     max_connections: Optional[int] = None
     rate_limit: Optional[float] = None
     rate_burst: Optional[float] = None
+    #: Per-client cap on concurrently executing operations (None = no cap).
+    max_inflight: Optional[int] = None
     #: node id -> behavior name (see ``repro.byzantine.behaviors``).
     byzantine: Dict[str, str] = field(default_factory=dict)
     #: node id -> [host, port] address overrides (multi-host layouts).
@@ -95,6 +97,9 @@ class ClusterSpec:
             raise ConfigurationError(
                 f"{len(self.byzantine)} Byzantine nodes exceed the fault "
                 f"budget f={self.f}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be at least 1, got {self.max_inflight}")
 
     # -- identity and addressing ------------------------------------------
     @property
@@ -184,11 +189,13 @@ class ClusterSpec:
         """An :class:`AsyncRegisterClient` wired to this cluster.
 
         ``addresses`` overrides the spec's (pass the supervisor's live map
-        when nodes bound ephemeral ports).  Extra keyword arguments pass
+        when nodes bound ephemeral ports).  The spec's ``max_inflight``
+        applies unless overridden here.  Extra keyword arguments pass
         through (``timeout``, ``reconnect``, ``backoff_base`` ...).
         """
         keychain = KeyChain.from_secret(self.secret_bytes,
                                         self.node_ids + [client_id])
+        client_kwargs.setdefault("max_inflight", self.max_inflight)
         return AsyncRegisterClient(
             client_id, addresses if addresses is not None else self.addresses,
             self.f, Authenticator(keychain), algorithm=self.algorithm,

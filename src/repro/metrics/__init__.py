@@ -6,13 +6,14 @@ from repro.metrics.collectors import (
     summarize_latencies,
     summarize_trace,
 )
-from repro.metrics.report import format_markdown_table, format_table
+from repro.metrics.report import emit, format_markdown_table, format_table
 
 __all__ = [
     "LatencySummary",
     "OperationSummary",
     "summarize_latencies",
     "summarize_trace",
+    "emit",
     "format_table",
     "format_markdown_table",
 ]

@@ -6,7 +6,20 @@ Every benchmark prints its results through these helpers so the
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+import sys
+from typing import Any, IO, List, Sequence
+
+
+def emit(text: str, stream: IO[str] = None) -> None:
+    """Write one block of experiment output, flushed.
+
+    The single sanctioned stdout path for benchmark scripts (the
+    no-bare-print lint covers ``benchmarks/``): tables and progress lines
+    route through here so output interleaves cleanly and redirects as one
+    stream.
+    """
+    print(text, file=stream if stream is not None else sys.stdout,
+          flush=True)
 
 
 def _stringify(cell: Any) -> str:

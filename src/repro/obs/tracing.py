@@ -150,7 +150,14 @@ class OpSpan:
 
 
 class OpTracer:
-    """Factory for :class:`OpSpan`; owns the registry and the sink."""
+    """Factory for :class:`OpSpan`; owns the registry and the sink.
+
+    Spans may overlap: a multiplexed client runs many operations at
+    once, each with its own span keyed by ``op_id``.  The tracer keeps
+    the set of active (started, unfinished) spans and mirrors its size
+    into the ``client_inflight_ops`` gauge, so scrapes show how deep the
+    pipeline currently is.
+    """
 
     def __init__(self, registry: MetricRegistry,
                  sink: Optional[object] = None,
@@ -159,13 +166,26 @@ class OpTracer:
         self.sink = sink
         self.client_id = str(client_id)
         self.algorithm = algorithm
+        #: Active spans by ``op_id`` (started but not yet finished).
+        self._active: Dict[int, OpSpan] = {}
+        self._inflight_gauge = registry.gauge("client_inflight_ops",
+                                              client=self.client_id)
 
     def start(self, kind: str, op_id: int, witness: int, quorum: int,
               now: float) -> OpSpan:
-        return OpSpan(self, kind, op_id, witness, quorum, now)
+        span = OpSpan(self, kind, op_id, witness, quorum, now)
+        self._active[op_id] = span
+        self._inflight_gauge.set(len(self._active))
+        return span
+
+    def active(self) -> List[OpSpan]:
+        """The currently in-flight spans (snapshot)."""
+        return list(self._active.values())
 
     # -- internal ----------------------------------------------------------
     def _record(self, span: OpSpan, outcome: str, now: float) -> None:
+        self._active.pop(span.op_id, None)
+        self._inflight_gauge.set(len(self._active))
         latency = now - span.started
         registry = self.registry
         registry.counter("client_ops_total", op=span.kind,
@@ -200,6 +220,9 @@ class OpTracer:
             "latency": latency,
             "throttles": span.throttles,
             "resends": span.resends,
+            # Operations still in flight when this one finished (pipeline
+            # depth at completion time).
+            "inflight": len(self._active),
             "phases": [
                 {
                     "phase": phase.name,

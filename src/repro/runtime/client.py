@@ -4,10 +4,29 @@ The client is *self-healing*: each server has a supervisor task that pumps
 replies while the connection is up and re-dials with exponential backoff
 plus jitter while it is down (including servers that were unreachable when
 :meth:`AsyncRegisterClient.connect` first ran).  When a connection comes
-back mid-operation, the frames the in-flight operation already sent to
+back mid-operation, the frames the in-flight operations already sent to
 that server are re-sent -- safe, because every operation is an idempotent
 quorum state machine keyed by ``op_id`` (duplicate requests produce
 duplicate replies, which the reply filter already tolerates).
+
+The client is also *multiplexed*: any number of operations may be in
+flight at once over the same set of connections.  A per-client
+:class:`~repro.runtime.dispatch.OpDispatcher` tables each operation's
+state (pending frames, reply queue, span), routes every incoming reply
+to the operation that owns it by ``op_id``, and admits new operations
+through a FIFO gate capped at ``max_inflight``.  Outgoing frames from
+all operations are coalesced per connection per event-loop tick into a
+single burst plus one ``drain()``
+(:class:`~repro.runtime.dispatch.BatchedConnection`).
+
+One ordering rule remains: *writes by the same client to the same
+register are serialized* (reads multiplex freely, and writes overlap
+with reads and with other clients' writes).  Two overlapping writes by
+one writer could query the same tag ceiling and commit two different
+values under the same ``(num, writer)`` tag, which breaks the tag
+uniqueness every algorithm here relies on -- the paper's executions are
+well-formed (each process runs one operation at a time), and the write
+lock is what preserves that assumption per register under multiplexing.
 """
 
 from __future__ import annotations
@@ -25,19 +44,22 @@ from repro.core.messages import Throttled
 from repro.core.operation import ClientOperation
 from repro.core.regular import HistoryReadOperation, TwoRoundReadOperation
 from repro.errors import AuthenticationError, ConfigurationError, LivenessError, ProtocolError
-from repro.obs import LogGate, MetricRegistry, OpSpan, OpTracer, phase_name
+from repro.obs import LogGate, MetricRegistry, OpTracer, phase_name
+from repro.runtime.dispatch import BatchedConnection, OpDispatcher, OpState
 from repro.transport.auth import Authenticator
 from repro.transport.codec import (
+    FrameAssembler,
     decode_message,
     encode_message,
-    read_frame,
-    write_frame,
 )
 from repro.types import ProcessId
 
 logger = logging.getLogger(__name__)
 
 CLIENT_ALGORITHMS = ("bsr", "bsr-history", "bsr-2round", "bcsr", "abd")
+
+#: Bytes pulled from a connection per read syscall in the reply pump.
+READ_CHUNK = 64 * 1024
 
 
 class AsyncRegisterClient:
@@ -48,13 +70,16 @@ class AsyncRegisterClient:
     the same operation state machines the simulator uses.  With
     ``reconnect=True`` (the default) lost or never-established connections
     are re-dialed in the background with exponential backoff and jitter.
+    Operations may be issued concurrently (``asyncio.gather`` of reads
+    and writes on one client); ``max_inflight`` bounds how many execute
+    at once, with excess operations queueing FIFO.
 
     Usage::
 
         client = AsyncRegisterClient("w000", addresses, f=1, auth=auth)
         await client.connect()
         await client.write(b"hello")
-        value = await client.read()
+        values = await asyncio.gather(*[client.read() for _ in range(16)])
         print(client.stats())
         await client.close()
     """
@@ -66,6 +91,7 @@ class AsyncRegisterClient:
                  namespaced: bool = False, reconnect: bool = True,
                  backoff_base: float = 0.05, backoff_max: float = 2.0,
                  drain_timeout: float = 1.0,
+                 max_inflight: Optional[int] = None,
                  registry: Optional[MetricRegistry] = None,
                  trace_sink: Optional[Any] = None) -> None:
         if algorithm not in CLIENT_ALGORITHMS:
@@ -86,20 +112,19 @@ class AsyncRegisterClient:
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
         self.drain_timeout = drain_timeout
+        self.max_inflight = max_inflight
         self.reader_state = BSRReaderState(initial_value)
         self._register_states: Dict[str, BSRReaderState] = {}
         self._codec = (make_codec(len(self.servers), f)
                        if algorithm == "bcsr" else None)
         self._connections: Dict[ProcessId, Tuple[asyncio.StreamReader,
                                                  asyncio.StreamWriter]] = {}
-        self._reply_queue: "asyncio.Queue[Tuple[ProcessId, Any]]" = asyncio.Queue()
+        self._senders: Dict[ProcessId, BatchedConnection] = {}
         self._supervisors: Dict[ProcessId, asyncio.Task] = {}
-        #: ``(message type name, sealed frame)`` of the in-flight
-        #: operation, per destination -- replayed on reconnect so a healed
-        #: link can still serve the op, and replayed per-type after a
-        #: throttle (the server names the shed frame's type).
-        self._pending: Dict[ProcessId, List[Tuple[str, bytes]]] = {}
-        self._op_retried = False
+        self._dispatcher = OpDispatcher(max_inflight)
+        #: Writes by this client are ordered per register (see module
+        #: docstring); reads never touch these locks.
+        self._write_locks: Dict[str, asyncio.Lock] = {}
         self._closing = False
         self.registry = registry if registry is not None else MetricRegistry()
         client = str(client_id)
@@ -111,11 +136,11 @@ class AsyncRegisterClient:
             name: self.registry.counter(f"client_{name}_total", client=client)
             for name in ("connects", "reconnects", "disconnects",
                          "frames_dropped", "frames_resent", "ops_retried",
-                         "throttled", "drain_timeouts", "drain_failures")
+                         "throttled", "drain_timeouts", "drain_failures",
+                         "ops_queued", "replies_stale", "send_batches")
         }
         self._tracer = OpTracer(self.registry, sink=trace_sink,
                                 client_id=client, algorithm=algorithm)
-        self._current_span: Optional[OpSpan] = None
         self._log = LogGate(logger, self.registry,
                             component=f"client/{client}")
 
@@ -148,6 +173,9 @@ class AsyncRegisterClient:
             except (asyncio.CancelledError, Exception):  # pragma: no cover
                 pass
         self._supervisors.clear()
+        for sender in self._senders.values():
+            sender.close()
+        self._senders.clear()
         for _, writer in self._connections.values():
             writer.close()
         for _, writer in list(self._connections.values()):
@@ -159,11 +187,14 @@ class AsyncRegisterClient:
 
     def stats(self) -> Dict[str, int]:
         """Resilience counters: reconnects, disconnects, frames dropped /
-        resent, operations retried, throttle backoffs, drain timeouts,
-        live connections.  A compatibility view over :attr:`registry`."""
+        resent, operations retried / queued at the admission gate,
+        throttle backoffs, drain timeouts, stale replies dropped, live
+        connections and in-flight operations.  A compatibility view over
+        :attr:`registry`."""
         stats = {name: int(counter.value)
                  for name, counter in self._counters.items()}
         stats["connected"] = len(self._connections)
+        stats["inflight"] = self._dispatcher.inflight
         return stats
 
     async def _dial(self, pid: ProcessId) -> bool:
@@ -177,9 +208,25 @@ class AsyncRegisterClient:
                          self.client_id, pid, exc)
             return False
         self._connections[pid] = (reader, writer)
+        self._senders[pid] = BatchedConnection(
+            pid, writer, self.drain_timeout,
+            on_drain_timeout=self._counters["drain_timeouts"].inc,
+            on_failure=self._on_send_failure,
+            on_batch=self._note_batch,
+        )
         return True
 
+    def _note_batch(self, frames: int) -> None:
+        self._counters["send_batches"].inc()
+
+    def _on_send_failure(self, pid: ProcessId) -> None:
+        self._counters["drain_failures"].inc()
+        self._drop_connection(pid)
+
     def _drop_connection(self, pid: ProcessId) -> None:
+        sender = self._senders.pop(pid, None)
+        if sender is not None:
+            sender.close()
         connection = self._connections.pop(pid, None)
         if connection is not None:
             connection[1].close()
@@ -222,167 +269,195 @@ class AsyncRegisterClient:
 
     async def _pump_replies(self, pid: ProcessId,
                             reader: asyncio.StreamReader) -> None:
-        """Deliver verified frames to the reply queue until the link dies.
+        """Route verified frames to their owning ops until the link dies.
 
-        Connection loss returns (it never poisons the queue): the
-        supervisor decides whether to re-dial.
+        Frames are batch-decoded: one read syscall may carry replies to
+        several operations, each routed by ``op_id`` through the
+        dispatcher.  Replies owned by no in-flight operation (late
+        answers and ``Throttled`` frames of finished ops) are dropped
+        and counted as ``replies_stale``.  Connection loss returns (it
+        never poisons any op's queue): the supervisor decides whether to
+        re-dial.
         """
+        assembler = FrameAssembler()
         try:
             while True:
-                frame = await read_frame(reader)
-                try:
-                    sender, payload = self.auth.open(frame)
-                    message = decode_message(payload)
-                except (AuthenticationError, ProtocolError) as exc:
-                    self._counters["frames_dropped"].inc()
-                    self._log.warning(
-                        "bad-frame", "client %s dropping bad frame from "
-                        "%s: %s", self.client_id, pid, exc)
-                    continue
-                if sender != pid:
-                    # A Byzantine server cannot speak for another server:
-                    # the signature pins the sender.
-                    self._counters["frames_dropped"].inc()
-                    self._log.warning(
-                        "wrong-sender", "client %s: connection to %s "
-                        "delivered a frame signed by %s; dropping",
-                        self.client_id, pid, sender)
-                    continue
-                await self._reply_queue.put((sender, message))
+                data = await reader.read(READ_CHUNK)
+                if not data:
+                    return
+                for frame in assembler.feed(data):
+                    try:
+                        sender, payload = self.auth.open(frame)
+                        message = decode_message(payload)
+                    except (AuthenticationError, ProtocolError) as exc:
+                        self._counters["frames_dropped"].inc()
+                        self._log.warning(
+                            "bad-frame", "client %s dropping bad frame from "
+                            "%s: %s", self.client_id, pid, exc)
+                        continue
+                    if sender != pid:
+                        # A Byzantine server cannot speak for another
+                        # server: the signature pins the sender.
+                        self._counters["frames_dropped"].inc()
+                        self._log.warning(
+                            "wrong-sender", "client %s: connection to %s "
+                            "delivered a frame signed by %s; dropping",
+                            self.client_id, pid, sender)
+                        continue
+                    if not self._dispatcher.route(sender, message):
+                        self._counters["replies_stale"].inc()
+        except ProtocolError as exc:
+            # Oversized frame: treat the stream as poisoned and let the
+            # supervisor re-dial from a clean slate.
+            self._counters["frames_dropped"].inc()
+            self._log.warning("bad-frame", "client %s resetting link to %s: "
+                              "%s", self.client_id, pid, exc)
+            return
         except (asyncio.IncompleteReadError, ConnectionResetError,
                 BrokenPipeError, OSError, asyncio.CancelledError):
             return
 
     # -- operations -------------------------------------------------------------
     async def _resend_pending(self, pid: ProcessId,
-                              only_type: Optional[str] = None) -> None:
-        """Replay the in-flight operation's frames to ``pid``.
+                              only_type: Optional[str] = None,
+                              states: Optional[List[OpState]] = None) -> None:
+        """Replay in-flight frames to ``pid``.
 
-        ``only_type`` narrows the replay to frames of one message type
-        (the throttle path: the server names the frame it shed, and
-        replaying anything more would spend the refilled token on an
-        already-delivered frame).
+        By default every in-flight operation's frames for that server
+        are replayed (the reconnect path -- a healed link can still
+        serve all of them).  ``states`` narrows the replay to specific
+        operations (the throttle path replays only the op that owns the
+        shed frame), and ``only_type`` to frames of one message type
+        (the server names the frame it shed, and replaying anything more
+        would spend the refilled token on an already-delivered frame).
         """
-        frames = [sealed for type_name, sealed in self._pending.get(pid, ())
-                  if only_type is None or type_name == only_type]
-        connection = self._connections.get(pid)
-        if not frames or connection is None:
+        sender_conn = self._senders.get(pid)
+        if sender_conn is None:
             return
-        _, writer = connection
-        try:
-            for sealed in frames:
-                write_frame(writer, sealed)
-            await asyncio.wait_for(writer.drain(), self.drain_timeout)
-        except (OSError, ConnectionError, asyncio.TimeoutError):
-            return
-        self._counters["frames_resent"].inc(len(frames))
-        if self._current_span is not None:
-            self._current_span.note_resend(len(frames))
-        self._op_retried = True
-
-    async def _send(self, envelopes) -> None:
-        drains = []
-        for dest, message in envelopes:
-            sealed = self.auth.seal(self.client_id, encode_message(message))
-            self._pending.setdefault(dest, []).append(
-                (type(message).__name__, sealed))
-            connection = self._connections.get(dest)
-            if connection is None:
-                continue  # down right now; resent if the link heals in time
-            _, writer = connection
-            try:
-                write_frame(writer, sealed)
-            except (OSError, ConnectionError, RuntimeError):
-                self._drop_connection(dest)
+        if states is None:
+            states = self._dispatcher.states()
+        flushes = []
+        resent = 0
+        for state in states:
+            frames = state.pending_frames(pid, only_type)
+            if not frames:
                 continue
-            drains.append(self._drain(dest, writer))
-        if drains:
-            # Backpressure: flush every connection before proceeding, but
-            # concurrently and with a cap -- one blackholed server must not
-            # stall the quorum.
-            await asyncio.gather(*drains)
+            for sealed in frames:
+                flushes.append(sender_conn.send(sealed))
+            resent += len(frames)
+            if state.span is not None:
+                state.span.note_resend(len(frames))
+            state.retried = True
+        if not flushes:
+            return
+        await asyncio.gather(*flushes)
+        self._counters["frames_resent"].inc(resent)
 
-    async def _drain(self, pid: ProcessId, writer: asyncio.StreamWriter) -> None:
-        try:
-            await asyncio.wait_for(writer.drain(), self.drain_timeout)
-        except asyncio.TimeoutError:
-            # Slow or blackholed peer: leave the bytes buffered rather
-            # than stalling the operation on one link.
-            self._counters["drain_timeouts"].inc()
-        except (OSError, ConnectionError):
-            self._counters["drain_failures"].inc()
-            self._drop_connection(pid)
+    async def _send(self, state: OpState, envelopes) -> None:
+        """Seal and enqueue one operation's outgoing envelopes.
+
+        Frames are recorded in the op's pending map first (so a link
+        that heals mid-operation can be served by replay), then handed
+        to the per-connection batch writers; awaiting the flush futures
+        applies backpressure -- every reachable connection's burst is
+        written and drained (bounded by ``drain_timeout``, adaptively
+        shortened on chronically stalled links) before the operation
+        proceeds.
+        """
+        flushes = []
+        sealed_cache: Dict[int, bytes] = {}
+        for dest, message in envelopes:
+            # Frames are sender-signed, not destination-bound, so one
+            # broadcast message (a query round sends the same object to
+            # every server) is encoded and sealed exactly once.
+            sealed = sealed_cache.get(id(message))
+            if sealed is None:
+                sealed = self.auth.seal(self.client_id,
+                                        encode_message(message))
+                sealed_cache[id(message)] = sealed
+            state.pending.setdefault(dest, []).append(
+                (type(message).__name__, sealed))
+            sender_conn = self._senders.get(dest)
+            if sender_conn is None:
+                continue  # down right now; resent if the link heals in time
+            flushes.append(sender_conn.send(sealed))
+        if flushes:
+            await asyncio.gather(*flushes)
 
     async def _run_operation(self, operation: ClientOperation) -> Any:
-        self._pending = {}
-        self._op_retried = False
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
+        if await self._dispatcher.gate.acquire():
+            self._counters["ops_queued"].inc()
+        state = self._dispatcher.register(operation)
         span = self._tracer.start(
             kind=operation.kind, op_id=operation.op_id, witness=self.f + 1,
             quorum=len(self.servers) - self.f, now=loop.time())
-        self._current_span = span
+        state.span = span
         outcome = "error"
         try:
             # The phase opens before its frames go out, so send/drain time
             # counts toward the phase that caused it.
             span.begin_phase(phase_name(operation.kind, 1, self.algorithm),
                              loop.time())
-            await self._send(operation.start())
-            rounds = operation.rounds or 1
             deadline = loop.time() + self.timeout
-            while not operation.done:
-                remaining = deadline - loop.time()
-                if remaining <= 0:
-                    outcome = "timeout"
-                    raise LivenessError(
-                        f"{operation.kind} by {self.client_id} did not complete "
-                        f"within {self.timeout}s (are n - f servers up?)"
-                    )
-                try:
-                    sender, message = await asyncio.wait_for(
-                        self._reply_queue.get(), timeout=remaining
-                    )
-                except asyncio.TimeoutError:
-                    continue
-                if isinstance(message, Throttled):
-                    # The server shed our frame (rate limit).  Back off
-                    # for its estimate (bounded by the deadline), then
-                    # replay the shed frame -- the operation is an
-                    # idempotent quorum state machine, so a replay is
-                    # safe even if the original did land.
-                    self._counters["throttled"].inc()
-                    span.note_throttle()
-                    pause = min(max(message.retry_after, self.backoff_base),
+            try:
+                # One timer bounds the whole operation (liveness needs
+                # n - f live servers); per-reply wait_for would cost a
+                # task + timer per reply on the hot path.
+                async with asyncio.timeout_at(deadline):
+                    await self._send(state, operation.start())
+                    rounds = operation.rounds or 1
+                    while not operation.done:
+                        sender, message = await state.replies.get()
+                        if isinstance(message, Throttled):
+                            # The server shed one of *this* op's frames
+                            # (rate limit).  Back off for its estimate
+                            # (bounded by the deadline), then replay the
+                            # shed frame -- only for this operation;
+                            # other in-flight ops are unaffected.
+                            self._counters["throttled"].inc()
+                            span.note_throttle()
+                            pause = min(
+                                max(message.retry_after, self.backoff_base),
                                 self.backoff_max,
                                 max(deadline - loop.time(), 0.0))
-                    if pause > 0:
-                        await asyncio.sleep(pause)
-                    await self._resend_pending(
-                        sender, only_type=message.dropped or None)
-                    continue
-                if getattr(message, "op_id", None) == operation.op_id:
-                    # Attribute the reply to the phase that solicited it
-                    # (before on_reply may advance the round).
-                    span.record_reply(str(sender), loop.time())
-                envelopes = operation.on_reply(sender, message)
-                if operation.rounds != rounds and not operation.done:
-                    rounds = operation.rounds
-                    span.begin_phase(
-                        phase_name(operation.kind, rounds, self.algorithm),
-                        loop.time())
-                await self._send(envelopes)
+                            if pause > 0:
+                                await asyncio.sleep(pause)
+                            await self._resend_pending(
+                                sender, only_type=message.dropped or None,
+                                states=[state])
+                            continue
+                        # Replies are routed by op_id, so every message
+                        # here belongs to this operation; attribute it to
+                        # the phase that solicited it (before on_reply
+                        # may advance the round).
+                        span.record_reply(str(sender), loop.time())
+                        envelopes = operation.on_reply(sender, message)
+                        if operation.rounds != rounds and not operation.done:
+                            rounds = operation.rounds
+                            span.begin_phase(
+                                phase_name(operation.kind, rounds,
+                                           self.algorithm),
+                                loop.time())
+                        await self._send(state, envelopes)
+            except TimeoutError:
+                outcome = "timeout"
+                raise LivenessError(
+                    f"{operation.kind} by {self.client_id} did not complete "
+                    f"within {self.timeout}s (are n - f servers up?)"
+                )
             if span.throttles:
                 outcome = "throttled"
-            elif self._op_retried:
+            elif state.retried:
                 outcome = "retried"
             else:
                 outcome = "ok"
             return operation.result
         finally:
             span.finish(outcome, loop.time())
-            self._current_span = None
-            self._pending = {}
-            if self._op_retried:
+            self._dispatcher.unregister(state)
+            self._dispatcher.gate.release()
+            if state.retried:
                 self._counters["ops_retried"].inc()
 
     def _reader_state_for(self, register: str) -> BSRReaderState:
@@ -397,26 +472,39 @@ class AsyncRegisterClient:
             return NamespacedOperation(register, operation)
         return operation
 
+    def _write_lock_for(self, register: str) -> asyncio.Lock:
+        lock = self._write_locks.get(register)
+        if lock is None:
+            lock = self._write_locks[register] = asyncio.Lock()
+        return lock
+
     async def write(self, value: Any,
                     register: str = DEFAULT_REGISTER) -> Any:
         """Write ``value``; returns the tag the write committed under.
 
         ``register`` selects the named register on namespaced clusters.
+        Concurrent writes by this client to the same register are
+        executed in turn (see the module docstring); they still overlap
+        freely with this client's reads and with other clients.
         """
         servers, f = self.servers, self.f
-        if self.algorithm == "bcsr":
-            operation = BCSRWriteOperation(self.client_id, servers, f, value,
-                                           codec=self._codec)
-        elif self.algorithm == "abd":
-            operation = ABDWriteOperation(self.client_id, servers, f, value)
-        else:
-            operation = BSRWriteOperation(self.client_id, servers, f, value)
-        return await self._run_operation(self._maybe_namespace(operation, register))
+        async with self._write_lock_for(register):
+            if self.algorithm == "bcsr":
+                operation = BCSRWriteOperation(self.client_id, servers, f,
+                                               value, codec=self._codec)
+            elif self.algorithm == "abd":
+                operation = ABDWriteOperation(self.client_id, servers, f, value)
+            else:
+                operation = BSRWriteOperation(self.client_id, servers, f, value)
+            return await self._run_operation(
+                self._maybe_namespace(operation, register))
 
     async def read(self, register: str = DEFAULT_REGISTER) -> Any:
         """Read the register; returns the value.
 
         ``register`` selects the named register on namespaced clusters.
+        Reads multiplex freely: any number may be in flight at once
+        (subject to ``max_inflight``).
         """
         servers, f = self.servers, self.f
         state = self._reader_state_for(register)

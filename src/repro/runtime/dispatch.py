@@ -1,0 +1,289 @@
+"""Transport-level operation dispatcher: many in-flight ops per client.
+
+The original runtime executed exactly one operation at a time: the
+client held a single pending-frame map, a single shared reply queue and
+a single tracing span, so a process serving many users needed one client
+(and one TCP connection per server) per concurrent operation.  Nothing
+in the protocols requires that restriction -- every BSR/BCSR operation
+is an idempotent quorum state machine keyed by ``op_id``
+(:mod:`repro.core.operation`), so replies, replays and throttle
+backoffs can all be scoped to the operation they belong to.
+
+This module supplies the three pieces that make concurrency a property
+of the runtime rather than a per-client accident:
+
+* :class:`OpState` -- the per-operation record: sealed frames pending
+  per server (replayed to a healed link), a private reply queue the
+  routing layer fills, the operation's tracing span and its retry flag.
+* :class:`OpDispatcher` -- the in-flight table.  Incoming replies are
+  routed by ``op_id`` to the owning op's queue; replies for finished
+  ops (including stale ``Throttled`` frames, which used to bleed into
+  the *next* operation's execution) are dropped and counted.  The
+  dispatcher also owns the :class:`AdmissionGate`.
+* :class:`AdmissionGate` -- a FIFO gate capping concurrently executing
+  operations at ``max_inflight``; excess ops queue in arrival order.
+* :class:`BatchedConnection` -- per-connection write coalescing: frames
+  enqueued during one event-loop tick go out as a single burst
+  (:func:`repro.transport.codec.write_frames`) followed by exactly one
+  ``drain()``.  Chronically stalled links stop charging the full drain
+  timeout to every operation (adaptive backpressure): after
+  ``STALL_THRESHOLD`` consecutive drain timeouts the link is probed
+  with a short timeout instead, until a drain succeeds again.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.transport.codec import write_frames
+from repro.types import ProcessId
+
+#: Consecutive drain timeouts after which a link is considered stalled
+#: and stops charging the full ``drain_timeout`` to every flush.
+STALL_THRESHOLD = 2
+
+#: Drain timeout (seconds) used to probe a stalled link.
+STALL_PROBE_TIMEOUT = 0.05
+
+
+class OpState:
+    """Everything the runtime tracks for one in-flight operation."""
+
+    __slots__ = ("op_id", "operation", "span", "pending", "replies",
+                 "retried")
+
+    def __init__(self, operation: Any) -> None:
+        self.op_id: int = operation.op_id
+        self.operation = operation
+        #: Tracing span; set by the client once the span opens.
+        self.span: Optional[Any] = None
+        #: ``server -> [(message type name, sealed frame)]`` -- replayed
+        #: on reconnect, and per-type after a throttle.
+        self.pending: Dict[ProcessId, List[Tuple[str, bytes]]] = {}
+        #: Replies routed to this operation by the dispatcher.
+        self.replies: "asyncio.Queue[Tuple[ProcessId, Any]]" = asyncio.Queue()
+        #: Whether any frame of this op was re-sent (outcome bookkeeping).
+        self.retried = False
+
+    def pending_frames(self, pid: ProcessId,
+                       only_type: Optional[str] = None) -> List[bytes]:
+        """Sealed frames of this op addressed to ``pid``.
+
+        ``only_type`` narrows to one message type (the throttle path:
+        the server names the frame it shed).
+        """
+        return [sealed for type_name, sealed in self.pending.get(pid, ())
+                if only_type is None or type_name == only_type]
+
+
+class AdmissionGate:
+    """FIFO admission control for operation execution.
+
+    At most ``max_inflight`` holders at a time; further :meth:`acquire`
+    calls wait in strict arrival order.  ``max_inflight=None`` admits
+    everything immediately (the gate still counts holders).
+    """
+
+    def __init__(self, max_inflight: Optional[int] = None) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self.max_inflight = max_inflight
+        self._holders = 0
+        self._waiters: "deque[asyncio.Future]" = deque()
+        #: Cumulative count of operations that had to queue.
+        self.queued_total = 0
+
+    @property
+    def inflight(self) -> int:
+        """Operations currently admitted."""
+        return self._holders
+
+    @property
+    def queued(self) -> int:
+        """Operations currently waiting for admission."""
+        return len(self._waiters)
+
+    async def acquire(self) -> bool:
+        """Admit the caller; returns whether it had to queue."""
+        if self.max_inflight is None or (
+                self._holders < self.max_inflight and not self._waiters):
+            self._holders += 1
+            return False
+        self.queued_total += 1
+        fut = asyncio.get_running_loop().create_future()
+        self._waiters.append(fut)
+        try:
+            await fut
+        except asyncio.CancelledError:
+            if fut.done() and not fut.cancelled():
+                # The slot was granted concurrently with the
+                # cancellation; pass it to the next waiter.
+                self.release()
+            else:
+                try:
+                    self._waiters.remove(fut)
+                except ValueError:
+                    pass
+            raise
+        return True
+
+    def release(self) -> None:
+        """Give up a slot, waking the oldest waiter (FIFO)."""
+        self._holders -= 1
+        while self._waiters:
+            fut = self._waiters.popleft()
+            if not fut.done():
+                self._holders += 1
+                fut.set_result(None)
+                return
+
+
+class OpDispatcher:
+    """The in-flight operation table and its reply router."""
+
+    def __init__(self, max_inflight: Optional[int] = None) -> None:
+        self.gate = AdmissionGate(max_inflight)
+        self._ops: Dict[int, OpState] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def register(self, operation: Any) -> OpState:
+        """Create and table the per-op record for ``operation``."""
+        state = OpState(operation)
+        self._ops[state.op_id] = state
+        return state
+
+    def unregister(self, state: OpState) -> None:
+        """Drop a finished operation; later replies for it are stale."""
+        self._ops.pop(state.op_id, None)
+
+    @property
+    def inflight(self) -> int:
+        """Number of registered (executing) operations."""
+        return len(self._ops)
+
+    def states(self) -> List[OpState]:
+        """The in-flight records (snapshot)."""
+        return list(self._ops.values())
+
+    # -- routing -----------------------------------------------------------
+    def route(self, sender: ProcessId, message: Any) -> bool:
+        """Deliver a verified reply to the operation that owns it.
+
+        Returns ``False`` for replies whose ``op_id`` matches no
+        in-flight operation -- late replies and ``Throttled`` frames of
+        already-finished ops.  Dropping them here is what fixes the
+        stale-reply bleed-through of the shared-queue design, where a
+        leftover ``Throttled`` triggered a backoff sleep and a frame
+        replay for whichever operation ran *next*.
+        """
+        state = self._ops.get(getattr(message, "op_id", None))
+        if state is None:
+            return False
+        state.replies.put_nowait((sender, message))
+        return True
+
+
+class BatchedConnection:
+    """Per-connection write coalescing with adaptive drain backpressure.
+
+    :meth:`send` enqueues one sealed frame and returns a future that
+    resolves when the frame's burst has been flushed (best-effort: write
+    failures resolve the future too -- the op waits for quorum replies,
+    not per-link delivery; the connection owner is told via
+    ``on_failure`` so the frames get replayed on reconnect).  All frames
+    enqueued before the flusher task runs -- i.e. during the same
+    event-loop tick, across every in-flight operation -- are written as
+    one burst followed by exactly one ``drain()``.
+    """
+
+    __slots__ = ("pid", "_writer", "_drain_timeout", "_on_drain_timeout",
+                 "_on_failure", "_on_batch", "_queue", "_waiters", "_task",
+                 "_stalled", "_closed")
+
+    def __init__(self, pid: ProcessId, writer: asyncio.StreamWriter,
+                 drain_timeout: float,
+                 on_drain_timeout: Callable[[], Any],
+                 on_failure: Callable[[ProcessId], Any],
+                 on_batch: Optional[Callable[[int], Any]] = None) -> None:
+        self.pid = pid
+        self._writer = writer
+        self._drain_timeout = drain_timeout
+        self._on_drain_timeout = on_drain_timeout
+        self._on_failure = on_failure
+        self._on_batch = on_batch
+        self._queue: List[bytes] = []
+        self._waiters: List[asyncio.Future] = []
+        self._task: Optional[asyncio.Task] = None
+        #: Consecutive drain timeouts on this link.
+        self._stalled = 0
+        self._closed = False
+
+    @property
+    def stalled(self) -> bool:
+        """Whether the link is currently treated as chronically slow."""
+        return self._stalled >= STALL_THRESHOLD
+
+    def send(self, sealed: bytes) -> "asyncio.Future[None]":
+        """Queue one frame; the returned future resolves after the flush."""
+        fut = asyncio.get_running_loop().create_future()
+        if self._closed:
+            # Link already declared dead: the frame stays in the op's
+            # pending map and is replayed when the supervisor re-dials.
+            fut.set_result(None)
+            return fut
+        self._queue.append(sealed)
+        self._waiters.append(fut)
+        if self._task is None or self._task.done():
+            self._task = asyncio.ensure_future(self._flush_loop())
+        return fut
+
+    def close(self) -> None:
+        """Stop flushing; resolve every queued waiter."""
+        self._closed = True
+        waiters, self._waiters = self._waiters, []
+        self._queue.clear()
+        for fut in waiters:
+            if not fut.done():
+                fut.set_result(None)
+
+    async def _flush_loop(self) -> None:
+        while self._queue and not self._closed:
+            batch, self._queue = self._queue, []
+            waiters, self._waiters = self._waiters, []
+            if self._on_batch is not None:
+                self._on_batch(len(batch))
+            try:
+                write_frames(self._writer, batch)
+            except (OSError, ConnectionError, RuntimeError):
+                self._fail(waiters)
+                return
+            # Backpressure: one drain per burst.  A link that timed out
+            # STALL_THRESHOLD times in a row is only probed -- paying
+            # the full timeout on every flush would charge each
+            # operation for one chronically slow server.
+            timeout = (STALL_PROBE_TIMEOUT if self.stalled
+                       else self._drain_timeout)
+            try:
+                await asyncio.wait_for(self._writer.drain(),
+                                       min(timeout, self._drain_timeout))
+                self._stalled = 0
+            except asyncio.TimeoutError:
+                self._stalled += 1
+                self._on_drain_timeout()
+            except (OSError, ConnectionError):
+                self._fail(waiters)
+                return
+            for fut in waiters:
+                if not fut.done():
+                    fut.set_result(None)
+
+    def _fail(self, waiters: List[asyncio.Future]) -> None:
+        self._closed = True
+        self._on_failure(self.pid)
+        for fut in waiters + self._waiters:
+            if not fut.done():
+                fut.set_result(None)
+        self._waiters = []
+        self._queue.clear()

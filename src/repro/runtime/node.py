@@ -21,9 +21,9 @@ from repro.obs import PHASE_BY_MESSAGE, LogGate, MetricRegistry
 from repro.runtime.limits import PerClientBuckets
 from repro.transport.auth import Authenticator
 from repro.transport.codec import (
+    FrameAssembler,
     decode_message,
     encode_message,
-    read_frame,
     write_frame,
 )
 from repro.types import ProcessId
@@ -33,6 +33,9 @@ logger = logging.getLogger(__name__)
 #: How many recent ``(sender, op_id, type)`` triples a node remembers to
 #: recognize re-sent frames (client retries after reconnect/throttle).
 RETRY_WINDOW = 2048
+
+#: Bytes pulled from a connection per read syscall in the frame loop.
+READ_CHUNK = 64 * 1024
 
 
 class RegisterServerNode:
@@ -244,84 +247,115 @@ class RegisterServerNode:
 
     async def _connection_loop(self, reader: asyncio.StreamReader,
                                writer: asyncio.StreamWriter) -> None:
-        loop = asyncio.get_event_loop()
+        """Serve one connection: batch-decode frames, batch-flush replies.
+
+        One read syscall may deliver several consecutive frames (a
+        multiplexed client coalesces its writes into bursts); every
+        complete frame in the chunk is processed back to back and the
+        replies go out under a single ``drain()`` per chunk.
+        """
+        loop = asyncio.get_running_loop()
+        assembler = FrameAssembler()
         while True:
             try:
-                frame = await read_frame(reader)
-            except (asyncio.IncompleteReadError, ConnectionResetError):
+                data = await reader.read(READ_CHUNK)
+            except (ConnectionResetError, OSError):
+                return
+            if not data:
                 return
             try:
-                sender, payload = self.auth.open(frame)
-                message = decode_message(payload)
-            except (AuthenticationError, ProtocolError) as exc:
+                frames = assembler.feed(data)
+            except ProtocolError as exc:
+                # Oversized frame: past this point the stream cannot be
+                # re-synchronized, so the connection is dropped.
                 self._counters["frames_bad"].inc()
-                self._log.warning("bad-frame", "server %s dropping bad "
-                                  "frame: %s", self.server_id, exc)
-                continue
-            self._counters["frames"].inc()
-            if isinstance(message, HealthPing):
-                # Answered by the node, not the protocol, and exempt from
-                # rate limiting: readiness probes must work under load.
-                self._counters["health_pings"].inc()
-                ack = HealthAck(
-                    op_id=message.op_id, node_id=str(self.server_id),
-                    history_len=len(getattr(self.protocol, "history", ())),
-                    frames=int(self._counters["frames"].value),
-                    throttled=int(self._counters["frames_throttled"].value),
-                    snapshot_age=self.snapshot_age(),
-                )
-                write_frame(writer, self.auth.seal(
-                    self.server_id, encode_message(ack)))
+                self._log.warning("bad-frame", "server %s closing "
+                                  "connection: %s", self.server_id, exc)
+                return
+            replied = False
+            for frame in frames:
+                replied |= await self._serve_frame(frame, writer, loop)
+            if replied:
                 await writer.drain()
-                continue
-            if isinstance(message, StatsPing):
-                # The scrape path: same exemption as health pings, so
-                # metrics stay readable exactly when the node is drowning.
-                self._counters["stats_pings"].inc()
-                ack = StatsAck(op_id=message.op_id,
-                               node_id=str(self.server_id),
-                               metrics=self.registry.snapshot())
-                write_frame(writer, self.auth.seal(
-                    self.server_id, encode_message(ack)))
-                await writer.drain()
-                continue
-            if self._buckets is not None and not self._buckets.allow(sender):
-                self._counters["frames_throttled"].inc()
-                throttle = Throttled(
-                    op_id=getattr(message, "op_id", 0),
-                    retry_after=self._buckets.retry_after(sender),
-                    dropped=type(message).__name__,
+
+    async def _serve_frame(self, frame: bytes, writer: asyncio.StreamWriter,
+                           loop: asyncio.AbstractEventLoop) -> bool:
+        """Handle one sealed frame; returns whether replies were written.
+
+        Replies are written to ``writer`` but *not* drained -- the
+        connection loop drains once per decoded batch.
+        """
+        try:
+            sender, payload = self.auth.open(frame)
+            message = decode_message(payload)
+        except (AuthenticationError, ProtocolError) as exc:
+            self._counters["frames_bad"].inc()
+            self._log.warning("bad-frame", "server %s dropping bad "
+                              "frame: %s", self.server_id, exc)
+            return False
+        self._counters["frames"].inc()
+        if isinstance(message, HealthPing):
+            # Answered by the node, not the protocol, and exempt from
+            # rate limiting: readiness probes must work under load.
+            self._counters["health_pings"].inc()
+            ack = HealthAck(
+                op_id=message.op_id, node_id=str(self.server_id),
+                history_len=len(getattr(self.protocol, "history", ())),
+                frames=int(self._counters["frames"].value),
+                throttled=int(self._counters["frames_throttled"].value),
+                snapshot_age=self.snapshot_age(),
+            )
+            write_frame(writer, self.auth.seal(
+                self.server_id, encode_message(ack)))
+            return True
+        if isinstance(message, StatsPing):
+            # The scrape path: same exemption as health pings, so
+            # metrics stay readable exactly when the node is drowning.
+            self._counters["stats_pings"].inc()
+            ack = StatsAck(op_id=message.op_id,
+                           node_id=str(self.server_id),
+                           metrics=self.registry.snapshot())
+            write_frame(writer, self.auth.seal(
+                self.server_id, encode_message(ack)))
+            return True
+        if self._buckets is not None and not self._buckets.allow(sender):
+            self._counters["frames_throttled"].inc()
+            throttle = Throttled(
+                op_id=getattr(message, "op_id", 0),
+                retry_after=self._buckets.retry_after(sender),
+                dropped=type(message).__name__,
+            )
+            write_frame(writer, self.auth.seal(
+                self.server_id, encode_message(throttle)))
+            return True
+        self._note_repeat(sender, message)
+        started = loop.time()
+        phase = self._frame_phase(message)
+        history_before = len(getattr(self.protocol, "history", ()))
+        replies = self.protocol.handle(sender, message)
+        if self.behavior is not None:
+            replies = self.behavior.on_message(
+                self.protocol, sender, message, replies
+            )
+        if len(getattr(self.protocol, "history", ())) != history_before:
+            await self._checkpoint()
+        replied = False
+        for dest, reply in replies:
+            if dest != sender:
+                self._log.warning(
+                    "misrouted-envelope",
+                    "server %s dropping envelope to %s (only "
+                    "client-to-server replies are routable)",
+                    self.server_id, dest,
                 )
-                write_frame(writer, self.auth.seal(
-                    self.server_id, encode_message(throttle)))
-                await writer.drain()
                 continue
-            self._note_repeat(sender, message)
-            started = loop.time()
-            phase = self._frame_phase(message)
-            history_before = len(getattr(self.protocol, "history", ()))
-            replies = self.protocol.handle(sender, message)
-            if self.behavior is not None:
-                replies = self.behavior.on_message(
-                    self.protocol, sender, message, replies
-                )
-            if len(getattr(self.protocol, "history", ())) != history_before:
-                await self._checkpoint()
-            for dest, reply in replies:
-                if dest != sender:
-                    self._log.warning(
-                        "misrouted-envelope",
-                        "server %s dropping envelope to %s (only "
-                        "client-to-server replies are routable)",
-                        self.server_id, dest,
-                    )
-                    continue
-                sealed = self.auth.seal(self.server_id, encode_message(reply))
-                write_frame(writer, sealed)
-            await writer.drain()
-            self.registry.histogram(
-                "node_phase_seconds", node=str(self.server_id),
-                phase=phase).observe(loop.time() - started)
+            sealed = self.auth.seal(self.server_id, encode_message(reply))
+            write_frame(writer, sealed)
+            replied = True
+        self.registry.histogram(
+            "node_phase_seconds", node=str(self.server_id),
+            phase=phase).observe(loop.time() - started)
+        return replied
 
     def _frame_phase(self, message: Any) -> str:
         """Protocol phase an inbound frame belongs to (for histograms)."""

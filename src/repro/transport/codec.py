@@ -127,3 +127,58 @@ def write_frame(writer, payload: bytes) -> None:
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {len(payload)} bytes exceeds the cap")
     writer.write(len(payload).to_bytes(4, "big") + payload)
+
+
+def write_frames(writer, payloads) -> None:
+    """Write many frames as one contiguous burst (one transport write).
+
+    Batching frames that were queued in the same event-loop tick halves
+    the per-frame overhead on the hot path: one ``writer.write`` call and
+    one ``drain()`` serve the whole burst.
+    """
+    parts = []
+    for payload in payloads:
+        if len(payload) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame of {len(payload)} bytes exceeds the cap")
+        parts.append(len(payload).to_bytes(4, "big"))
+        parts.append(payload)
+    if parts:
+        writer.write(b"".join(parts))
+
+
+class FrameAssembler:
+    """Incremental frame decoder over raw stream chunks.
+
+    Feeding arbitrary byte chunks (``reader.read(...)``) yields every
+    *complete* length-prefixed frame they contain; partial frames stay
+    buffered until the next chunk.  This is what lets a connection loop
+    batch-decode consecutive frames from one read syscall instead of
+    paying two ``readexactly`` waits per frame.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list:
+        """Absorb ``data``; return the list of completed frame payloads."""
+        self._buffer += data
+        frames = []
+        while True:
+            if len(self._buffer) < 4:
+                break
+            length = int.from_bytes(self._buffer[:4], "big")
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame of {length} bytes exceeds the cap")
+            if len(self._buffer) < 4 + length:
+                break
+            frames.append(bytes(self._buffer[4:4 + length]))
+            del self._buffer[:4 + length]
+        return frames
+
+    def __len__(self) -> int:
+        """Bytes currently buffered (incomplete trailing frame)."""
+        return len(self._buffer)

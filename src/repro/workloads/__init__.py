@@ -10,6 +10,7 @@ from repro.workloads.generator import (
     ScheduledOp,
     WorkloadSpec,
     apply_schedule,
+    apply_schedule_async,
     generate_schedule,
     TAO_READ_RATIO,
 )
@@ -19,5 +20,6 @@ __all__ = [
     "ScheduledOp",
     "generate_schedule",
     "apply_schedule",
+    "apply_schedule_async",
     "TAO_READ_RATIO",
 ]

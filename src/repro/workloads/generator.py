@@ -14,8 +14,9 @@ its value.
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.sim.rng import SimRng
 from repro.types import ProcessId
@@ -61,6 +62,10 @@ class WorkloadSpec:
         When ``num_keys > 1`` each operation targets a named register
         ``key-<i>`` drawn Zipf(key_skew) -- the hot-key pattern of KV
         workloads.  Requires a namespaced system to take effect.
+    concurrency:
+        In-flight operations per client when the schedule is replayed
+        onto live clients with :func:`apply_schedule_async` (the
+        simulator replay ignores it -- simulated clients are sequential).
     """
 
     num_ops: int = 200
@@ -72,6 +77,7 @@ class WorkloadSpec:
     randomize_clients: bool = True
     num_keys: int = 1
     key_skew: float = 0.99
+    concurrency: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.read_ratio <= 1.0:
@@ -84,6 +90,8 @@ class WorkloadSpec:
             raise ValueError("need at least one writer and one reader")
         if self.num_keys < 1 or self.key_skew < 0:
             raise ValueError("num_keys must be >= 1 and key_skew >= 0")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
 
 
 def make_value(sequence: int, size: int) -> bytes:
@@ -151,3 +159,42 @@ def apply_schedule(system, schedule: Sequence[ScheduledOp]) -> List:
             handles.append(system.read(reader=op.client_index, at=op.at,
                                        **kwargs))
     return handles
+
+
+async def apply_schedule_async(writers: Sequence[Any], readers: Sequence[Any],
+                               schedule: Sequence[ScheduledOp],
+                               concurrency: int = 1) -> List[Any]:
+    """Replay a schedule onto live clients, up to ``concurrency`` at once.
+
+    ``writers`` and ``readers`` are connected
+    :class:`~repro.runtime.client.AsyncRegisterClient` pools indexed by
+    each op's ``client_index`` (modulo pool size).  Submission is
+    open-loop -- as fast as the concurrency cap admits, ignoring the
+    schedule's simulated instants -- and results come back in schedule
+    order (the committed tag for writes, the value for reads).  Per-op
+    exceptions are returned in place rather than raised, so one timed-out
+    operation does not hide the rest of the replay.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be at least 1")
+    limit = asyncio.Semaphore(concurrency)
+    results: List[Any] = [None] * len(schedule)
+
+    async def run_one(index: int, op: ScheduledOp) -> None:
+        kwargs = {"register": op.register} if op.register is not None else {}
+        async with limit:
+            try:
+                if op.kind == "write":
+                    pool = writers
+                    client = pool[op.client_index % len(pool)]
+                    results[index] = await client.write(op.value, **kwargs)
+                else:
+                    pool = readers
+                    client = pool[op.client_index % len(pool)]
+                    results[index] = await client.read(**kwargs)
+            except Exception as exc:
+                results[index] = exc
+
+    await asyncio.gather(*(run_one(index, op)
+                           for index, op in enumerate(schedule)))
+    return results

@@ -1,0 +1,212 @@
+"""Unit tests for the op dispatcher, admission gate and batched writes."""
+
+import asyncio
+
+import pytest
+
+from repro.core.messages import QueryData, Throttled
+from repro.runtime.dispatch import (
+    AdmissionGate,
+    BatchedConnection,
+    OpDispatcher,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class FakeOperation:
+    def __init__(self, op_id):
+        self.op_id = op_id
+
+
+class FakeWriter:
+    """StreamWriter stand-in recording write()/drain() call patterns."""
+
+    def __init__(self, fail_drain=False):
+        self.writes = []
+        self.drains = 0
+        self.fail_drain = fail_drain
+
+    def write(self, data):
+        self.writes.append(bytes(data))
+
+    async def drain(self):
+        self.drains += 1
+        if self.fail_drain:
+            raise ConnectionResetError("peer went away")
+
+
+# -- AdmissionGate -----------------------------------------------------------
+
+def test_gate_unlimited_never_queues():
+    async def scenario():
+        gate = AdmissionGate(None)
+        queued = [await gate.acquire() for _ in range(10)]
+        assert queued == [False] * 10
+        assert gate.inflight == 10 and gate.queued == 0
+
+    run(scenario())
+
+
+def test_gate_admits_waiters_in_fifo_order():
+    async def scenario():
+        gate = AdmissionGate(2)
+        order = []
+
+        async def op(name):
+            queued = await gate.acquire()
+            order.append((name, queued))
+            await asyncio.sleep(0.01)
+            gate.release()
+
+        await asyncio.gather(*(op(i) for i in range(6)))
+        names = [name for name, _ in order]
+        assert names == sorted(names)  # strict arrival order
+        assert [q for _, q in order] == [False, False, True, True, True, True]
+        assert gate.queued_total == 4
+        assert gate.inflight == 0 and gate.queued == 0
+
+    run(scenario())
+
+
+def test_gate_cap_is_never_exceeded():
+    async def scenario():
+        gate = AdmissionGate(3)
+        peak = 0
+
+        async def op():
+            nonlocal peak
+            await gate.acquire()
+            peak = max(peak, gate.inflight)
+            await asyncio.sleep(0)
+            gate.release()
+
+        await asyncio.gather(*(op() for _ in range(20)))
+        assert peak == 3
+
+    run(scenario())
+
+
+def test_gate_cancelled_waiter_releases_its_slot():
+    async def scenario():
+        gate = AdmissionGate(1)
+        await gate.acquire()
+        waiter = asyncio.ensure_future(gate.acquire())
+        await asyncio.sleep(0)
+        assert gate.queued == 1
+        waiter.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await waiter
+        gate.release()
+        assert await gate.acquire() is False  # slot is free again
+
+    run(scenario())
+
+
+def test_gate_rejects_nonpositive_cap():
+    with pytest.raises(ValueError):
+        AdmissionGate(0)
+
+
+# -- OpDispatcher ------------------------------------------------------------
+
+def test_replies_route_to_the_owning_op_only():
+    async def scenario():
+        dispatcher = OpDispatcher()
+        a = dispatcher.register(FakeOperation(1))
+        b = dispatcher.register(FakeOperation(2))
+        assert dispatcher.route("s000", QueryData(op_id=1)) is True
+        assert a.replies.qsize() == 1 and b.replies.qsize() == 0
+        sender, message = a.replies.get_nowait()
+        assert sender == "s000" and message.op_id == 1
+
+    run(scenario())
+
+
+def test_stale_reply_is_dropped_not_queued():
+    async def scenario():
+        dispatcher = OpDispatcher()
+        state = dispatcher.register(FakeOperation(7))
+        dispatcher.unregister(state)
+        assert dispatcher.route("s000", QueryData(op_id=7)) is False
+        assert dispatcher.inflight == 0
+
+    run(scenario())
+
+
+def test_stale_throttled_does_not_reach_a_live_op():
+    """Regression: the shared-queue design let a finished op's Throttled
+    trigger a backoff sleep and frame replay for whichever op ran next."""
+    async def scenario():
+        dispatcher = OpDispatcher()
+        finished = dispatcher.register(FakeOperation(1))
+        dispatcher.unregister(finished)
+        live = dispatcher.register(FakeOperation(2))
+        stale = Throttled(op_id=1, retry_after=5.0, dropped="QueryData")
+        assert dispatcher.route("s000", stale) is False
+        assert live.replies.qsize() == 0
+
+    run(scenario())
+
+
+# -- BatchedConnection -------------------------------------------------------
+
+def test_frames_sent_in_one_tick_coalesce_into_one_write():
+    async def scenario():
+        writer = FakeWriter()
+        batches = []
+        conn = BatchedConnection(
+            "s000", writer, drain_timeout=1.0,
+            on_drain_timeout=lambda: None, on_failure=lambda pid: None,
+            on_batch=batches.append)
+        futures = [conn.send(b"frame-%d" % i) for i in range(4)]
+        await asyncio.gather(*futures)
+        assert batches == [4]
+        assert len(writer.writes) == 1  # one burst
+        assert writer.drains == 1       # one drain for the whole burst
+        burst = writer.writes[0]
+        for i in range(4):
+            assert b"frame-%d" % i in burst
+
+    run(scenario())
+
+
+def test_send_failure_notifies_owner_and_resolves_waiters():
+    async def scenario():
+        writer = FakeWriter(fail_drain=True)
+        failed = []
+        conn = BatchedConnection(
+            "s000", writer, drain_timeout=1.0,
+            on_drain_timeout=lambda: None, on_failure=failed.append)
+        fut = conn.send(b"frame")
+        await asyncio.wait_for(fut, timeout=1.0)  # resolved, not hung
+        assert failed == ["s000"]
+        # A closed connection resolves immediately: frames stay in the
+        # op's pending map for replay after reconnect.
+        await asyncio.wait_for(conn.send(b"more"), timeout=1.0)
+        assert len(writer.writes) == 1
+
+    run(scenario())
+
+
+def test_stalled_link_switches_to_probe_timeouts():
+    async def scenario():
+        class SlowWriter(FakeWriter):
+            async def drain(self):
+                self.drains += 1
+                await asyncio.sleep(30)
+
+        writer = SlowWriter()
+        timeouts = []
+        conn = BatchedConnection(
+            "s000", writer, drain_timeout=0.01,
+            on_drain_timeout=lambda: timeouts.append(1),
+            on_failure=lambda pid: None)
+        for _ in range(3):
+            await conn.send(b"frame")
+        assert len(timeouts) == 3
+        assert conn.stalled  # chronic: now probing, not paying full drains
+
+    run(scenario())

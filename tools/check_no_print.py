@@ -1,11 +1,13 @@
 #!/usr/bin/env python
-"""Lint: no bare ``print(...)`` inside the library.
+"""Lint: no bare ``print(...)`` inside the library or the benchmarks.
 
 Library code reports through the metric registry and the ``logging``
 module; only the CLI front-ends (``cli.py``, ``metrics/report.py``) may
-write to stdout directly.  A ``print`` that routes to an explicit stream
-(``print(..., file=stream)``) is allowed anywhere -- that is how node
-processes emit their READY line to the supervisor pipe.
+write to stdout directly.  Benchmark scripts report through
+:func:`repro.metrics.report.emit` so their output stays greppable and
+redirectable as one stream.  A ``print`` that routes to an explicit
+stream (``print(..., file=stream)``) is allowed anywhere -- that is how
+node processes emit their READY line to the supervisor pipe.
 
 Exit status is the number of violations (0 == clean).
 """
@@ -32,22 +34,26 @@ def bare_prints(path):
         yield node.lineno, node.col_offset
 
 
-def main(root="src/repro"):
+def main(*roots):
+    roots = roots or ("src/repro", "benchmarks")
     violations = []
-    for dirpath, _, filenames in os.walk(root):
-        for filename in sorted(filenames):
-            if not filename.endswith(".py"):
-                continue
-            if filename in ALLOWED_FILES:
-                continue
-            path = os.path.join(dirpath, filename)
-            for line, column in bare_prints(path):
-                violations.append(f"{path}:{line}:{column}: bare print() "
-                                  f"-- use logging or the metric registry")
+    for root in roots:
+        for dirpath, _, filenames in os.walk(root):
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                if filename in ALLOWED_FILES:
+                    continue
+                path = os.path.join(dirpath, filename)
+                for line, column in bare_prints(path):
+                    violations.append(
+                        f"{path}:{line}:{column}: bare print() "
+                        f"-- use logging or the metric registry")
     for violation in violations:
         print(violation, file=sys.stderr)
     if not violations:
-        print(f"no bare print() calls under {root}", file=sys.stderr)
+        print("no bare print() calls under " + ", ".join(roots),
+              file=sys.stderr)
     return len(violations)
 
 
