@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-codec bench-pipeline bench-tables chaos-soak cluster-smoke examples lint metrics-smoke modelcheck clean
+.PHONY: install test bench bench-codec bench-hotpath bench-pipeline bench-tables chaos-soak cluster-smoke examples lint metrics-smoke modelcheck clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -26,6 +26,11 @@ bench-codec:
 # BENCH_pipeline.json at the repository root.
 bench-pipeline:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_e18_pipeline.py
+
+# E19 hot-path ceiling: profiled loopback ops/sec by depth and wire
+# version with a time breakdown; writes BENCH_hotpath.json at the root.
+bench-hotpath:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_e19_hotpath.py
 
 # Regenerate every experiment table (what EXPERIMENTS.md records).
 bench-tables:
@@ -51,6 +56,7 @@ metrics-smoke: lint
 
 lint:
 	PYTHONPATH=src $(PYTHON) tools/check_no_print.py
+	PYTHONPATH=src $(PYTHON) tools/hotpath_smoke.py
 
 examples:
 	@for script in examples/*.py; do \

@@ -114,7 +114,18 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0 if safety.ok else 1
 
 
+def _maybe_uvloop(args: argparse.Namespace) -> None:
+    """Honour ``--uvloop``: install when available, fall back loudly."""
+    if getattr(args, "uvloop", False):
+        from repro.runtime.loop import install_uvloop
+
+        if not install_uvloop(require=False):
+            print("uvloop not installed; using the stdlib asyncio loop",
+                  file=sys.stderr)
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    _maybe_uvloop(args)
     client_kwargs = ({"max_inflight": args.max_inflight}
                      if args.max_inflight is not None else None)
     result = asyncio.run(run_soak(
@@ -180,6 +191,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 def _cmd_node(args: argparse.Namespace) -> int:
     from repro.deploy import ClusterSpec, serve_node
 
+    _maybe_uvloop(args)
     spec = ClusterSpec.from_file(args.spec)
     try:
         asyncio.run(serve_node(spec, args.node, port=args.port))
@@ -250,6 +262,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     state_path = args.state or default_state_path(spec, args.spec)
 
     if args.cluster_command == "serve":
+        _maybe_uvloop(args)
+
         async def serve() -> None:
             supervisor = ClusterSupervisor(spec, spec_path=args.spec,
                                            state_path=state_path)
@@ -490,6 +504,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--concurrency", type=int, default=1,
                        help="in-flight operations per client (1 = the "
                             "classic closed loop)")
+    chaos.add_argument("--uvloop", action="store_true",
+                       help="use uvloop when installed (falls back to "
+                            "the stdlib loop with a notice)")
     chaos.add_argument("--max-inflight", type=int, default=None,
                        help="client-side admission cap on concurrently "
                             "executing operations")
@@ -503,6 +520,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="cluster spec file (.toml or .json)")
     node_serve.add_argument("--node", required=True,
                             help="node id to serve (e.g. s002)")
+    node_serve.add_argument("--uvloop", action="store_true",
+                            help="use uvloop when installed (falls back "
+                                 "to the stdlib loop with a notice)")
     node_serve.add_argument("--port", type=int, default=None,
                             help="override the spec's port (supervisors pin "
                                  "a restarted node's previous port)")
@@ -519,6 +539,10 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_serve.add_argument("--state", default=None,
                                help="state file path (default: next to "
                                     "snapshots / the spec)")
+    cluster_serve.add_argument("--uvloop", action="store_true",
+                               help="use uvloop when installed (falls "
+                                    "back to the stdlib loop with a "
+                                    "notice)")
     cluster_serve.add_argument("--duration", type=float, default=0.0,
                                help="serve for N seconds then exit "
                                     "(0 = until Ctrl-C)")

@@ -79,12 +79,14 @@ class BSRServer:
     # -- message handling -----------------------------------------------------
     def handle(self, sender: ProcessId, message: Any) -> List[Envelope]:
         """Dispatch one incoming message; returns outgoing envelopes."""
+        # QueryData first: reads are one round of them, and the paper's
+        # point is that reads dominate (writes are two rounds, rarer).
+        if isinstance(message, QueryData):
+            return self._get_data_resp(sender, message)
         if isinstance(message, QueryTag):
             return self._get_tag_resp(sender, message)
         if isinstance(message, PutData):
             return self._put_data_resp(sender, message)
-        if isinstance(message, QueryData):
-            return self._get_data_resp(sender, message)
         # Unknown messages are ignored (a correct server never crashes on
         # garbage a Byzantine client might send).
         return []
@@ -239,8 +241,18 @@ class BSRReadOperation(ClientOperation):
         return []
 
     def _witnessed_pairs(self) -> List[TaggedValue]:
+        replies = list(self._replies.values())
+        # Fast path: in a quiet system every server returns the same
+        # pair, and quorum >= f + 1 witnesses it outright -- no need to
+        # hash every (tag, value) into a Counter.
+        first = replies[0]
+        if (len(replies) >= witness_threshold(self.f)
+                and all(reply.tag == first.tag
+                        and reply.payload == first.payload
+                        for reply in replies[1:])):
+            return [TaggedValue(first.tag, first.payload)]
         counts: Counter = Counter()
-        for reply in self._replies.values():
+        for reply in replies:
             try:
                 counts[TaggedValue(reply.tag, reply.payload)] += 1
             except TypeError:

@@ -105,8 +105,9 @@ async def _node_ping(address: Tuple[str, int], auth: Authenticator, ping,
         write_frame(writer, auth.seal(probe_id, encode_message(ping)))
         await writer.drain()
         frame = await asyncio.wait_for(read_frame(reader), timeout)
-        sender, payload = auth.open(frame)
-        message = decode_message(payload)
+        # The node may reply on either wire shape (batch-sealed on v2).
+        sender, payloads = auth.open_any(frame)
+        message = decode_message(payloads[0])
         if not isinstance(message, expect):
             raise ProtocolError(
                 f"expected {expect.__name__} from {sender}, got "

@@ -70,6 +70,10 @@ class ClusterSpec:
     rate_burst: Optional[float] = None
     #: Per-client cap on concurrently executing operations (None = no cap).
     max_inflight: Optional[int] = None
+    #: Wire encoding nodes and clients emit: ``"v2"`` (binary, batched
+    #: HMAC) or ``"v1"`` (JSON, one MAC per frame).  Decoding always
+    #: accepts both, so mixed-version deployments interoperate.
+    wire: str = "v2"
     #: node id -> behavior name (see ``repro.byzantine.behaviors``).
     byzantine: Dict[str, str] = field(default_factory=dict)
     #: node id -> [host, port] address overrides (multi-host layouts).
@@ -100,6 +104,9 @@ class ClusterSpec:
         if self.max_inflight is not None and self.max_inflight < 1:
             raise ConfigurationError(
                 f"max_inflight must be at least 1, got {self.max_inflight}")
+        if self.wire not in ("v1", "v2"):
+            raise ConfigurationError(
+                f"wire must be 'v1' or 'v2', got {self.wire!r}")
 
     # -- identity and addressing ------------------------------------------
     @property
@@ -181,6 +188,7 @@ class ClusterSpec:
             snapshot_path=self.snapshot_path(node_id),
             max_connections=self.max_connections,
             rate_limit=self.rate_limit, rate_burst=self.rate_burst,
+            wire=self.wire,
         )
 
     def client(self, client_id: ProcessId,
@@ -196,6 +204,7 @@ class ClusterSpec:
         keychain = KeyChain.from_secret(self.secret_bytes,
                                         self.node_ids + [client_id])
         client_kwargs.setdefault("max_inflight", self.max_inflight)
+        client_kwargs.setdefault("wire", self.wire)
         return AsyncRegisterClient(
             client_id, addresses if addresses is not None else self.addresses,
             self.f, Authenticator(keychain), algorithm=self.algorithm,

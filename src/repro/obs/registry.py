@@ -38,6 +38,10 @@ LabelPairs = Tuple[Tuple[str, str], ...]
 
 
 def _label_pairs(labels: Dict[str, str]) -> LabelPairs:
+    if len(labels) < 2:
+        # Hot path: most metrics carry zero or one label, where sorting
+        # is a no-op by definition.
+        return tuple((str(k), str(v)) for k, v in labels.items())
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 

@@ -170,6 +170,15 @@ class OpTracer:
         self._active: Dict[int, OpSpan] = {}
         self._inflight_gauge = registry.gauge("client_inflight_ops",
                                               client=self.client_id)
+        #: Resolved-metric caches: every span finish records into the
+        #: same handful of (kind, phase, outcome) metrics, and resolving
+        #: them through the registry costs a lock and a label sort each
+        #: time -- noticeable at thousands of ops per second.
+        self._ops_counters: Dict = {}
+        self._op_hists: Dict = {}
+        self._phase_hists: Dict = {}
+        self._wait_hists: Dict = {}
+        self._server_hists: Dict = {}
 
     def start(self, kind: str, op_id: int, witness: int, quorum: int,
               now: float) -> OpSpan:
@@ -188,25 +197,46 @@ class OpTracer:
         self._inflight_gauge.set(len(self._active))
         latency = now - span.started
         registry = self.registry
-        registry.counter("client_ops_total", op=span.kind,
-                         outcome=outcome).inc()
-        registry.histogram("client_op_seconds", op=span.kind).observe(latency)
+        kind = span.kind
+        counter = self._ops_counters.get((kind, outcome))
+        if counter is None:
+            counter = self._ops_counters[(kind, outcome)] = registry.counter(
+                "client_ops_total", op=kind, outcome=outcome)
+        counter.inc()
+        op_hist = self._op_hists.get(kind)
+        if op_hist is None:
+            op_hist = self._op_hists[kind] = registry.histogram(
+                "client_op_seconds", op=kind)
+        op_hist.observe(latency)
         for phase in span.phases:
             duration = (phase.ended if phase.ended is not None
                         else now) - phase.started
-            registry.histogram("client_phase_seconds", op=span.kind,
-                               phase=phase.name).observe(duration)
+            phase_hist = self._phase_hists.get((kind, phase.name))
+            if phase_hist is None:
+                phase_hist = self._phase_hists[(kind, phase.name)] = (
+                    registry.histogram("client_phase_seconds", op=kind,
+                                       phase=phase.name))
+            phase_hist.observe(duration)
             if phase.witness_wait is not None:
-                registry.histogram("client_quorum_wait_seconds", op=span.kind,
-                                   stage="witness").observe(phase.witness_wait)
+                self._wait_hist(kind, "witness").observe(phase.witness_wait)
             if phase.quorum_wait is not None:
-                registry.histogram("client_quorum_wait_seconds", op=span.kind,
-                                   stage="quorum").observe(phase.quorum_wait)
+                self._wait_hist(kind, "quorum").observe(phase.quorum_wait)
             for server, wait in phase.replies.items():
-                registry.histogram("client_server_reply_seconds",
-                                   server=server).observe(wait)
+                server_hist = self._server_hists.get(server)
+                if server_hist is None:
+                    server_hist = self._server_hists[server] = (
+                        registry.histogram("client_server_reply_seconds",
+                                           server=server))
+                server_hist.observe(wait)
         if self.sink is not None:
             self.sink.emit(self._render(span, outcome, latency, now))
+
+    def _wait_hist(self, kind: str, stage: str):
+        hist = self._wait_hists.get((kind, stage))
+        if hist is None:
+            hist = self._wait_hists[(kind, stage)] = self.registry.histogram(
+                "client_quorum_wait_seconds", op=kind, stage=stage)
+        return hist
 
     def _render(self, span: OpSpan, outcome: str, latency: float,
                 now: float) -> Dict:

@@ -49,17 +49,27 @@ from repro.runtime.dispatch import BatchedConnection, OpDispatcher, OpState
 from repro.transport.auth import Authenticator
 from repro.transport.codec import (
     FrameAssembler,
-    decode_message,
     encode_message,
 )
+from repro.transport.codec2 import CachedDecoder, CachedEncoder, peek_op_id_v2
 from repro.types import ProcessId
 
 logger = logging.getLogger(__name__)
 
 CLIENT_ALGORITHMS = ("bsr", "bsr-history", "bsr-2round", "bcsr", "abd")
 
+#: Supported wire encodings: ``v2`` is the binary codec with per-burst
+#: batch sealing, ``v1`` the JSON codec with one HMAC per frame.
+WIRE_VERSIONS = ("v1", "v2")
+
 #: Bytes pulled from a connection per read syscall in the reply pump.
 READ_CHUNK = 64 * 1024
+
+
+def _expire(done: "asyncio.Future") -> None:
+    """Deadline timer callback: time out an operation still in flight."""
+    if not done.done():
+        done.set_exception(TimeoutError())
 
 
 class AsyncRegisterClient:
@@ -93,13 +103,23 @@ class AsyncRegisterClient:
                  drain_timeout: float = 1.0,
                  max_inflight: Optional[int] = None,
                  registry: Optional[MetricRegistry] = None,
-                 trace_sink: Optional[Any] = None) -> None:
+                 trace_sink: Optional[Any] = None,
+                 wire: str = "v2") -> None:
         if algorithm not in CLIENT_ALGORITHMS:
             raise ConfigurationError(
                 f"algorithm {algorithm!r} not supported by the asyncio "
                 f"runtime; choose from {CLIENT_ALGORITHMS}"
             )
+        if wire not in WIRE_VERSIONS:
+            raise ConfigurationError(
+                f"wire version {wire!r} not supported; choose from "
+                f"{WIRE_VERSIONS}"
+            )
         self.client_id = client_id
+        self.wire = wire
+        # Query rounds repeat (only op_id varies); the cached encoder
+        # re-emits the memoized tail instead of re-walking the fields.
+        self._encode = CachedEncoder() if wire == "v2" else encode_message
         self.addresses = dict(addresses)
         self.servers: List[ProcessId] = sorted(self.addresses)
         self.f = f
@@ -125,6 +145,8 @@ class AsyncRegisterClient:
         #: Writes by this client are ordered per register (see module
         #: docstring); reads never touch these locks.
         self._write_locks: Dict[str, asyncio.Lock] = {}
+        #: Background throttle-backoff tasks (rare; cancelled on close).
+        self._throttle_tasks: set = set()
         self._closing = False
         self.registry = registry if registry is not None else MetricRegistry()
         client = str(client_id)
@@ -165,6 +187,9 @@ class AsyncRegisterClient:
     async def close(self) -> None:
         """Tear down all connections and supervisor tasks."""
         self._closing = True
+        for task in list(self._throttle_tasks):
+            task.cancel()
+        self._throttle_tasks.clear()
         for task in self._supervisors.values():
             task.cancel()
         for task in self._supervisors.values():
@@ -213,8 +238,14 @@ class AsyncRegisterClient:
             on_drain_timeout=self._counters["drain_timeouts"].inc,
             on_failure=self._on_send_failure,
             on_batch=self._note_batch,
+            sealer=self._seal_burst,
         )
         return True
+
+    def _seal_burst(self, payloads) -> list:
+        """Seal one tick's payloads: one batch HMAC on the v2 wire."""
+        return self.auth.seal_frames(self.client_id, payloads,
+                                     batch=self.wire == "v2")
 
     def _note_batch(self, frames: int) -> None:
         self._counters["send_batches"].inc()
@@ -280,15 +311,20 @@ class AsyncRegisterClient:
         re-dial.
         """
         assembler = FrameAssembler()
+        loop = asyncio.get_running_loop()
+        peek = peek_op_id_v2
+        lookup = self._dispatcher.lookup
+        stale = self._counters["replies_stale"]
+        decode = CachedDecoder()
         try:
             while True:
                 data = await reader.read(READ_CHUNK)
                 if not data:
                     return
+                now = loop.time()
                 for frame in assembler.feed(data):
                     try:
-                        sender, payload = self.auth.open(frame)
-                        message = decode_message(payload)
+                        sender, payloads = self.auth.open_any(frame)
                     except (AuthenticationError, ProtocolError) as exc:
                         self._counters["frames_dropped"].inc()
                         self._log.warning(
@@ -304,8 +340,32 @@ class AsyncRegisterClient:
                             "delivered a frame signed by %s; dropping",
                             self.client_id, pid, sender)
                         continue
-                    if not self._dispatcher.route(sender, message):
-                        self._counters["replies_stale"].inc()
+                    for payload in payloads:
+                        # Route by op_id before paying for the decode:
+                        # stale replies are dropped and surplus replies
+                        # past the quorum skipped without ever parsing
+                        # their payloads (a fifth of reply traffic on a
+                        # quiet 5-server cluster).
+                        state = None
+                        op_id = peek(payload)
+                        if op_id is not None:
+                            state = lookup(op_id)
+                            if state is None:
+                                stale.inc()
+                                continue
+                            if state.operation.done:
+                                continue  # surplus; already decided
+                        try:
+                            message = decode(payload)
+                        except ProtocolError as exc:
+                            self._counters["frames_dropped"].inc()
+                            self._log.warning(
+                                "bad-frame", "client %s dropping bad payload "
+                                "from %s: %s", self.client_id, pid, exc)
+                            continue
+                        if not self._dispatch_reply(sender, message, now,
+                                                    state):
+                            stale.inc()
         except ProtocolError as exc:
             # Oversized frame: treat the stream as poisoned and let the
             # supervisor re-dial from a clean slate.
@@ -342,47 +402,146 @@ class AsyncRegisterClient:
             frames = state.pending_frames(pid, only_type)
             if not frames:
                 continue
-            for sealed in frames:
-                flushes.append(sender_conn.send(sealed))
+            for payload in frames:
+                flushes.append(sender_conn.send(payload))
             resent += len(frames)
             if state.span is not None:
                 state.span.note_resend(len(frames))
             state.retried = True
         if not flushes:
             return
-        await asyncio.gather(*flushes)
+        for flush in flushes:
+            if not flush.done():
+                await flush
         self._counters["frames_resent"].inc(resent)
 
     async def _send(self, state: OpState, envelopes) -> None:
-        """Seal and enqueue one operation's outgoing envelopes.
+        """Encode and enqueue one operation's outgoing envelopes.
 
-        Frames are recorded in the op's pending map first (so a link
+        Payloads are recorded in the op's pending map first (so a link
         that heals mid-operation can be served by replay), then handed
-        to the per-connection batch writers; awaiting the flush futures
-        applies backpressure -- every reachable connection's burst is
-        written and drained (bounded by ``drain_timeout``, adaptively
-        shortened on chronically stalled links) before the operation
-        proceeds.
+        to the per-connection batch writers, which seal each burst at
+        flush time -- one HMAC covers the whole tick's frames on the v2
+        wire.  Payloads are destination-agnostic, so one broadcast
+        message (a query round sends the same object to every server)
+        is encoded exactly once.  Awaiting the flush futures applies
+        backpressure -- every reachable connection's burst is written
+        and drained (bounded by ``drain_timeout``, adaptively shortened
+        on chronically stalled links) before the operation proceeds.
         """
         flushes = []
-        sealed_cache: Dict[int, bytes] = {}
+        encoded_cache: Dict[int, tuple] = {}
         for dest, message in envelopes:
-            # Frames are sender-signed, not destination-bound, so one
-            # broadcast message (a query round sends the same object to
-            # every server) is encoded and sealed exactly once.
-            sealed = sealed_cache.get(id(message))
-            if sealed is None:
-                sealed = self.auth.seal(self.client_id,
-                                        encode_message(message))
-                sealed_cache[id(message)] = sealed
-            state.pending.setdefault(dest, []).append(
-                (type(message).__name__, sealed))
+            entry = encoded_cache.get(id(message))
+            if entry is None:
+                entry = (type(message).__name__, self._encode(message))
+                encoded_cache[id(message)] = entry
+            state.pending.setdefault(dest, []).append(entry)
             sender_conn = self._senders.get(dest)
             if sender_conn is None:
                 continue  # down right now; resent if the link heals in time
-            flushes.append(sender_conn.send(sealed))
-        if flushes:
-            await asyncio.gather(*flushes)
+            flushes.append(sender_conn.send(entry[1]))
+        # The futures are per-connection burst futures (frames enqueued
+        # in the same tick share one), so this is a handful of awaits at
+        # most -- cheaper than a gather, and later futures are usually
+        # already done by the time the first one resolves.
+        for flush in flushes:
+            if not flush.done():
+                await flush
+
+    def _send_nowait(self, state: OpState, envelopes) -> None:
+        """Like :meth:`_send` without awaiting the flush futures.
+
+        Used for follow-up rounds sent from the reply pump, where
+        blocking on a drain would stall every connection's reply
+        processing; the op's liveness is bounded by its deadline either
+        way, and the flush happens on the next loop tick regardless.
+        """
+        encoded_cache: Dict[int, tuple] = {}
+        senders = self._senders
+        pending = state.pending
+        for dest, message in envelopes:
+            entry = encoded_cache.get(id(message))
+            if entry is None:
+                entry = (type(message).__name__, self._encode(message))
+                encoded_cache[id(message)] = entry
+            pending.setdefault(dest, []).append(entry)
+            sender_conn = senders.get(dest)
+            if sender_conn is not None:
+                sender_conn.send(entry[1])
+
+    def _dispatch_reply(self, sender: ProcessId, message: Any,
+                        now: float, state: Optional[OpState] = None) -> bool:
+        """Run one verified reply through its owning operation, inline.
+
+        Called from the reply pump: the whole chunk's replies are
+        processed in a single task step, and each waiting operation is
+        woken exactly once -- when its ``done`` future resolves -- rather
+        than once per reply through a queue.  ``state`` carries the
+        owner when the pump already resolved it from the peeked op_id;
+        v1 payloads (no peek) resolve here.  Returns ``False`` for
+        replies owned by no in-flight operation.
+        """
+        if state is None:
+            state = self._dispatcher.lookup(getattr(message, "op_id", None))
+            if state is None:
+                return False
+        operation = state.operation
+        if operation.done:
+            return True  # surplus reply past the quorum; already decided
+        if type(message) is Throttled:
+            # The server shed one of this op's frames (rate limit).
+            # Backing off means sleeping, which must not stall the pump;
+            # a short-lived task handles the pause + replay (rare path).
+            task = asyncio.ensure_future(
+                self._handle_throttle(state, sender, message))
+            self._throttle_tasks.add(task)
+            task.add_done_callback(self._throttle_tasks.discard)
+            return True
+        span = state.span
+        # Attribute the reply to the phase that solicited it (before
+        # on_reply may advance the round).
+        span.record_reply(str(sender), now)
+        try:
+            envelopes = operation.on_reply(sender, message)
+        except Exception as exc:  # surface protocol bugs to the caller
+            if state.done is not None and not state.done.done():
+                state.done.set_exception(exc)
+            return True
+        if operation.rounds != state.rounds and not operation.done:
+            state.rounds = operation.rounds
+            span.begin_phase(
+                phase_name(operation.kind, state.rounds, self.algorithm),
+                now)
+        if envelopes:
+            self._send_nowait(state, envelopes)
+        if operation.done and state.done is not None and not state.done.done():
+            state.done.set_result(None)
+        return True
+
+    async def _handle_throttle(self, state: OpState, sender: ProcessId,
+                               message: Throttled) -> None:
+        """Back off for the server's estimate, then replay the shed frame.
+
+        Only this operation is affected; the pause is bounded by the
+        op's deadline.  The op may finish (or time out) while we sleep,
+        in which case the replay is skipped.
+        """
+        if self._dispatcher.lookup(state.op_id) is not state:
+            return
+        self._counters["throttled"].inc()
+        if state.span is not None:
+            state.span.note_throttle()
+        loop = asyncio.get_running_loop()
+        pause = min(max(message.retry_after, self.backoff_base),
+                    self.backoff_max,
+                    max(state.deadline - loop.time(), 0.0))
+        if pause > 0:
+            await asyncio.sleep(pause)
+        if self._dispatcher.lookup(state.op_id) is not state:
+            return
+        await self._resend_pending(sender, only_type=message.dropped or None,
+                                   states=[state])
 
     async def _run_operation(self, operation: ClientOperation) -> Any:
         loop = asyncio.get_running_loop()
@@ -400,46 +559,28 @@ class AsyncRegisterClient:
             span.begin_phase(phase_name(operation.kind, 1, self.algorithm),
                              loop.time())
             deadline = loop.time() + self.timeout
+            state.deadline = deadline
+            state.done = loop.create_future()
             try:
                 # One timer bounds the whole operation (liveness needs
-                # n - f live servers); per-reply wait_for would cost a
-                # task + timer per reply on the hot path.
-                async with asyncio.timeout_at(deadline):
-                    await self._send(state, operation.start())
-                    rounds = operation.rounds or 1
-                    while not operation.done:
-                        sender, message = await state.replies.get()
-                        if isinstance(message, Throttled):
-                            # The server shed one of *this* op's frames
-                            # (rate limit).  Back off for its estimate
-                            # (bounded by the deadline), then replay the
-                            # shed frame -- only for this operation;
-                            # other in-flight ops are unaffected.
-                            self._counters["throttled"].inc()
-                            span.note_throttle()
-                            pause = min(
-                                max(message.retry_after, self.backoff_base),
-                                self.backoff_max,
-                                max(deadline - loop.time(), 0.0))
-                            if pause > 0:
-                                await asyncio.sleep(pause)
-                            await self._resend_pending(
-                                sender, only_type=message.dropped or None,
-                                states=[state])
-                            continue
-                        # Replies are routed by op_id, so every message
-                        # here belongs to this operation; attribute it to
-                        # the phase that solicited it (before on_reply
-                        # may advance the round).
-                        span.record_reply(str(sender), loop.time())
-                        envelopes = operation.on_reply(sender, message)
-                        if operation.rounds != rounds and not operation.done:
-                            rounds = operation.rounds
-                            span.begin_phase(
-                                phase_name(operation.kind, rounds,
-                                           self.algorithm),
-                                loop.time())
-                        await self._send(state, envelopes)
+                # n - f live servers).  Replies are processed inline by
+                # the pump (see _dispatch_reply); this task only sends
+                # the opening round and sleeps until the op decides.
+                # The timer is a bare ``call_at`` poking the same done
+                # future the pump resolves -- ``asyncio.timeout_at``
+                # buys nothing here but two extra coroutines per op.
+                envelopes = operation.start()
+                state.rounds = operation.rounds or 1
+                # No flush await: the burst is written on the next
+                # loop tick either way, and the op blocks on its
+                # replies (which cannot arrive before the write).
+                self._send_nowait(state, envelopes)
+                if not operation.done:
+                    timer = loop.call_at(deadline, _expire, state.done)
+                    try:
+                        await state.done
+                    finally:
+                        timer.cancel()
             except TimeoutError:
                 outcome = "timeout"
                 raise LivenessError(

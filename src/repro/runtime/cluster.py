@@ -69,7 +69,8 @@ class LocalCluster:
                  max_connections: Optional[int] = None,
                  rate_limit: Optional[float] = None,
                  rate_burst: Optional[float] = None,
-                 registry: Optional[MetricRegistry] = None) -> None:
+                 registry: Optional[MetricRegistry] = None,
+                 wire: str = "v2") -> None:
         if algorithm not in CLIENT_ALGORITHMS:
             raise ConfigurationError(
                 f"algorithm {algorithm!r} not supported by the asyncio "
@@ -98,6 +99,10 @@ class LocalCluster:
         self.max_connections = max_connections
         self.rate_limit = rate_limit
         self.rate_burst = rate_burst
+        #: Wire encoding every node and (by default) client of this
+        #: cluster speaks: ``"v2"`` binary or ``"v1"`` JSON.  Decoding
+        #: is always version-agnostic, so mixed clusters interoperate.
+        self.wire = wire
         #: One registry shared by every node, proxy and (by default)
         #: client of this cluster, so a single snapshot shows the whole
         #: deployment.
@@ -142,7 +147,7 @@ class LocalCluster:
                 pid, protocol, auth, host=self.host, port=0,
                 max_connections=self.max_connections,
                 rate_limit=self.rate_limit, rate_burst=self.rate_burst,
-                registry=self.registry)
+                registry=self.registry, wire=self.wire)
         snapshot_path = None
         if self.snapshot_dir is not None:
             import os
@@ -154,7 +159,7 @@ class LocalCluster:
             snapshot_path=snapshot_path,
             max_connections=self.max_connections,
             rate_limit=self.rate_limit, rate_burst=self.rate_burst,
-            registry=self.registry,
+            registry=self.registry, wire=self.wire,
         )
 
     async def start(self) -> None:
@@ -223,6 +228,7 @@ class LocalCluster:
         the cluster's shared metric registry.
         """
         client_kwargs.setdefault("registry", self.registry)
+        client_kwargs.setdefault("wire", self.wire)
         keychain = self._keychain_for([client_id])
         client = AsyncRegisterClient(
             client_id, self.addresses, self.f, Authenticator(keychain),

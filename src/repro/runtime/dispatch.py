@@ -12,8 +12,8 @@ backoffs can all be scoped to the operation they belong to.
 This module supplies the three pieces that make concurrency a property
 of the runtime rather than a per-client accident:
 
-* :class:`OpState` -- the per-operation record: sealed frames pending
-  per server (replayed to a healed link), a private reply queue the
+* :class:`OpState` -- the per-operation record: encoded payloads
+  pending per server (replayed to a healed link), a private reply queue the
   routing layer fills, the operation's tracing span and its retry flag.
 * :class:`OpDispatcher` -- the in-flight table.  Incoming replies are
   routed by ``op_id`` to the owning op's queue; replies for finished
@@ -25,8 +25,12 @@ of the runtime rather than a per-client accident:
 * :class:`BatchedConnection` -- per-connection write coalescing: frames
   enqueued during one event-loop tick go out as a single burst
   (:func:`repro.transport.codec.write_frames`) followed by exactly one
-  ``drain()``.  Chronically stalled links stop charging the full drain
-  timeout to every operation (adaptive backpressure): after
+  ``drain()``.  When a ``sealer`` is supplied, the burst is *sealed at
+  flush time* -- the whole tick's payloads collapse into one batch
+  envelope carrying a single HMAC
+  (:meth:`repro.transport.auth.Authenticator.seal_frames`) instead of
+  one MAC per frame.  Chronically stalled links stop charging the full
+  drain timeout to every operation (adaptive backpressure): after
   ``STALL_THRESHOLD`` consecutive drain timeouts the link is probed
   with a short timeout instead, until a drain succeeds again.
 """
@@ -52,29 +56,40 @@ class OpState:
     """Everything the runtime tracks for one in-flight operation."""
 
     __slots__ = ("op_id", "operation", "span", "pending", "replies",
-                 "retried")
+                 "retried", "done", "rounds", "deadline")
 
     def __init__(self, operation: Any) -> None:
         self.op_id: int = operation.op_id
         self.operation = operation
         #: Tracing span; set by the client once the span opens.
         self.span: Optional[Any] = None
-        #: ``server -> [(message type name, sealed frame)]`` -- replayed
-        #: on reconnect, and per-type after a throttle.
+        #: ``server -> [(message type name, encoded payload)]`` --
+        #: replayed on reconnect, and per-type after a throttle (sealed
+        #: at flush time by the connection's burst sealer).
         self.pending: Dict[ProcessId, List[Tuple[str, bytes]]] = {}
-        #: Replies routed to this operation by the dispatcher.
+        #: Replies routed to this operation by the dispatcher (the
+        #: queue-based :meth:`OpDispatcher.route` path; the asyncio
+        #: client processes replies inline in its pump instead and
+        #: resolves :attr:`done`).
         self.replies: "asyncio.Queue[Tuple[ProcessId, Any]]" = asyncio.Queue()
         #: Whether any frame of this op was re-sent (outcome bookkeeping).
         self.retried = False
+        #: Completion future for inline reply processing; set by the
+        #: client before the first frame goes out.
+        self.done: Optional[asyncio.Future] = None
+        #: Last protocol round the client opened a tracing phase for.
+        self.rounds = 1
+        #: Absolute loop-time deadline (bounds throttle backoffs).
+        self.deadline = 0.0
 
     def pending_frames(self, pid: ProcessId,
                        only_type: Optional[str] = None) -> List[bytes]:
-        """Sealed frames of this op addressed to ``pid``.
+        """Encoded payloads of this op addressed to ``pid``.
 
         ``only_type`` narrows to one message type (the throttle path:
         the server names the frame it shed).
         """
-        return [sealed for type_name, sealed in self.pending.get(pid, ())
+        return [payload for type_name, payload in self.pending.get(pid, ())
                 if only_type is None or type_name == only_type]
 
 
@@ -167,6 +182,10 @@ class OpDispatcher:
         """The in-flight records (snapshot)."""
         return list(self._ops.values())
 
+    def lookup(self, op_id: Any) -> Optional[OpState]:
+        """The in-flight record owning ``op_id``, if any."""
+        return self._ops.get(op_id)
+
     # -- routing -----------------------------------------------------------
     def route(self, sender: ProcessId, message: Any) -> bool:
         """Deliver a verified reply to the operation that owns it.
@@ -188,33 +207,46 @@ class OpDispatcher:
 class BatchedConnection:
     """Per-connection write coalescing with adaptive drain backpressure.
 
-    :meth:`send` enqueues one sealed frame and returns a future that
-    resolves when the frame's burst has been flushed (best-effort: write
+    :meth:`send` enqueues one frame and returns a future that resolves
+    when the frame's burst has been flushed (best-effort: write
     failures resolve the future too -- the op waits for quorum replies,
     not per-link delivery; the connection owner is told via
     ``on_failure`` so the frames get replayed on reconnect).  All frames
     enqueued before the flusher task runs -- i.e. during the same
     event-loop tick, across every in-flight operation -- are written as
     one burst followed by exactly one ``drain()``.
+
+    ``sealer`` (optional) maps the burst's raw payloads to wire frames
+    at flush time -- the batched-HMAC hook: a whole tick's payloads are
+    sealed under one MAC (see
+    :meth:`repro.transport.auth.Authenticator.seal_frames`).  Without a
+    sealer, enqueued frames are written as-is (the caller pre-sealed
+    them).
     """
 
     __slots__ = ("pid", "_writer", "_drain_timeout", "_on_drain_timeout",
-                 "_on_failure", "_on_batch", "_queue", "_waiters", "_task",
-                 "_stalled", "_closed")
+                 "_on_failure", "_on_batch", "_sealer", "_queue", "_burst",
+                 "_task", "_stalled", "_closed")
 
     def __init__(self, pid: ProcessId, writer: asyncio.StreamWriter,
                  drain_timeout: float,
                  on_drain_timeout: Callable[[], Any],
                  on_failure: Callable[[ProcessId], Any],
-                 on_batch: Optional[Callable[[int], Any]] = None) -> None:
+                 on_batch: Optional[Callable[[int], Any]] = None,
+                 sealer: Optional[Callable[[List[bytes]],
+                                           List[bytes]]] = None) -> None:
         self.pid = pid
         self._writer = writer
         self._drain_timeout = drain_timeout
         self._on_drain_timeout = on_drain_timeout
         self._on_failure = on_failure
         self._on_batch = on_batch
+        self._sealer = sealer
         self._queue: List[bytes] = []
-        self._waiters: List[asyncio.Future] = []
+        #: One shared future per burst: every frame enqueued in the same
+        #: tick resolves together (they flush together), so send() hands
+        #: out the same future instead of allocating one per frame.
+        self._burst: Optional[asyncio.Future] = None
         self._task: Optional[asyncio.Task] = None
         #: Consecutive drain timeouts on this link.
         self._stalled = 0
@@ -225,39 +257,45 @@ class BatchedConnection:
         """Whether the link is currently treated as chronically slow."""
         return self._stalled >= STALL_THRESHOLD
 
-    def send(self, sealed: bytes) -> "asyncio.Future[None]":
-        """Queue one frame; the returned future resolves after the flush."""
-        fut = asyncio.get_running_loop().create_future()
+    def send(self, frame: bytes) -> "asyncio.Future[None]":
+        """Queue one frame; the returned future resolves after the flush.
+
+        ``frame`` is a raw payload when the connection has a ``sealer``
+        (sealed per burst at flush time) and a pre-sealed envelope
+        otherwise.
+        """
         if self._closed:
             # Link already declared dead: the frame stays in the op's
             # pending map and is replayed when the supervisor re-dials.
+            fut = asyncio.get_running_loop().create_future()
             fut.set_result(None)
             return fut
-        self._queue.append(sealed)
-        self._waiters.append(fut)
+        self._queue.append(frame)
+        if self._burst is None:
+            self._burst = asyncio.get_running_loop().create_future()
         if self._task is None or self._task.done():
             self._task = asyncio.ensure_future(self._flush_loop())
-        return fut
+        return self._burst
 
     def close(self) -> None:
         """Stop flushing; resolve every queued waiter."""
         self._closed = True
-        waiters, self._waiters = self._waiters, []
+        burst, self._burst = self._burst, None
         self._queue.clear()
-        for fut in waiters:
-            if not fut.done():
-                fut.set_result(None)
+        if burst is not None and not burst.done():
+            burst.set_result(None)
 
     async def _flush_loop(self) -> None:
         while self._queue and not self._closed:
             batch, self._queue = self._queue, []
-            waiters, self._waiters = self._waiters, []
+            burst, self._burst = self._burst, None
             if self._on_batch is not None:
                 self._on_batch(len(batch))
             try:
-                write_frames(self._writer, batch)
+                frames = batch if self._sealer is None else self._sealer(batch)
+                write_frames(self._writer, frames)
             except (OSError, ConnectionError, RuntimeError):
-                self._fail(waiters)
+                self._fail(burst)
                 return
             # Backpressure: one drain per burst.  A link that timed out
             # STALL_THRESHOLD times in a row is only probed -- paying
@@ -273,17 +311,16 @@ class BatchedConnection:
                 self._stalled += 1
                 self._on_drain_timeout()
             except (OSError, ConnectionError):
-                self._fail(waiters)
+                self._fail(burst)
                 return
-            for fut in waiters:
-                if not fut.done():
-                    fut.set_result(None)
+            if burst is not None and not burst.done():
+                burst.set_result(None)
 
-    def _fail(self, waiters: List[asyncio.Future]) -> None:
+    def _fail(self, burst: Optional[asyncio.Future]) -> None:
         self._closed = True
         self._on_failure(self.pid)
-        for fut in waiters + self._waiters:
-            if not fut.done():
+        for fut in (burst, self._burst):
+            if fut is not None and not fut.done():
                 fut.set_result(None)
-        self._waiters = []
+        self._burst = None
         self._queue.clear()

@@ -1,0 +1,65 @@
+"""Event-loop selection: optional uvloop with graceful fallback.
+
+The hot-path budget (:mod:`benchmarks.bench_e19_hotpath`) is dominated
+by event-loop overhead once encoding and sealing are batched, and
+uvloop's libuv-based loop cuts a large slice of it.  uvloop is an
+*optional* dependency though -- many deployment images (including the
+test container) ship without it -- so everything here degrades to the
+stdlib loop silently unless the caller insisted.
+
+Usage::
+
+    from repro.runtime.loop import install_uvloop, run
+
+    install_uvloop()          # best effort, returns whether it took
+    run(main())               # asyncio.run under whichever policy won
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Coroutine, Optional
+
+from repro.errors import ConfigurationError
+
+
+def uvloop_available() -> bool:
+    """Whether the uvloop package can be imported."""
+    try:
+        import uvloop  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def install_uvloop(require: bool = False) -> bool:
+    """Install uvloop's event-loop policy if the package is present.
+
+    Returns whether uvloop is now the policy.  With ``require=True`` a
+    missing package raises :class:`ConfigurationError` instead of
+    falling back -- the CLI uses this when the user passed ``--uvloop``
+    explicitly and silent degradation would invalidate a benchmark.
+    """
+    try:
+        import uvloop
+    except ImportError:
+        if require:
+            raise ConfigurationError(
+                "uvloop requested but not installed; install uvloop or "
+                "drop the --uvloop flag")
+        return False
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return True
+
+
+def run(coro: Coroutine[Any, Any, Any], uvloop_mode: Optional[str] = None):
+    """``asyncio.run`` under the requested loop policy.
+
+    ``uvloop_mode`` is ``None`` (stdlib loop), ``"auto"`` (uvloop when
+    available, stdlib otherwise) or ``"require"`` (uvloop or error).
+    """
+    if uvloop_mode == "auto":
+        install_uvloop(require=False)
+    elif uvloop_mode == "require":
+        install_uvloop(require=True)
+    return asyncio.run(coro)

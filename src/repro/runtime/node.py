@@ -16,16 +16,16 @@ from repro.core.messages import (
     StatsPing,
     Throttled,
 )
-from repro.errors import AuthenticationError, ProtocolError
+from repro.errors import AuthenticationError, ConfigurationError, ProtocolError
 from repro.obs import PHASE_BY_MESSAGE, LogGate, MetricRegistry
 from repro.runtime.limits import PerClientBuckets
 from repro.transport.auth import Authenticator
 from repro.transport.codec import (
     FrameAssembler,
-    decode_message,
     encode_message,
-    write_frame,
+    write_frames,
 )
+from repro.transport.codec2 import CachedDecoder, CachedEncoder
 from repro.types import ProcessId
 
 logger = logging.getLogger(__name__)
@@ -82,13 +82,27 @@ class RegisterServerNode:
                  max_connections: Optional[int] = None,
                  rate_limit: Optional[float] = None,
                  rate_burst: Optional[float] = None,
-                 registry: Optional[MetricRegistry] = None) -> None:
+                 registry: Optional[MetricRegistry] = None,
+                 wire: str = "v2") -> None:
+        if wire not in ("v1", "v2"):
+            raise ConfigurationError(
+                f"wire version {wire!r} not supported; choose v1 or v2")
         self.server_id = server_id
         self.protocol = protocol
         self.auth = authenticator
         self.host = host
         self.port = port
         self.behavior = behavior
+        #: Wire encoding for *replies* (inbound frames auto-detect):
+        #: ``v2`` = binary codec + per-chunk batch sealing, ``v1`` =
+        #: JSON + one HMAC per reply frame.
+        self.wire = wire
+        # Replies repeat (same pair, fresh op_id); the cached encoder
+        # re-emits the memoized tail instead of re-walking the fields.
+        # Inbound query bursts repeat the same way, so decode is
+        # memoized too (both fall back transparently on anything else).
+        self._encode = CachedEncoder() if wire == "v2" else encode_message
+        self._decode = CachedDecoder()
         #: When set, the node checkpoints its state here after every
         #: mutation and restores from it on start (crash recovery).
         self.snapshot_path = snapshot_path
@@ -102,10 +116,23 @@ class RegisterServerNode:
             name: self.registry.counter(f"node_{name}_total", node=node)
             for name in ("frames", "frames_bad", "frames_retried",
                          "frames_throttled", "connections_refused",
-                         "health_pings", "stats_pings")
+                         "health_pings", "stats_pings", "wire_frames",
+                         "reply_batches")
         }
         self._connections_gauge = self.registry.gauge(
             "node_connections", node=node)
+        #: phase name -> pre-resolved ``node_phase_seconds`` histogram,
+        #: filled lazily; saves a registry lock + label sort per message.
+        self._phase_hists: Dict[str, Any] = {}
+        #: message class -> that histogram directly (classes map to one
+        #: phase, except namespaced wrappers, which resolve per inner).
+        self._hist_by_cls: Dict[type, Any] = {}
+        #: Hot-path counters pulled out of the dict (one lookup saved
+        #: per inbound message).
+        self._c_frames = self._counters["frames"]
+        self._c_frames_bad = self._counters["frames_bad"]
+        self._c_wire_frames = self._counters["wire_frames"]
+        self._c_frames_retried = self._counters["frames_retried"]
         self._log = LogGate(logger, self.registry, component=f"node/{node}")
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_writers: Set[asyncio.StreamWriter] = set()
@@ -235,24 +262,27 @@ class RegisterServerNode:
 
     def _note_repeat(self, sender: ProcessId, message: Any) -> None:
         """Count frames the node has already seen (client re-sends)."""
-        key = (str(sender), getattr(message, "op_id", None),
-               type(message).__name__)
-        if key in self._recent_frames:
-            self._recent_frames.move_to_end(key)
-            self._counters["frames_retried"].inc()
+        key = (sender, message.op_id, type(message))
+        recent = self._recent_frames
+        if key in recent:
+            recent.move_to_end(key)
+            self._c_frames_retried.inc()
             return
-        self._recent_frames[key] = None
-        if len(self._recent_frames) > RETRY_WINDOW:
-            self._recent_frames.popitem(last=False)
+        recent[key] = None
+        if len(recent) > RETRY_WINDOW:
+            recent.popitem(last=False)
 
     async def _connection_loop(self, reader: asyncio.StreamReader,
                                writer: asyncio.StreamWriter) -> None:
         """Serve one connection: batch-decode frames, batch-flush replies.
 
         One read syscall may deliver several consecutive frames (a
-        multiplexed client coalesces its writes into bursts); every
-        complete frame in the chunk is processed back to back and the
-        replies go out under a single ``drain()`` per chunk.
+        multiplexed client coalesces its writes into bursts), and on the
+        v2 wire one *frame* may carry a whole batch-sealed burst of
+        messages.  Every message in the chunk is processed back to back;
+        the chunk's replies go out as one batch-sealed frame (v2 -- a
+        single HMAC covers them all) or one per-reply frame burst (v1),
+        under a single write and a single ``drain()``.
         """
         loop = asyncio.get_running_loop()
         assembler = FrameAssembler()
@@ -272,28 +302,65 @@ class RegisterServerNode:
                 self._log.warning("bad-frame", "server %s closing "
                                   "connection: %s", self.server_id, exc)
                 return
-            replied = False
+            replies: list = []
+            needs_checkpoint = False
             for frame in frames:
-                replied |= await self._serve_frame(frame, writer, loop)
-            if replied:
-                await writer.drain()
+                self._c_wire_frames.inc()
+                if self._serve_frame(frame, replies, loop):
+                    needs_checkpoint = True
+            if needs_checkpoint:
+                # One durable snapshot per chunk (the checkpoint path
+                # coalesces anyway), taken *before* any ack goes out so
+                # acknowledged state is always recoverable.
+                await self._checkpoint()
+            if replies:
+                if len(replies) > 1:
+                    self._counters["reply_batches"].inc()
+                write_frames(writer, self.auth.seal_frames(
+                    self.server_id, replies, batch=self.wire == "v2"))
+                try:
+                    await writer.drain()
+                except (ConnectionResetError, OSError):
+                    return
 
-    async def _serve_frame(self, frame: bytes, writer: asyncio.StreamWriter,
-                           loop: asyncio.AbstractEventLoop) -> bool:
-        """Handle one sealed frame; returns whether replies were written.
+    def _serve_frame(self, frame, replies: list,
+                     loop: asyncio.AbstractEventLoop) -> bool:
+        """Verify one wire frame and serve every message it carries.
 
-        Replies are written to ``writer`` but *not* drained -- the
-        connection loop drains once per decoded batch.
+        Encoded reply payloads are appended to ``replies``; the
+        connection loop seals and flushes them once per decoded chunk.
+        Returns whether any message mutated durable state (the caller
+        checkpoints before flushing the acks).
         """
         try:
-            sender, payload = self.auth.open(frame)
-            message = decode_message(payload)
+            sender, payloads = self.auth.open_any(frame)
         except (AuthenticationError, ProtocolError) as exc:
-            self._counters["frames_bad"].inc()
+            self._c_frames_bad.inc()
             self._log.warning("bad-frame", "server %s dropping bad "
                               "frame: %s", self.server_id, exc)
             return False
-        self._counters["frames"].inc()
+        needs_checkpoint = False
+        for payload in payloads:
+            try:
+                message = self._decode(payload)
+            except ProtocolError as exc:
+                self._c_frames_bad.inc()
+                self._log.warning("bad-frame", "server %s dropping bad "
+                                  "payload: %s", self.server_id, exc)
+                continue
+            if self._serve_message(sender, message, replies, loop):
+                needs_checkpoint = True
+        return needs_checkpoint
+
+    def _serve_message(self, sender: ProcessId, message: Any,
+                       replies: list,
+                       loop: asyncio.AbstractEventLoop) -> bool:
+        """Run one verified message through the node/protocol layers.
+
+        Returns whether the message changed the protocol's durable
+        history (i.e. a checkpoint is due).
+        """
+        self._c_frames.inc()
         if isinstance(message, HealthPing):
             # Answered by the node, not the protocol, and exempt from
             # rate limiting: readiness probes must work under load.
@@ -305,9 +372,8 @@ class RegisterServerNode:
                 throttled=int(self._counters["frames_throttled"].value),
                 snapshot_age=self.snapshot_age(),
             )
-            write_frame(writer, self.auth.seal(
-                self.server_id, encode_message(ack)))
-            return True
+            replies.append(self._encode(ack))
+            return False
         if isinstance(message, StatsPing):
             # The scrape path: same exemption as health pings, so
             # metrics stay readable exactly when the node is drowning.
@@ -315,9 +381,8 @@ class RegisterServerNode:
             ack = StatsAck(op_id=message.op_id,
                            node_id=str(self.server_id),
                            metrics=self.registry.snapshot())
-            write_frame(writer, self.auth.seal(
-                self.server_id, encode_message(ack)))
-            return True
+            replies.append(self._encode(ack))
+            return False
         if self._buckets is not None and not self._buckets.allow(sender):
             self._counters["frames_throttled"].inc()
             throttle = Throttled(
@@ -325,22 +390,19 @@ class RegisterServerNode:
                 retry_after=self._buckets.retry_after(sender),
                 dropped=type(message).__name__,
             )
-            write_frame(writer, self.auth.seal(
-                self.server_id, encode_message(throttle)))
-            return True
+            replies.append(self._encode(throttle))
+            return False
         self._note_repeat(sender, message)
         started = loop.time()
-        phase = self._frame_phase(message)
         history_before = len(getattr(self.protocol, "history", ()))
-        replies = self.protocol.handle(sender, message)
+        envelopes = self.protocol.handle(sender, message)
         if self.behavior is not None:
-            replies = self.behavior.on_message(
-                self.protocol, sender, message, replies
+            envelopes = self.behavior.on_message(
+                self.protocol, sender, message, envelopes
             )
-        if len(getattr(self.protocol, "history", ())) != history_before:
-            await self._checkpoint()
-        replied = False
-        for dest, reply in replies:
+        mutated = len(getattr(self.protocol, "history", ())) != history_before
+        encode = self._encode
+        for dest, reply in envelopes:
             if dest != sender:
                 self._log.warning(
                     "misrouted-envelope",
@@ -349,13 +411,22 @@ class RegisterServerNode:
                     self.server_id, dest,
                 )
                 continue
-            sealed = self.auth.seal(self.server_id, encode_message(reply))
-            write_frame(writer, sealed)
-            replied = True
-        self.registry.histogram(
-            "node_phase_seconds", node=str(self.server_id),
-            phase=phase).observe(loop.time() - started)
-        return replied
+            replies.append(encode(reply))
+        cls = type(message)
+        hist = self._hist_by_cls.get(cls)
+        if hist is None:
+            phase = self._frame_phase(message)
+            hist = self._phase_hists.get(phase)
+            if hist is None:
+                hist = self._phase_hists[phase] = self.registry.histogram(
+                    "node_phase_seconds", node=str(self.server_id),
+                    phase=phase)
+            if not hasattr(message, "inner"):
+                # Plain messages map 1:1 to a phase; namespaced wrappers
+                # resolve per inner type and stay on the slow path.
+                self._hist_by_cls[cls] = hist
+        hist.observe(loop.time() - started)
+        return mutated
 
     def _frame_phase(self, message: Any) -> str:
         """Protocol phase an inbound frame belongs to (for histograms)."""

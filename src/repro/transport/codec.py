@@ -1,16 +1,25 @@
 """Message serialization and stream framing.
 
-Every protocol message (a frozen dataclass from
-:mod:`repro.core.messages`) round-trips through JSON:
+Two payload encodings share one frame format:
 
-* ``Tag`` -> ``[num, writer]``
-* ``bytes`` -> ``{"__b64__": ...}``
-* ``TaggedValue`` -> ``{"__tv__": [tag, value]}``
-* ``CodedElement`` -> ``{"__ce__": [index, data]}``
+* **v1 (JSON)** -- every protocol message (a frozen dataclass from
+  :mod:`repro.core.messages`) round-trips through JSON:
 
-Frames on a TCP stream are a 4-byte big-endian length followed by the JSON
-payload.  The frame size is capped to keep a malicious peer from forcing an
-unbounded allocation.
+  * ``Tag`` -> ``[num, writer]``
+  * ``bytes`` -> ``{"__b64__": ...}``
+  * ``TaggedValue`` -> ``{"__tv__": [tag, value]}``
+  * ``CodedElement`` -> ``{"__ce__": [index, data]}``
+
+* **v2 (binary)** -- the compact tagged-binary codec in
+  :mod:`repro.transport.codec2`; payloads start with the magic byte
+  ``0xB2``, which no JSON document can, so :func:`decode_message`
+  auto-detects the version per payload and mixed-version peers
+  interoperate without negotiation.
+
+Frames on a TCP stream are a 4-byte big-endian length followed by the
+payload.  The frame size is capped to keep a malicious peer from forcing
+an unbounded allocation, and :class:`FrameAssembler` additionally bounds
+the bytes it will buffer for an incomplete frame.
 """
 
 from __future__ import annotations
@@ -18,7 +27,8 @@ from __future__ import annotations
 import base64
 import dataclasses
 import json
-from typing import Any, Dict
+from struct import Struct
+from typing import Any, Dict, List, Optional
 
 from repro.core import messages as message_module
 from repro.core.namespace import NamespacedMessage
@@ -36,6 +46,14 @@ MESSAGE_TYPES: Dict[str, type] = {
     and issubclass(obj, message_module.BaseMessage)
 }
 MESSAGE_TYPES["NamespacedMessage"] = NamespacedMessage
+
+#: Cached frame-header packer (one C call instead of ``int.to_bytes``).
+_PACK_HEADER = Struct(">I").pack
+_UNPACK_HEADER = Struct(">I").unpack_from
+
+#: Lazily bound v2 entry points (codec2 imports this module's registry,
+#: so importing it eagerly here would be circular).
+_DECODE_V2 = None
 
 
 def _to_jsonable(value: Any) -> Any:
@@ -81,7 +99,7 @@ def _from_jsonable(value: Any) -> Any:
 
 
 def encode_message(message: Any) -> bytes:
-    """Serialize one protocol message to JSON bytes."""
+    """Serialize one protocol message to JSON bytes (wire v1)."""
     cls_name = type(message).__name__
     if cls_name not in MESSAGE_TYPES:
         raise ProtocolError(f"{cls_name} is not a registered message type")
@@ -93,10 +111,22 @@ def encode_message(message: Any) -> bytes:
                       separators=(",", ":")).encode()
 
 
-def decode_message(data: bytes) -> Any:
-    """Inverse of :func:`encode_message`; raises ProtocolError on garbage."""
+def decode_message(data) -> Any:
+    """Decode one payload of either wire version; raises ProtocolError.
+
+    Dispatches on the first byte: v2 payloads carry the ``0xB2`` magic,
+    everything else is treated as v1 JSON.  ``data`` may be ``bytes``
+    or a ``memoryview`` into a receive buffer (v2 decoding slices fields
+    straight out of it; the JSON path copies once).
+    """
+    if len(data) and data[0] == 0xB2:
+        global _DECODE_V2
+        if _DECODE_V2 is None:
+            from repro.transport.codec2 import decode_message_v2
+            _DECODE_V2 = decode_message_v2
+        return _DECODE_V2(data)
     try:
-        parsed = json.loads(data.decode())
+        parsed = json.loads(bytes(data).decode())
         cls = MESSAGE_TYPES[parsed["type"]]
         raw_fields = parsed["fields"]
         fields = {key: _from_jsonable(value) for key, value in raw_fields.items()}
@@ -126,7 +156,7 @@ def write_frame(writer, payload: bytes) -> None:
     """Write one length-prefixed frame to an asyncio StreamWriter."""
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {len(payload)} bytes exceeds the cap")
-    writer.write(len(payload).to_bytes(4, "big") + payload)
+    writer.write(_PACK_HEADER(len(payload)) + payload)
 
 
 def write_frames(writer, payloads) -> None:
@@ -141,44 +171,94 @@ def write_frames(writer, payloads) -> None:
         if len(payload) > MAX_FRAME_BYTES:
             raise ProtocolError(
                 f"frame of {len(payload)} bytes exceeds the cap")
-        parts.append(len(payload).to_bytes(4, "big"))
+        parts.append(_PACK_HEADER(len(payload)))
         parts.append(payload)
     if parts:
         writer.write(b"".join(parts))
 
 
 class FrameAssembler:
-    """Incremental frame decoder over raw stream chunks.
+    """Incremental zero-copy frame decoder over raw stream chunks.
 
     Feeding arbitrary byte chunks (``reader.read(...)``) yields every
     *complete* length-prefixed frame they contain; partial frames stay
     buffered until the next chunk.  This is what lets a connection loop
     batch-decode consecutive frames from one read syscall instead of
     paying two ``readexactly`` waits per frame.
+
+    Completed frames are returned as ``memoryview`` slices into the
+    assembler's internal buffer -- no per-frame copy.  The views are
+    valid until the **next** :meth:`feed` call (the buffer is compacted
+    and recycled in place); callers must finish with, or copy, each
+    batch of frames before feeding the next chunk, which is exactly how
+    the runtime's read loops behave.
+
+    Safety: the declared length of a frame is validated the moment its
+    4-byte header is complete, and the total number of buffered bytes is
+    additionally capped at ``max_frame_bytes + 4`` between feeds -- a
+    peer drip-feeding a giant bogus length kills the connection at the
+    header, before any allocation, and no parser state can grow the
+    buffer past one maximum-size frame.
     """
 
-    __slots__ = ("_buffer",)
+    __slots__ = ("_buf", "_start", "_end", "_max")
 
-    def __init__(self) -> None:
-        self._buffer = bytearray()
+    #: Initial capacity of the receive buffer (grows on demand, bounded
+    #: by the frame cap plus one header).
+    INITIAL_CAPACITY = 64 * 1024
 
-    def feed(self, data: bytes) -> list:
-        """Absorb ``data``; return the list of completed frame payloads."""
-        self._buffer += data
-        frames = []
-        while True:
-            if len(self._buffer) < 4:
-                break
-            length = int.from_bytes(self._buffer[:4], "big")
-            if length > MAX_FRAME_BYTES:
+    def __init__(self, max_frame_bytes: Optional[int] = None) -> None:
+        self._max = (MAX_FRAME_BYTES if max_frame_bytes is None
+                     else max_frame_bytes)
+        self._buf = bytearray(min(self.INITIAL_CAPACITY, self._max + 4))
+        self._start = 0
+        self._end = 0
+
+    def feed(self, data) -> List[memoryview]:
+        """Absorb ``data``; return the completed frame payload views.
+
+        The returned ``memoryview`` slices alias the internal buffer and
+        are invalidated by the next ``feed`` call.
+        """
+        buf = self._buf
+        start, end = self._start, self._end
+        n = len(data)
+        if end + n > len(buf):
+            pending = end - start
+            if pending + n <= len(buf):
+                # Compact in place: slide the partial frame to the front.
+                buf[:pending] = buf[start:end]
+            else:
+                capacity = max(len(buf) * 2, pending + n)
+                grown = bytearray(capacity)
+                grown[:pending] = buf[start:end]
+                self._buf = buf = grown
+            start, end = 0, pending
+        buf[end:end + n] = data
+        end += n
+
+        frames: List[memoryview] = []
+        view = memoryview(buf)
+        while end - start >= 4:
+            length = _UNPACK_HEADER(buf, start)[0]
+            if length > self._max:
+                self._start, self._end = start, end
                 raise ProtocolError(
                     f"frame of {length} bytes exceeds the cap")
-            if len(self._buffer) < 4 + length:
+            if end - start < 4 + length:
                 break
-            frames.append(bytes(self._buffer[4:4 + length]))
-            del self._buffer[:4 + length]
+            frames.append(view[start + 4:start + 4 + length])
+            start += 4 + length
+        if start == end:
+            start = end = 0
+        self._start, self._end = start, end
+        if end - start > self._max + 4:
+            # Unreachable while the header check above holds; kept as a
+            # hard invariant so no parser bug can buffer unboundedly.
+            raise ProtocolError(
+                f"{end - start} buffered bytes exceed the frame cap")
         return frames
 
     def __len__(self) -> int:
         """Bytes currently buffered (incomplete trailing frame)."""
-        return len(self._buffer)
+        return self._end - self._start

@@ -1,0 +1,119 @@
+"""Zero-copy frame assembly: views, compaction, and the buffer cap."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.transport.codec import MAX_FRAME_BYTES, FrameAssembler
+
+
+def frame(payload: bytes) -> bytes:
+    return len(payload).to_bytes(4, "big") + payload
+
+
+def test_single_frame_roundtrip():
+    asm = FrameAssembler()
+    frames = asm.feed(frame(b"hello"))
+    assert [bytes(f) for f in frames] == [b"hello"]
+    assert len(asm) == 0
+
+
+def test_frames_are_memoryviews_not_copies():
+    asm = FrameAssembler()
+    frames = asm.feed(frame(b"zero-copy"))
+    assert all(isinstance(f, memoryview) for f in frames)
+    assert frames[0] == b"zero-copy"   # views compare against bytes
+
+
+def test_many_frames_in_one_chunk():
+    payloads = [bytes([i]) * i for i in range(1, 40)]
+    asm = FrameAssembler()
+    frames = asm.feed(b"".join(frame(p) for p in payloads))
+    assert [bytes(f) for f in frames] == payloads
+
+
+def test_byte_at_a_time_drip_feed():
+    payloads = [b"abc", b"", b"\x00" * 17]
+    blob = b"".join(frame(p) for p in payloads)
+    asm = FrameAssembler()
+    got = []
+    for i in range(len(blob)):
+        got.extend(bytes(f) for f in asm.feed(blob[i:i + 1]))
+    assert got == payloads
+    assert len(asm) == 0
+
+
+def test_split_header_across_chunks():
+    blob = frame(b"payload")
+    asm = FrameAssembler()
+    assert asm.feed(blob[:2]) == []
+    assert len(asm) == 2
+    frames = asm.feed(blob[2:])
+    assert [bytes(f) for f in frames] == [b"payload"]
+
+
+def test_buffer_grows_past_initial_capacity():
+    big = b"x" * (FrameAssembler.INITIAL_CAPACITY * 2)
+    asm = FrameAssembler()
+    blob = frame(big) + frame(b"tail")
+    # Feed in two chunks so the first one leaves a large partial frame.
+    mid = len(blob) // 2
+    frames = list(asm.feed(blob[:mid])) + list(asm.feed(blob[mid:]))
+    assert [bytes(f) for f in frames] == [big, b"tail"]
+
+
+def test_compaction_preserves_partial_frame():
+    asm = FrameAssembler(max_frame_bytes=1 << 20)
+    # Drain many small frames to advance the start offset, then leave a
+    # partial frame that forces compaction on the next feed.
+    for _ in range(100):
+        asm.feed(frame(b"y" * 600))
+    tail = frame(b"z" * 500)
+    asm.feed(tail[:100])
+    frames = asm.feed(tail[100:] + frame(b"after"))
+    assert [bytes(f) for f in frames] == [b"z" * 500, b"after"]
+
+
+def test_declared_length_over_cap_raises_immediately():
+    asm = FrameAssembler(max_frame_bytes=1024)
+    bogus = (4096).to_bytes(4, "big")
+    with pytest.raises(ProtocolError):
+        asm.feed(bogus)
+
+
+def test_drip_fed_bogus_length_dies_at_the_header():
+    """A peer drip-feeding a giant length is stopped before buffering it.
+
+    The cap must be enforced against the *declared* length the moment
+    the 4-byte header completes -- not after ``max_frame_bytes`` of
+    garbage have been buffered.
+    """
+    asm = FrameAssembler(max_frame_bytes=1024)
+    header = (1 << 30).to_bytes(4, "big")
+    for byte in header[:3]:
+        asm.feed(bytes([byte]))
+    with pytest.raises(ProtocolError):
+        asm.feed(header[3:])
+    # Nothing beyond the 4 header bytes was ever buffered.
+    assert len(asm) <= 4
+
+
+def test_buffered_total_never_exceeds_cap_plus_header():
+    asm = FrameAssembler(max_frame_bytes=256)
+    blob = frame(b"q" * 256)
+    for i in range(0, len(blob), 7):
+        asm.feed(blob[i:i + 7])
+        assert len(asm) <= 256 + 4
+
+
+def test_default_cap_is_max_frame_bytes():
+    asm = FrameAssembler()
+    with pytest.raises(ProtocolError):
+        asm.feed((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+
+
+def test_views_valid_until_next_feed():
+    asm = FrameAssembler()
+    first = asm.feed(frame(b"one"))
+    payload = bytes(first[0])     # consumed before the next feed
+    asm.feed(frame(b"two"))
+    assert payload == b"one"

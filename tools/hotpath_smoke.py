@@ -1,0 +1,102 @@
+"""Hot-path smoke: encode + seal + frame 10k messages under a time budget.
+
+A fast regression tripwire for the wire path (`make lint` runs it): both
+codecs encode a realistic message mix, the bursts are batch-sealed and
+framed, then reassembled, verified and decoded back to equal objects.
+If an accidental O(n^2) or a per-frame allocation regression lands in
+the codec, authenticator or assembler, this blows the budget loudly
+long before a benchmark run would notice.
+
+Exit status: 0 on success, 1 on wrong results or a blown budget.
+"""
+
+import sys
+import time
+
+from repro.core.messages import DataReply, PutData, QueryData, QueryTag
+from repro.core.tags import Tag
+from repro.transport.auth import Authenticator, KeyChain
+from repro.transport.codec import (
+    FrameAssembler,
+    encode_message,
+    decode_message,
+    _PACK_HEADER,
+)
+from repro.transport.codec2 import encode_message_v2
+
+#: Messages per codec pass.
+COUNT = 10_000
+
+#: Wall-clock budget per codec pass (generous: ~10x the observed cost on
+#: a slow container, tight enough to catch a 100x regression).
+BUDGET_SECONDS = 5.0
+
+#: Frames per sealed batch (mirrors a deep pipeline's per-tick burst).
+BURST = 16
+
+
+def build_messages(count):
+    tag = Tag(3, "w000")
+    value = b"v" * 128
+    mix = [
+        QueryTag(op_id=0),
+        PutData(op_id=0, tag=tag, payload=value),
+        QueryData(op_id=0),
+        DataReply(op_id=0, tag=tag, payload=value),
+    ]
+    return [type(m)(**{**m.__dict__, "op_id": i})
+            for i, m in ((i, mix[i % len(mix)]) for i in range(count))]
+
+
+def run_pass(label, encode, batch):
+    auth = Authenticator(KeyChain.from_secret(b"smoke", ["w000"]))
+    assembler = FrameAssembler()
+    messages = build_messages(COUNT)
+    started = time.perf_counter()
+    decoded = 0
+    for at in range(0, COUNT, BURST):
+        burst = messages[at:at + BURST]
+        payloads = [encode(m) for m in burst]
+        wire = b"".join(
+            _PACK_HEADER(len(f)) + f
+            for f in auth.seal_frames("w000", payloads, batch=batch))
+        for frame in assembler.feed(wire):
+            _, opened = auth.open_any(frame)
+            for payload in opened:
+                message = decode_message(payload)
+                if message != burst[decoded % BURST]:
+                    print(f"hotpath-smoke[{label}]: round-trip mismatch "
+                          f"at message {decoded}: {message!r}")
+                    return None
+                decoded += 1
+    elapsed = time.perf_counter() - started
+    if decoded != COUNT:
+        print(f"hotpath-smoke[{label}]: decoded {decoded} of {COUNT}")
+        return None
+    if len(assembler) != 0:
+        print(f"hotpath-smoke[{label}]: {len(assembler)} bytes left "
+              "buffered")
+        return None
+    return elapsed
+
+
+def main():
+    ok = True
+    for label, encode, batch in (("v2", encode_message_v2, True),
+                                 ("v1", encode_message, False)):
+        elapsed = run_pass(label, encode, batch)
+        if elapsed is None:
+            ok = False
+            continue
+        rate = COUNT / elapsed
+        status = "ok"
+        if elapsed > BUDGET_SECONDS:
+            status = f"BLOWN BUDGET ({BUDGET_SECONDS:.1f}s)"
+            ok = False
+        print(f"hotpath-smoke[{label}]: {COUNT} messages in "
+              f"{elapsed * 1000:.0f} ms ({rate:,.0f}/s) -- {status}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
