@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-codec bench-hotpath bench-pipeline bench-tables chaos-soak cluster-smoke examples lint metrics-smoke modelcheck clean
+.PHONY: install test bench bench-codec bench-hotpath bench-keyspace bench-pipeline bench-tables chaos-soak cluster-smoke examples lint metrics-smoke modelcheck clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -32,6 +32,11 @@ bench-pipeline:
 bench-hotpath:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_e19_hotpath.py
 
+# E20 sharded keyspace: 10k-key Zipf mixed workload (local + procs)
+# with self-certifying consistency checks; writes BENCH_keyspace.json.
+bench-keyspace:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_e20_keyspace.py
+
 # Regenerate every experiment table (what EXPERIMENTS.md records).
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s -m ""
@@ -57,6 +62,7 @@ metrics-smoke: lint
 lint:
 	PYTHONPATH=src $(PYTHON) tools/check_no_print.py
 	PYTHONPATH=src $(PYTHON) tools/hotpath_smoke.py
+	PYTHONPATH=src $(PYTHON) tools/check_ring_determinism.py
 
 examples:
 	@for script in examples/*.py; do \

@@ -41,7 +41,8 @@ from repro.chaos.nemesis import (
     Nemesis,
     build_schedule,
 )
-from repro.consistency import check_safety
+from repro.consistency import check_safety, check_safety_per_register
+from repro.consistency.registers import REGISTER_META
 from repro.consistency.result import CheckResult
 from repro.errors import ConfigurationError
 from repro.metrics import summarize_trace
@@ -50,8 +51,10 @@ from repro.obs import (
     MetricRegistry,
     summarize_histogram_snapshot,
 )
+from repro.sharding import GROUP_FLOORS, KeyspaceConfig
 from repro.sim.rng import SimRng
 from repro.sim.trace import OpKind, Trace
+from repro.workloads.generator import ZipfSampler
 
 
 @dataclass
@@ -70,6 +73,8 @@ class SoakResult:
     wall_time: float
     #: Whether the workload ran against real OS processes.
     procs: bool = False
+    #: Number of distinct keys the workload spanned (1 = single register).
+    keys: int = 1
     #: Final on-disk snapshot size per node (bytes), when snapshots exist.
     snapshot_bytes: Dict[str, int] = field(default_factory=dict)
     #: Snapshot of the run's shared metric registry (clients, nodes,
@@ -136,22 +141,33 @@ class SoakResult:
 
 
 async def _run_op(client, trace: Trace, index: int, kind: OpKind,
-                  value_size: int, prefix: str, errors: List[str]) -> None:
-    """Issue one traced operation on ``client``; errors are recorded."""
+                  value_size: int, prefix: str, errors: List[str],
+                  register: Optional[str] = None) -> None:
+    """Issue one traced operation on ``client``; errors are recorded.
+
+    ``register`` targets a named register of a keyed (namespaced or
+    sharded) deployment; the trace record is annotated with it so the
+    per-register checkers can split the history afterwards.
+    """
     loop = asyncio.get_running_loop()
+    kwargs = {"register": register} if register is not None else {}
     if kind is OpKind.WRITE:
         value = f"{prefix}:{index}".encode().ljust(value_size, b".")
         record = trace.begin(client.client_id, kind, loop.time(), value=value)
+        if register is not None:
+            record.meta[REGISTER_META] = register
         try:
-            tag = await client.write(value)
+            tag = await client.write(value, **kwargs)
         except Exception as exc:
             errors.append(f"write #{index} by {client.client_id}: {exc}")
             return
         trace.complete(record, loop.time(), tag=tag)
     else:
         record = trace.begin(client.client_id, kind, loop.time())
+        if register is not None:
+            record.meta[REGISTER_META] = register
         try:
-            value = await client.read()
+            value = await client.read(**kwargs)
         except Exception as exc:
             errors.append(f"read #{index} by {client.client_id}: {exc}")
             return
@@ -161,7 +177,8 @@ async def _run_op(client, trace: Trace, index: int, kind: OpKind,
 async def _client_loop(client, trace: Trace, kinds: List[OpKind],
                        think: float, rng: SimRng, value_size: int,
                        prefix: str, errors: List[str],
-                       concurrency: int = 1) -> None:
+                       concurrency: int = 1,
+                       registers: Optional[List[Optional[str]]] = None) -> None:
     """Issue ``kinds`` on one client, paced across the fault window.
 
     ``concurrency == 1`` is the classic closed loop: each operation
@@ -172,10 +189,12 @@ async def _client_loop(client, trace: Trace, kinds: List[OpKind],
     earlier operations have finished, with at most ``concurrency``
     in flight at once -- the multiplexed-client load shape.
     """
+    if registers is None:
+        registers = [None] * len(kinds)
     if concurrency <= 1:
         for index, kind in enumerate(kinds):
             await _run_op(client, trace, index, kind, value_size, prefix,
-                          errors)
+                          errors, register=registers[index])
             await asyncio.sleep(think * (0.5 + rng.random()))
         return
     limit = asyncio.Semaphore(concurrency)
@@ -183,7 +202,7 @@ async def _client_loop(client, trace: Trace, kinds: List[OpKind],
     async def paced(index: int, kind: OpKind) -> None:
         try:
             await _run_op(client, trace, index, kind, value_size, prefix,
-                          errors)
+                          errors, register=registers[index])
         finally:
             limit.release()
 
@@ -216,6 +235,7 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
                    max_history: Optional[int] = None,
                    procs: bool = False,
                    concurrency: int = 1,
+                   keys: int = 1, zipf_s: float = 0.99,
                    client_kwargs: Optional[Dict[str, Any]] = None) -> SoakResult:
     """Run ``ops`` mixed operations under the named nemesis schedule.
 
@@ -225,9 +245,19 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
     soaks keep snapshots from growing without bound.  ``concurrency``
     switches each client's loop from closed to open: up to that many
     operations in flight per client at once (see :func:`_client_loop`).
+
+    ``keys > 1`` turns the workload multi-key: the cluster becomes a
+    sharded keyspace, every operation targets a ``key-<i>`` register
+    drawn Zipf(``zipf_s``), and safety is judged per register.  Groups
+    span the whole fleet (``group_size = n``) so crash schedules keep
+    the same liveness margin as the single-register soak -- the point
+    here is the per-key state table and routing under faults, not
+    placement-induced quorum shrinkage.
     """
     if concurrency < 1:
         raise ConfigurationError("concurrency must be at least 1")
+    if keys < 1:
+        raise ConfigurationError("keys must be at least 1")
     # Imported here: repro.runtime.cluster itself imports the chaos proxy,
     # so a module-level import would be circular.
     from repro.runtime.cluster import LocalCluster
@@ -238,6 +268,14 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
             f"process cluster runs {PROCESS_SCHEDULES}")
 
     rng = SimRng(seed, f"soak/{algorithm}/{schedule}")
+    keyspace: Optional[KeyspaceConfig] = None
+    if keys > 1:
+        if algorithm not in GROUP_FLOORS:
+            raise ConfigurationError(
+                f"algorithm {algorithm!r} does not support a sharded "
+                f"keyspace; choose from {sorted(GROUP_FLOORS)}")
+        keyspace = KeyspaceConfig(group_size=GROUP_FLOORS[algorithm](f),
+                                  seed=seed)
     #: One registry for the whole run: clients, nemesis and (in-process)
     #: nodes/proxies all record into it, so the result's histograms
     #: aggregate per phase across every client.
@@ -252,13 +290,15 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
         spec = ClusterSpec(algorithm=algorithm, f=f,
                            snapshot_dir=snapshot_dir,
                            max_history=max_history,
-                           secret=f"soak-{seed}")
+                           secret=f"soak-{seed}",
+                           keyspace=keyspace.to_dict() if keyspace else {})
         cluster = ClusterSupervisor(spec, registry=registry)
         initial_value = spec.initial_value.encode()
     else:
         cluster = LocalCluster(algorithm, f=f, chaos=True, chaos_seed=seed,
                                snapshot_dir=snapshot_dir,
-                               max_history=max_history, registry=registry)
+                               max_history=max_history, registry=registry,
+                               keyspace=keyspace)
         initial_value = cluster.initial_value
     await cluster.start()
     try:
@@ -288,17 +328,29 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
             (readers[0], [OpKind.READ] * split, "r000"),
             (readers[1], [OpKind.READ] * (reads - split), "r001"),
         ]
+        # Key draws come from a dedicated fork so a keys=1 run's pacing
+        # stream is byte-for-byte what it was before keys existed.
+        sampler = ZipfSampler(keys, zipf_s) if keys > 1 else None
         tasks = [asyncio.ensure_future(nemesis.run())]
         for client, kinds, prefix in plans:
             think = duration / (len(kinds) + 1) if kinds else 0.0
+            registers = None
+            if sampler is not None:
+                krng = rng.fork(f"{prefix}/keys")
+                registers = [sampler.key(krng) for _ in kinds]
             tasks.append(asyncio.ensure_future(_client_loop(
                 client, trace, kinds, think, rng.fork(prefix), value_size,
-                f"{prefix}/{seed}", errors, concurrency=concurrency)))
+                f"{prefix}/{seed}", errors, concurrency=concurrency,
+                registers=registers)))
         await asyncio.gather(*tasks)
         if getattr(cluster, "chaos_plan", None) is not None:
             cluster.chaos_plan.heal()
 
-        safety = check_safety(trace, initial_value=initial_value)
+        if keys > 1:
+            safety = check_safety_per_register(trace,
+                                               initial_value=initial_value)
+        else:
+            safety = check_safety(trace, initial_value=initial_value)
         plan = getattr(cluster, "chaos_plan", None)
         return SoakResult(
             algorithm=algorithm, schedule=schedule, seed=seed, trace=trace,
@@ -307,7 +359,8 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
             client_stats={c.client_id: c.stats()
                           for c in [writer] + readers},
             errors=errors, wall_time=loop.time() - started,
-            procs=procs, snapshot_bytes=_snapshot_sizes(snapshot_dir),
+            procs=procs, keys=keys,
+            snapshot_bytes=_snapshot_sizes(snapshot_dir),
             metrics=registry.snapshot(),
         )
     finally:

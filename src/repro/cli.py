@@ -12,6 +12,8 @@ Subcommands:
   (``status --metrics`` adds scraped per-phase latency histograms).
 * ``metrics``   -- scrape a served cluster's metric registries and dump
   them as Prometheus text exposition or JSON.
+* ``keys``      -- inspect a sharded keyspace: placement stats, the
+  group serving one key, and rebalance dry-runs.
 * ``algorithms`` -- list the implemented algorithms and their bounds.
 """
 
@@ -134,6 +136,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         value_size=args.value_size, seed=args.seed, period=args.period,
         timeout=args.timeout, procs=args.procs,
         max_history=args.max_history, concurrency=args.concurrency,
+        keys=args.keys, zipf_s=args.zipf_s,
         client_kwargs=client_kwargs,
     ))
     backend = "OS processes" if result.procs else "in-process cluster"
@@ -417,6 +420,83 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_keys(args: argparse.Namespace) -> int:
+    from repro.deploy import ClusterSpec
+    from repro.sharding import HashRing, key_name
+
+    spec = ClusterSpec.from_file(args.spec)
+    config = spec.keyspace_config()
+    if config is None:
+        print(f"spec {args.spec} has no [keyspace] block; this is a "
+              "single-register deployment", file=sys.stderr)
+        return 1
+    ring = spec.ring()
+
+    if args.keys_command == "locate":
+        group = spec.locate(args.key)
+        print(f"key {args.key!r}")
+        print(f"  ring point: {ring.key_point(args.key):#018x}")
+        print(f"  primary:    {ring.primary(args.key)}")
+        print(f"  group:      {', '.join(str(node) for node in group)} "
+              f"(size {config.group_size}, f={spec.f})")
+        return 0
+
+    sample = [key_name(i) for i in range(args.sample)]
+
+    if args.keys_command == "stats":
+        share = ring.load_share(sample, config.group_size)
+        expected = args.sample * config.group_size / spec.n
+        rows = [(str(node), count, f"{count / expected:.2f}x")
+                for node, count in sorted(share.items())]
+        print(format_table(
+            ("node", "keys hosted", "vs. even share"), rows,
+            title=f"{spec.n} nodes, group_size={config.group_size}, "
+                  f"vnodes={config.vnodes}, seed={config.seed}; "
+                  f"{args.sample} sampled keys"))
+        print(f"placement fingerprint: "
+              f"{ring.fingerprint(sample, config.group_size)[:16]}")
+        return 0
+
+    # rebalance --dry-run: compare against the ring with nodes added
+    # and/or removed.  Only the dry run exists -- live data migration is
+    # out of scope (a moved key rebuilds from its new group's writes).
+    if not args.dry_run:
+        print("only --dry-run is supported: this computes which keys "
+              "would change groups, it does not migrate data",
+              file=sys.stderr)
+        return 1
+    nodes = list(ring.nodes)
+    for node in args.remove:
+        if node not in nodes:
+            print(f"cannot remove unknown node {node!r}", file=sys.stderr)
+            return 1
+        nodes.remove(node)
+    next_index = spec.n
+    for _ in range(args.add):
+        nodes.append(f"s{next_index:03d}")
+        next_index += 1
+    if len(nodes) < config.group_size:
+        print(f"{len(nodes)} nodes cannot host groups of "
+              f"{config.group_size}", file=sys.stderr)
+        return 1
+    target = HashRing(nodes, vnodes=config.vnodes, seed=config.seed)
+    moved = ring.moved_keys(target, sample, config.group_size)
+    print(f"fleet {len(ring.nodes)} -> {len(nodes)} nodes "
+          f"(+{args.add}/-{len(args.remove)}); groups of "
+          f"{config.group_size}")
+    print(f"  {len(moved)} of {args.sample} sampled keys change groups "
+          f"({len(moved) / args.sample:.1%}); a full reshuffle would "
+          f"move ~100%")
+    for key in moved[:args.show]:
+        print(f"    {key}: "
+              f"{'+'.join(str(n) for n in ring.group(key, config.group_size))}"
+              f" -> "
+              f"{'+'.join(str(n) for n in target.group(key, min(config.group_size, len(nodes))))}")
+    if len(moved) > args.show:
+        print(f"    ... {len(moved) - args.show} more")
+    return 0
+
+
 def _cmd_modelcheck(args: argparse.Namespace) -> int:
     n, f = args.n, args.f
     print(f"model-checking the BSR read stage at n={n}, f={f} "
@@ -510,6 +590,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--max-inflight", type=int, default=None,
                        help="client-side admission cap on concurrently "
                             "executing operations")
+    chaos.add_argument("--keys", type=int, default=1,
+                       help="distinct keys the workload spans (>1 turns "
+                            "the cluster into a sharded keyspace and "
+                            "checks safety per register)")
+    chaos.add_argument("--zipf-s", type=float, default=0.99,
+                       help="Zipf exponent for key popularity "
+                            "(0 = uniform)")
 
     node = sub.add_parser(
         "node", help="serve a single register node in this process")
@@ -578,6 +665,37 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_dump.add_argument("--format", default="prometheus",
                               choices=("prometheus", "json"))
 
+    keys = sub.add_parser(
+        "keys",
+        help="inspect a sharded keyspace: placement stats, key location, "
+             "rebalance dry-runs",
+    )
+    keys_sub = keys.add_subparsers(dest="keys_command", required=True)
+    keys_stats = keys_sub.add_parser(
+        "stats", help="per-node key share and the placement fingerprint")
+    keys_stats.add_argument("--spec", required=True,
+                            help="cluster spec with a [keyspace] block")
+    keys_stats.add_argument("--sample", type=int, default=1000,
+                            help="synthetic keys to place (key-0000 ...)")
+    keys_locate = keys_sub.add_parser(
+        "locate", help="which quorum group serves one key")
+    keys_locate.add_argument("key", help="key name to resolve")
+    keys_locate.add_argument("--spec", required=True)
+    keys_rebalance = keys_sub.add_parser(
+        "rebalance",
+        help="dry-run a fleet change: which keys would move groups")
+    keys_rebalance.add_argument("--spec", required=True)
+    keys_rebalance.add_argument("--dry-run", action="store_true",
+                                help="required: only the dry run exists")
+    keys_rebalance.add_argument("--add", type=int, default=0,
+                                help="hypothetical nodes to add")
+    keys_rebalance.add_argument("--remove", action="append", default=[],
+                                help="node id to remove (repeatable)")
+    keys_rebalance.add_argument("--sample", type=int, default=1000,
+                                help="synthetic keys to compare")
+    keys_rebalance.add_argument("--show", type=int, default=5,
+                                help="moved keys to list individually")
+
     modelcheck = sub.add_parser(
         "modelcheck",
         help="exhaustively explore read-stage schedules (Theorem 5)",
@@ -604,6 +722,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "node": _cmd_node,
         "cluster": _cmd_cluster,
         "metrics": _cmd_metrics,
+        "keys": _cmd_keys,
         "modelcheck": _cmd_modelcheck,
     }
     return handlers[args.command](args)

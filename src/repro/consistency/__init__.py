@@ -12,6 +12,8 @@ from repro.consistency.regularity import check_regularity, fresh_read_values
 from repro.consistency.atomicity import check_atomicity_by_tags
 from repro.consistency.liveness import check_liveness
 from repro.consistency.registers import (
+    check_atomicity_per_register,
+    check_regularity_per_register,
     check_safety_per_register,
     split_trace_by_register,
 )
@@ -27,4 +29,6 @@ __all__ = [
     "fresh_read_values",
     "split_trace_by_register",
     "check_safety_per_register",
+    "check_regularity_per_register",
+    "check_atomicity_per_register",
 ]

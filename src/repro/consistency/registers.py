@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable
 
+from repro.consistency.atomicity import check_atomicity_by_tags
+from repro.consistency.regularity import check_regularity
 from repro.consistency.result import CheckResult
 from repro.consistency.safety import check_safety
 from repro.sim.trace import Trace
@@ -46,6 +48,41 @@ def check_safety_per_register(trace: Trace, initial_value: Any = b"",
     for name, sub_trace in sorted(split_trace_by_register(trace).items()):
         result = check_safety(sub_trace, initial_value=initial_value,
                               extra_values=extra_values)
+        merged.reads_checked += result.reads_checked
+        for violation in result.violations:
+            merged.record(f"[register {name}] {violation.message}",
+                          *violation.operations)
+    return merged
+
+
+def check_regularity_per_register(trace: Trace,
+                                  initial_value: Any = b"") -> CheckResult:
+    """Run the Definition-2 checker independently on every register.
+
+    The register abstraction composes: a multi-key history is regular iff
+    each key's projection is (operations on different keys never interact),
+    so per-key checking is both sound and complete here.
+    """
+    merged = CheckResult(condition="MWMR regularity (per register)")
+    for name, sub_trace in sorted(split_trace_by_register(trace).items()):
+        result = check_regularity(sub_trace, initial_value=initial_value)
+        merged.reads_checked += result.reads_checked
+        for violation in result.violations:
+            merged.record(f"[register {name}] {violation.message}",
+                          *violation.operations)
+    return merged
+
+
+def check_atomicity_per_register(trace: Trace) -> CheckResult:
+    """Run the tag-based atomicity checker independently on every register.
+
+    Tags are per-register (each key's state machine starts from tag 0), so
+    the whole-trace checker would see spurious duplicate tags across keys;
+    splitting first is required, not just convenient.
+    """
+    merged = CheckResult(condition="atomicity (tag-based, per register)")
+    for name, sub_trace in sorted(split_trace_by_register(trace).items()):
+        result = check_atomicity_by_tags(sub_trace)
         merged.reads_checked += result.reads_checked
         for violation in result.violations:
             merged.record(f"[register {name}] {violation.message}",

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.core.keys import key_error
 from repro.core.messages import BaseMessage, HEADER_BYTES
 from repro.types import Envelope, ProcessId
 
@@ -80,8 +81,18 @@ class NamespacedServer:
         )
 
     def handle(self, sender: ProcessId, message: Any) -> List[Envelope]:
-        """Unwrap, route, re-wrap.  Non-namespaced messages are ignored."""
+        """Unwrap, route, re-wrap.  Non-namespaced messages are ignored.
+
+        The register name is validated *before* any per-register state is
+        instantiated: a tagged message carrying a non-string, oversized or
+        out-of-charset name is dropped, so garbage names cannot exhaust
+        the server's memory one fresh state machine at a time (see
+        :mod:`repro.core.keys`).
+        """
         if not isinstance(message, NamespacedMessage):
+            return []
+        if (message.register not in self.registers
+                and key_error(message.register) is not None):
             return []
         inner_server = self.register_server(message.register)
         replies = inner_server.handle(sender, message.inner)

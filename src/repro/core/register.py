@@ -62,6 +62,7 @@ from repro.core.namespace import (
 )
 from repro.core.tags import TaggedValue
 from repro.errors import ConfigurationError
+from repro.sharding import KeyspaceConfig, RegisterTable
 from repro.sim.delays import DelayModel
 from repro.sim.simulator import Simulator
 from repro.sim.trace import OperationRecord, Trace
@@ -126,7 +127,8 @@ class RegisterSystem:
                  bcsr_k: Optional[int] = None,
                  namespaced: bool = False,
                  max_history: Optional[int] = None,
-                 read_repair: bool = False) -> None:
+                 read_repair: bool = False,
+                 keyspace: Optional[KeyspaceConfig] = None) -> None:
         if algorithm not in ALGORITHMS:
             raise ConfigurationError(
                 f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
@@ -170,22 +172,40 @@ class RegisterSystem:
             normalized[pid] = make_behavior(value) if isinstance(value, str) else value
         self.byzantine: Dict[ProcessId, Behavior] = normalized
 
-        self.namespaced = namespaced
+        #: Sharded keyspace placement: implies namespacing, servers host
+        #: a bounded :class:`~repro.sharding.RegisterTable`, and every
+        #: operation is routed to its key's consistent-hash quorum group
+        #: -- the *same* placement the live runtime derives from a spec,
+        #: so the simulator doubles as a cheap placement testbed.
+        self.keyspace = keyspace
+        if keyspace is not None:
+            keyspace.validate(algorithm, f, self.n)
+        self.namespaced = namespaced or keyspace is not None
+        namespaced = self.namespaced
         if namespaced and self.algorithm == "rb":
             raise ConfigurationError(
                 "the rb baseline does not support namespacing (its Bracha "
                 "layer is single-register)"
             )
+        self._placement = (keyspace.placement(self.server_ids)
+                           if keyspace is not None else None)
         #: pid -> underlying server protocol object (state machine).
         self.server_protocols: Dict[ProcessId, Any] = {}
         for index, pid in enumerate(self.server_ids):
             if namespaced:
-                protocol = NamespacedServer(
-                    pid,
-                    factory=lambda name, pid=pid, index=index:
-                        self._make_server_protocol(pid, index),
-                    behavior=self.byzantine.get(pid),
-                )
+                factory = (lambda name, pid=pid, index=index:
+                           self._make_server_protocol(pid, index))
+                if keyspace is not None:
+                    protocol = RegisterTable(
+                        pid, factory, behavior=self.byzantine.get(pid),
+                        max_resident=keyspace.max_resident,
+                        max_key_len=keyspace.max_key_len,
+                    )
+                else:
+                    protocol = NamespacedServer(
+                        pid, factory=factory,
+                        behavior=self.byzantine.get(pid),
+                    )
                 process = ServerProcess(pid, protocol)
             else:
                 protocol = self._make_server_protocol(pid, index)
@@ -231,6 +251,17 @@ class RegisterSystem:
                              max_history=self.max_history)
         raise AssertionError(f"unhandled algorithm {self.algorithm}")
 
+    def _op_servers(self, register: str) -> List[ProcessId]:
+        """Server list an operation on ``register`` should contact.
+
+        With a keyspace this is the key's consistent-hash quorum group
+        (quorum arithmetic then runs against the group size, exactly as
+        in the live runtime); otherwise it is the whole fleet.
+        """
+        if self._placement is not None:
+            return list(self._placement.servers_for(register))
+        return self.server_ids
+
     def _resolve_client(self, ids: List[ProcessId], which: Union[int, ProcessId]) -> ProcessId:
         pid = ids[which] if isinstance(which, int) else which
         if pid not in self.clients:
@@ -249,16 +280,17 @@ class RegisterSystem:
         handle = OpHandle(client=pid, kind="write")
 
         def factory():
+            servers = self._op_servers(register)
             if self.algorithm in ("bsr", "bsr-history", "bsr-2round"):
-                op = BSRWriteOperation(pid, self.server_ids, self.f, value,
+                op = BSRWriteOperation(pid, servers, self.f, value,
                                        enforce_bounds=self._enforce_bounds)
             elif self.algorithm == "bcsr":
-                op = BCSRWriteOperation(pid, self.server_ids, self.f, value,
+                op = BCSRWriteOperation(pid, servers, self.f, value,
                                         codec=self._codec)
             elif self.algorithm == "rb":
-                op = RBWriteOperation(pid, self.server_ids, self.f, value)
+                op = RBWriteOperation(pid, servers, self.f, value)
             else:
-                op = ABDWriteOperation(pid, self.server_ids, self.f, value)
+                op = ABDWriteOperation(pid, servers, self.f, value)
             if self.namespaced:
                 op = NamespacedOperation(register, op)
             handle.operation = op
@@ -280,28 +312,29 @@ class RegisterSystem:
 
         def factory():
             state = self._reader_state_for(pid, register)
+            servers = self._op_servers(register)
             if self.algorithm == "bsr":
-                op = BSRReadOperation(pid, self.server_ids, self.f,
+                op = BSRReadOperation(pid, servers, self.f,
                                       reader_state=state,
                                       enforce_bounds=self._enforce_bounds,
                                       repair=self.read_repair)
             elif self.algorithm == "bsr-history":
-                op = HistoryReadOperation(pid, self.server_ids, self.f,
+                op = HistoryReadOperation(pid, servers, self.f,
                                           reader_state=state,
                                           enforce_bounds=self._enforce_bounds)
             elif self.algorithm == "bsr-2round":
-                op = TwoRoundReadOperation(pid, self.server_ids, self.f,
+                op = TwoRoundReadOperation(pid, servers, self.f,
                                            reader_state=state,
                                            enforce_bounds=self._enforce_bounds)
             elif self.algorithm == "bcsr":
-                op = BCSRReadOperation(pid, self.server_ids, self.f,
+                op = BCSRReadOperation(pid, servers, self.f,
                                        codec=self._codec,
                                        initial_value=self.initial_value)
             elif self.algorithm == "rb":
-                op = RBReadOperation(pid, self.server_ids, self.f,
+                op = RBReadOperation(pid, servers, self.f,
                                      initial_value=self.initial_value)
             else:
-                op = ABDReadOperation(pid, self.server_ids, self.f)
+                op = ABDReadOperation(pid, servers, self.f)
             if self.namespaced:
                 op = NamespacedOperation(register, op)
             handle.operation = op

@@ -32,6 +32,7 @@ from repro.core.quorum import abd_min_servers, bcsr_min_servers, bsr_min_servers
 from repro.errors import ConfigurationError
 from repro.runtime.client import CLIENT_ALGORITHMS, AsyncRegisterClient
 from repro.runtime.node import RegisterServerNode
+from repro.sharding import HashRing, KeyspaceConfig, RegisterTable
 from repro.transport.auth import Authenticator, KeyChain
 from repro.types import ProcessId, server_id
 
@@ -78,6 +79,14 @@ class ClusterSpec:
     byzantine: Dict[str, str] = field(default_factory=dict)
     #: node id -> [host, port] address overrides (multi-host layouts).
     nodes: Dict[str, List[Any]] = field(default_factory=dict)
+    #: Sharded keyspace block (see
+    #: :class:`~repro.sharding.KeyspaceConfig`): ``group_size`` plus
+    #: optional ``vnodes`` / ``seed`` / ``max_resident`` /
+    #: ``max_key_len``.  When present, every node hosts a bounded
+    #: per-key :class:`~repro.sharding.RegisterTable` and every client
+    #: routes each key to its consistent-hash quorum group -- the same
+    #: placement on every party, because it is derived from this spec.
+    keyspace: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.algorithm not in CLIENT_ALGORITHMS:
@@ -107,6 +116,8 @@ class ClusterSpec:
         if self.wire not in ("v1", "v2"):
             raise ConfigurationError(
                 f"wire must be 'v1' or 'v2', got {self.wire!r}")
+        if self.keyspace:
+            self.keyspace_config().validate(self.algorithm, self.f, self.n)
 
     # -- identity and addressing ------------------------------------------
     @property
@@ -134,6 +145,27 @@ class ClusterSpec:
             return None
         return os.path.join(self.snapshot_dir, f"{node_id}.snapshot")
 
+    # -- keyspace placement ------------------------------------------------
+    def keyspace_config(self) -> Optional[KeyspaceConfig]:
+        """The parsed keyspace block, or ``None`` for single-register."""
+        if not self.keyspace:
+            return None
+        return KeyspaceConfig.from_dict(self.keyspace)
+
+    def ring(self) -> Optional[HashRing]:
+        """The deployment's consistent-hash ring (``None`` unsharded)."""
+        config = self.keyspace_config()
+        if config is None:
+            return None
+        return config.ring(self.node_ids)
+
+    def locate(self, key: str) -> Optional[Tuple[ProcessId, ...]]:
+        """The quorum group serving ``key``, or ``None`` unsharded."""
+        config = self.keyspace_config()
+        if config is None:
+            return None
+        return config.ring(self.node_ids).group(key, config.group_size)
+
     # -- key material ------------------------------------------------------
     @property
     def secret_bytes(self) -> bytes:
@@ -146,7 +178,27 @@ class ClusterSpec:
 
     # -- component construction -------------------------------------------
     def build_protocol(self, node_id: ProcessId) -> Any:
-        """The server state machine ``node_id`` hosts."""
+        """The server state machine ``node_id`` hosts.
+
+        With a ``keyspace`` block this is a bounded per-key
+        :class:`~repro.sharding.RegisterTable` whose factory builds one
+        base protocol per touched key; otherwise the single base
+        protocol itself.
+        """
+        config = self.keyspace_config()
+        if config is not None:
+            behavior_name = self.byzantine.get(node_id)
+            return RegisterTable(
+                node_id,
+                factory=lambda name: self._build_base_protocol(node_id),
+                behavior=make_behavior(behavior_name) if behavior_name
+                else None,
+                max_resident=config.max_resident,
+                max_key_len=config.max_key_len,
+            )
+        return self._build_base_protocol(node_id)
+
+    def _build_base_protocol(self, node_id: ProcessId) -> Any:
         from repro.baselines.abd import ABDServer
         from repro.core.bcsr import BCSRServer, make_codec
         from repro.core.bsr import BSRServer
@@ -181,15 +233,24 @@ class ClusterSpec:
         behavior_name = self.byzantine.get(node_id)
         if self.snapshot_dir is not None:
             os.makedirs(self.snapshot_dir, exist_ok=True)
-        return RegisterServerNode(
-            node_id, self.build_protocol(node_id), self.authenticator(),
+        protocol = self.build_protocol(node_id)
+        sharded = isinstance(protocol, RegisterTable)
+        node = RegisterServerNode(
+            node_id, protocol, self.authenticator(),
             host=host, port=port if port is not None else spec_port,
-            behavior=make_behavior(behavior_name) if behavior_name else None,
-            snapshot_path=self.snapshot_path(node_id),
+            # A register table applies the behaviour per key and keeps
+            # its own durable story (per-key archives), so the node-level
+            # behaviour/snapshot hooks stay off in sharded deployments.
+            behavior=None if sharded
+            else (make_behavior(behavior_name) if behavior_name else None),
+            snapshot_path=None if sharded else self.snapshot_path(node_id),
             max_connections=self.max_connections,
             rate_limit=self.rate_limit, rate_burst=self.rate_burst,
             wire=self.wire,
         )
+        if sharded:
+            protocol.bind_registry(node.registry)
+        return node
 
     def client(self, client_id: ProcessId,
                addresses: Optional[Dict[ProcessId, Tuple[str, int]]] = None,
@@ -205,6 +266,10 @@ class ClusterSpec:
                                         self.node_ids + [client_id])
         client_kwargs.setdefault("max_inflight", self.max_inflight)
         client_kwargs.setdefault("wire", self.wire)
+        config = self.keyspace_config()
+        if config is not None:
+            client_kwargs.setdefault("placement",
+                                     config.placement(self.node_ids))
         return AsyncRegisterClient(
             client_id, addresses if addresses is not None else self.addresses,
             self.f, Authenticator(keychain), algorithm=self.algorithm,

@@ -34,13 +34,16 @@ from __future__ import annotations
 import asyncio
 import logging
 import random
-from typing import Any, Dict, List, Optional, Tuple
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.abd import ABDReadOperation, ABDWriteOperation
 from repro.core.bcsr import BCSRReadOperation, BCSRWriteOperation, make_codec
 from repro.core.bsr import BSRReadOperation, BSRReaderState, BSRWriteOperation
+from repro.core.keys import key_error
 from repro.core.namespace import DEFAULT_REGISTER, NamespacedOperation
 from repro.core.messages import Throttled
+from repro.sharding.ring import Placement
 from repro.core.operation import ClientOperation
 from repro.core.regular import HistoryReadOperation, TwoRoundReadOperation
 from repro.errors import AuthenticationError, ConfigurationError, LivenessError, ProtocolError
@@ -64,6 +67,13 @@ WIRE_VERSIONS = ("v1", "v2")
 
 #: Bytes pulled from a connection per read syscall in the reply pump.
 READ_CHUNK = 64 * 1024
+
+#: Per-key client-side caches (reader states, write locks) are LRU-bounded
+#: at this many keys so a key-routed client scanning a large keyspace
+#: stays within a fixed footprint.  Evicting a reader state just resets
+#: that key's semi-fast hint (the next read behaves like a fresh
+#: reader's); evicting an uncontended write lock is invisible.
+MAX_KEY_STATES = 4096
 
 
 def _expire(done: "asyncio.Future") -> None:
@@ -104,7 +114,8 @@ class AsyncRegisterClient:
                  max_inflight: Optional[int] = None,
                  registry: Optional[MetricRegistry] = None,
                  trace_sink: Optional[Any] = None,
-                 wire: str = "v2") -> None:
+                 wire: str = "v2",
+                 placement: Optional[Placement] = None) -> None:
         if algorithm not in CLIENT_ALGORITHMS:
             raise ConfigurationError(
                 f"algorithm {algorithm!r} not supported by the asyncio "
@@ -127,15 +138,21 @@ class AsyncRegisterClient:
         self.algorithm = algorithm
         self.timeout = timeout
         self.initial_value = initial_value
-        self.namespaced = namespaced
+        #: Key -> quorum-group resolver of a sharded keyspace.  When set,
+        #: every operation is routed to its key's group (a subset of the
+        #: connections) instead of the whole fleet; sharded deployments
+        #: are namespaced by construction.
+        self.placement = placement
+        self.namespaced = namespaced or placement is not None
         self.reconnect = reconnect
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
         self.drain_timeout = drain_timeout
         self.max_inflight = max_inflight
         self.reader_state = BSRReaderState(initial_value)
-        self._register_states: Dict[str, BSRReaderState] = {}
-        self._codec = (make_codec(len(self.servers), f)
+        self._register_states: "OrderedDict[str, BSRReaderState]" = OrderedDict()
+        self._codec = (make_codec(placement.group_size if placement is not None
+                                  else len(self.servers), f)
                        if algorithm == "bcsr" else None)
         self._connections: Dict[ProcessId, Tuple[asyncio.StreamReader,
                                                  asyncio.StreamWriter]] = {}
@@ -144,7 +161,9 @@ class AsyncRegisterClient:
         self._dispatcher = OpDispatcher(max_inflight)
         #: Writes by this client are ordered per register (see module
         #: docstring); reads never touch these locks.
-        self._write_locks: Dict[str, asyncio.Lock] = {}
+        self._write_locks: "OrderedDict[str, asyncio.Lock]" = OrderedDict()
+        #: Per-group operation counters, resolved lazily per group tuple.
+        self._group_counters: Dict[Tuple[ProcessId, ...], Any] = {}
         #: Background throttle-backoff tasks (rare; cancelled on close).
         self._throttle_tasks: set = set()
         self._closing = False
@@ -543,14 +562,17 @@ class AsyncRegisterClient:
         await self._resend_pending(sender, only_type=message.dropped or None,
                                    states=[state])
 
-    async def _run_operation(self, operation: ClientOperation) -> Any:
+    async def _run_operation(self, operation: ClientOperation,
+                             servers: Optional[Sequence[ProcessId]] = None
+                             ) -> Any:
         loop = asyncio.get_running_loop()
         if await self._dispatcher.gate.acquire():
             self._counters["ops_queued"].inc()
         state = self._dispatcher.register(operation)
+        quorum_pool = len(servers) if servers is not None else len(self.servers)
         span = self._tracer.start(
             kind=operation.kind, op_id=operation.op_id, witness=self.f + 1,
-            quorum=len(self.servers) - self.f, now=loop.time())
+            quorum=quorum_pool - self.f, now=loop.time())
         state.span = span
         outcome = "error"
         try:
@@ -604,9 +626,15 @@ class AsyncRegisterClient:
     def _reader_state_for(self, register: str) -> BSRReaderState:
         if not self.namespaced:
             return self.reader_state
-        if register not in self._register_states:
-            self._register_states[register] = BSRReaderState(self.initial_value)
-        return self._register_states[register]
+        state = self._register_states.get(register)
+        if state is None:
+            state = self._register_states[register] = (
+                BSRReaderState(self.initial_value))
+            if len(self._register_states) > MAX_KEY_STATES:
+                self._register_states.popitem(last=False)
+        else:
+            self._register_states.move_to_end(register)
+        return state
 
     def _maybe_namespace(self, operation: ClientOperation, register: str):
         if self.namespaced:
@@ -617,18 +645,55 @@ class AsyncRegisterClient:
         lock = self._write_locks.get(register)
         if lock is None:
             lock = self._write_locks[register] = asyncio.Lock()
+            if len(self._write_locks) > MAX_KEY_STATES:
+                # Only shed idle locks: evicting one that is held (or
+                # awaited) would let two writes to its key overlap.
+                for key in list(self._write_locks):
+                    if len(self._write_locks) <= MAX_KEY_STATES:
+                        break
+                    candidate = self._write_locks[key]
+                    if candidate is not lock and not candidate.locked():
+                        del self._write_locks[key]
+        else:
+            self._write_locks.move_to_end(register)
         return lock
+
+    def _servers_for(self, register: str) -> List[ProcessId]:
+        """The servers an operation on ``register`` talks to.
+
+        Key-routed clients resolve the key's quorum group through the
+        placement (and count the op per group); plain clients always use
+        the whole fleet.  Namespaced keys are validated here, client
+        side, so a typo fails fast instead of timing out against servers
+        that silently drop the invalid name.
+        """
+        if self.placement is not None:
+            group = self.placement.servers_for(register)
+            counter = self._group_counters.get(group)
+            if counter is None:
+                counter = self._group_counters[group] = self.registry.counter(
+                    "client_group_ops_total", client=str(self.client_id),
+                    group=self.placement.group_label(group))
+            counter.inc()
+            return list(group)
+        if self.namespaced:
+            reason = key_error(register)
+            if reason is not None:
+                raise ConfigurationError(
+                    f"invalid register name {register!r}: {reason}")
+        return self.servers
 
     async def write(self, value: Any,
                     register: str = DEFAULT_REGISTER) -> Any:
         """Write ``value``; returns the tag the write committed under.
 
-        ``register`` selects the named register on namespaced clusters.
-        Concurrent writes by this client to the same register are
+        ``register`` selects the named register on namespaced clusters
+        and, on key-routed clients, the quorum group the write is placed
+        on.  Concurrent writes by this client to the same register are
         executed in turn (see the module docstring); they still overlap
         freely with this client's reads and with other clients.
         """
-        servers, f = self.servers, self.f
+        servers, f = self._servers_for(register), self.f
         async with self._write_lock_for(register):
             if self.algorithm == "bcsr":
                 operation = BCSRWriteOperation(self.client_id, servers, f,
@@ -638,16 +703,17 @@ class AsyncRegisterClient:
             else:
                 operation = BSRWriteOperation(self.client_id, servers, f, value)
             return await self._run_operation(
-                self._maybe_namespace(operation, register))
+                self._maybe_namespace(operation, register), servers=servers)
 
     async def read(self, register: str = DEFAULT_REGISTER) -> Any:
         """Read the register; returns the value.
 
-        ``register`` selects the named register on namespaced clusters.
-        Reads multiplex freely: any number may be in flight at once
-        (subject to ``max_inflight``).
+        ``register`` selects the named register on namespaced clusters
+        (the key's quorum group on key-routed clients).  Reads multiplex
+        freely: any number may be in flight at once (subject to
+        ``max_inflight``).
         """
-        servers, f = self.servers, self.f
+        servers, f = self._servers_for(register), self.f
         state = self._reader_state_for(register)
         if self.algorithm == "bsr":
             operation = BSRReadOperation(self.client_id, servers, f,
@@ -664,4 +730,5 @@ class AsyncRegisterClient:
                                           initial_value=self.initial_value)
         else:
             operation = ABDReadOperation(self.client_id, servers, f)
-        return await self._run_operation(self._maybe_namespace(operation, register))
+        return await self._run_operation(
+            self._maybe_namespace(operation, register), servers=servers)

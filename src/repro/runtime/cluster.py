@@ -22,6 +22,7 @@ from repro.errors import ConfigurationError
 from repro.obs import MetricRegistry
 from repro.runtime.client import CLIENT_ALGORITHMS, AsyncRegisterClient
 from repro.runtime.node import RegisterServerNode
+from repro.sharding import KeyspaceConfig, RegisterTable
 from repro.transport.auth import Authenticator, KeyChain
 from repro.types import ProcessId, server_id
 
@@ -70,7 +71,8 @@ class LocalCluster:
                  rate_limit: Optional[float] = None,
                  rate_burst: Optional[float] = None,
                  registry: Optional[MetricRegistry] = None,
-                 wire: str = "v2") -> None:
+                 wire: str = "v2",
+                 keyspace: Optional[KeyspaceConfig] = None) -> None:
         if algorithm not in CLIENT_ALGORITHMS:
             raise ConfigurationError(
                 f"algorithm {algorithm!r} not supported by the asyncio "
@@ -92,7 +94,13 @@ class LocalCluster:
             pid = server_id(key) if isinstance(key, int) else key
             behavior = make_behavior(value) if isinstance(value, str) else value
             self._behaviors[pid] = behavior
-        self.namespaced = namespaced
+        #: Sharded keyspace placement (see :mod:`repro.sharding`); implies
+        #: namespacing -- nodes host a :class:`RegisterTable` and clients
+        #: route each key to its quorum group.
+        self.keyspace = keyspace
+        if keyspace is not None:
+            keyspace.validate(algorithm, f, self.n)
+        self.namespaced = namespaced or keyspace is not None
         self.snapshot_dir = snapshot_dir
         #: Bound every server's history list (GC; keeps snapshots small).
         self.max_history = max_history
@@ -135,14 +143,22 @@ class LocalCluster:
     def _make_node(self, pid: ProcessId, index: int,
                    auth: Authenticator) -> RegisterServerNode:
         if self.namespaced:
-            # The namespace wrapper applies the behaviour per hosted
-            # register, so the node itself stays behaviour-free.
-            protocol = NamespacedServer(
-                pid,
-                factory=lambda name, pid=pid, index=index:
-                    self._make_protocol(pid, index),
-                behavior=self._behaviors.get(pid),
-            )
+            # The per-register wrapper applies the behaviour per hosted
+            # register, so the node itself stays behaviour-free.  A
+            # keyspace upgrades the unbounded namespace wrapper to the
+            # bounded, validated register table.
+            factory = (lambda name, pid=pid, index=index:
+                       self._make_protocol(pid, index))
+            if self.keyspace is not None:
+                protocol = RegisterTable(
+                    pid, factory, behavior=self._behaviors.get(pid),
+                    max_resident=self.keyspace.max_resident,
+                    max_key_len=self.keyspace.max_key_len,
+                    registry=self.registry,
+                )
+            else:
+                protocol = NamespacedServer(
+                    pid, factory=factory, behavior=self._behaviors.get(pid))
             return RegisterServerNode(
                 pid, protocol, auth, host=self.host, port=0,
                 max_connections=self.max_connections,
@@ -229,6 +245,9 @@ class LocalCluster:
         """
         client_kwargs.setdefault("registry", self.registry)
         client_kwargs.setdefault("wire", self.wire)
+        if self.keyspace is not None:
+            client_kwargs.setdefault(
+                "placement", self.keyspace.placement(self.server_ids))
         keychain = self._keychain_for([client_id])
         client = AsyncRegisterClient(
             client_id, self.addresses, self.f, Authenticator(keychain),

@@ -394,13 +394,15 @@ class RegisterServerNode:
             return False
         self._note_repeat(sender, message)
         started = loop.time()
-        history_before = len(getattr(self.protocol, "history", ()))
+        history = getattr(self.protocol, "history", None)
+        history_before = -1 if history is None else len(history)
         envelopes = self.protocol.handle(sender, message)
         if self.behavior is not None:
             envelopes = self.behavior.on_message(
                 self.protocol, sender, message, envelopes
             )
-        mutated = len(getattr(self.protocol, "history", ())) != history_before
+        mutated = (history is not None
+                   and len(self.protocol.history) != history_before)
         encode = self._encode
         for dest, reply in envelopes:
             if dest != sender:
@@ -412,7 +414,12 @@ class RegisterServerNode:
                 )
                 continue
             replies.append(encode(reply))
-        cls = type(message)
+        # Key the histogram cache by the *inner* class for namespaced
+        # wrappers: the phase depends only on the inner message type, so
+        # keyed traffic caches one entry per protocol message class
+        # instead of re-resolving the phase on every frame.
+        inner = getattr(message, "inner", None)
+        cls = type(message) if inner is None else type(inner)
         hist = self._hist_by_cls.get(cls)
         if hist is None:
             phase = self._frame_phase(message)
@@ -421,10 +428,7 @@ class RegisterServerNode:
                 hist = self._phase_hists[phase] = self.registry.histogram(
                     "node_phase_seconds", node=str(self.server_id),
                     phase=phase)
-            if not hasattr(message, "inner"):
-                # Plain messages map 1:1 to a phase; namespaced wrappers
-                # resolve per inner type and stay on the slow path.
-                self._hist_by_cls[cls] = hist
+            self._hist_by_cls[cls] = hist
         hist.observe(loop.time() - started)
         return mutated
 

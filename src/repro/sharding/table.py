@@ -1,0 +1,228 @@
+"""Lazy per-key register table: bounded-memory server state for a keyspace.
+
+The namespaced wrapper of :mod:`repro.core.namespace` materialises one
+protocol state machine per register name and keeps it forever -- fine for
+a handful of named registers, fatal for a keyspace of millions where most
+keys are cold at any instant.  :class:`RegisterTable` is the production
+replacement:
+
+* **Lazy**: per-key state (tag, value, history -- the protocol instance)
+  is created on first touch, from the same ``factory(name)`` contract the
+  namespaced wrapper uses.
+* **Validated**: the key name is checked (:mod:`repro.core.keys`) before
+  anything is allocated, so garbage names cannot exhaust memory.
+* **Bounded**: at most ``max_resident`` keys hold a live protocol
+  instance.  Beyond the cap the longest-idle key is *demoted*: its
+  durable essence (the history list, via
+  :mod:`repro.core.persistence`) is archived as a compact byte record
+  and the heavy state machine is dropped.  The next touch rehydrates it,
+  so demotion is invisible to the protocol -- the rehydrated server
+  re-adopts the archived tags and the per-key register stays safe
+  (an archived-then-restored key behaves like an honestly-slow server,
+  which the algorithms already tolerate).
+
+Archived records are two orders of magnitude smaller than live state
+machines (bytes of JSON vs objects + dict overhead), which is what keeps
+a million-key node affordable; bound each key's history (``max_history``)
+to bound the archive too.
+
+The table speaks the exact protocol surface the runtimes and the
+simulator expect from a server (``handle(sender, message) -> envelopes``)
+and the compatibility surface of the namespaced wrapper (``registers``,
+``register_server``, ``storage_bytes``), so it drops into
+:class:`~repro.runtime.node.RegisterServerNode`, the process-per-node
+deployment and the simulator unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.core.keys import MAX_KEY_LENGTH, key_error
+from repro.core.namespace import NamespacedMessage
+from repro.errors import ProtocolError
+from repro.types import Envelope, ProcessId
+
+
+class RegisterTable:
+    """Route namespaced messages to bounded, lazily created per-key state.
+
+    ``factory(key)`` builds a fresh per-key server protocol; ``behavior``
+    (optional) is applied per key, exactly as in the namespaced wrapper.
+    ``max_resident`` caps live per-key state machines (``None`` =
+    unbounded, i.e. the legacy behaviour plus validation); ``max_key_len``
+    tightens the global key-length bound per deployment.
+
+    Metrics land in ``registry`` when one is bound (the node's shared
+    registry, via :meth:`bind_registry`): ``table_keys_resident``,
+    ``table_keys_archived``, ``table_evictions_total``,
+    ``table_rehydrations_total`` and ``table_keys_rejected_total``,
+    all labeled by node.
+    """
+
+    def __init__(self, server_id: ProcessId,
+                 factory: Callable[[str], Any],
+                 behavior: Optional[Any] = None,
+                 max_resident: Optional[int] = None,
+                 max_key_len: int = MAX_KEY_LENGTH,
+                 registry: Optional[Any] = None) -> None:
+        if max_resident is not None and max_resident < 1:
+            raise ValueError("max_resident must be at least 1")
+        self.server_id = server_id
+        self._factory = factory
+        self.behavior = behavior
+        self.max_resident = max_resident
+        self.max_key_len = max_key_len
+        #: key -> live protocol instance, least-recently-touched first.
+        self.registers: "OrderedDict[str, Any]" = OrderedDict()
+        #: key -> compact archived state of demoted cold keys.
+        self._archive: Dict[str, bytes] = {}
+        #: Keys whose protocol cannot snapshot (never demoted).
+        self._pinned: Set[str] = set()
+        #: Codec handed to rehydration (captured from the first coded
+        #: server evicted; ``None`` for replicated protocols).
+        self._codec: Optional[Any] = None
+        self._gauge_resident = None
+        self._gauge_archived = None
+        self._c_evictions = None
+        self._c_rehydrations = None
+        self._c_rejected = None
+        if registry is not None:
+            self.bind_registry(registry)
+
+    def bind_registry(self, registry: Any) -> None:
+        """Record table metrics into ``registry`` from now on.
+
+        Separate from ``__init__`` because the process-per-node path
+        builds the protocol before the node (whose registry the table
+        should share) exists.
+        """
+        node = str(self.server_id)
+        self._gauge_resident = registry.gauge("table_keys_resident", node=node)
+        self._gauge_archived = registry.gauge("table_keys_archived", node=node)
+        self._c_evictions = registry.counter("table_evictions_total", node=node)
+        self._c_rehydrations = registry.counter(
+            "table_rehydrations_total", node=node)
+        self._c_rejected = registry.counter(
+            "table_keys_rejected_total", node=node)
+        self._gauge_resident.set(len(self.registers))
+        self._gauge_archived.set(len(self._archive))
+
+    # -- state inspection --------------------------------------------------
+    @property
+    def resident_keys(self) -> List[str]:
+        """Keys currently holding live state, least-recently-used first."""
+        return list(self.registers)
+
+    @property
+    def archived_keys(self) -> List[str]:
+        """Keys demoted to compact archived records."""
+        return sorted(self._archive)
+
+    def storage_bytes(self) -> int:
+        """Bytes of user data in live state plus archived records."""
+        live = sum(server.storage_bytes()
+                   for server in self.registers.values()
+                   if hasattr(server, "storage_bytes"))
+        return live + sum(len(blob) for blob in self._archive.values())
+
+    # -- key lifecycle -----------------------------------------------------
+    def key_error(self, name: Any) -> Optional[str]:
+        """Why ``name`` is rejected by this table, or ``None``."""
+        reason = key_error(name)
+        if reason is not None:
+            return reason
+        if len(name) > self.max_key_len:
+            return (f"key length {len(name)} exceeds this table's "
+                    f"{self.max_key_len}-char bound")
+        return None
+
+    def register_server(self, name: str) -> Any:
+        """The live per-key server for ``name`` (created or rehydrated).
+
+        Touching a key marks it most-recently-used; the touch may demote
+        another key to stay within ``max_resident``.
+        """
+        server = self.registers.get(name)
+        if server is not None:
+            if self.max_resident is not None:
+                # LRU order only matters when a cap can evict; skip the
+                # per-touch reorder on unbounded tables (the hot path).
+                self.registers.move_to_end(name)
+            return server
+        blob = self._archive.pop(name, None)
+        if blob is not None:
+            server = self._rehydrate(name, blob)
+            if self._c_rehydrations is not None:
+                self._c_rehydrations.inc()
+                self._gauge_archived.set(len(self._archive))
+        else:
+            server = self._factory(name)
+        self.registers[name] = server
+        self._shed()
+        if self._gauge_resident is not None:
+            self._gauge_resident.set(len(self.registers))
+        return server
+
+    def _rehydrate(self, name: str, blob: bytes) -> Any:
+        from repro.core.persistence import restore_server
+        try:
+            return restore_server(blob, codec=self._codec)
+        except ProtocolError:  # archived by an older build; start fresh
+            return self._factory(name)
+
+    def _shed(self) -> None:
+        """Demote longest-idle keys until the residency cap holds."""
+        if self.max_resident is None:
+            return
+        while len(self.registers) > self.max_resident:
+            victim = None
+            for key in self.registers:
+                if key not in self._pinned:
+                    victim = key
+                    break
+            if victim is None:
+                return  # everything resident is unevictable
+            if not self._demote(victim):
+                # Cannot snapshot this protocol: pin it and retry with
+                # the next-oldest key (the cap may overshoot by the
+                # pinned count, never by unbounded garbage).
+                self._pinned.add(victim)
+
+    def _demote(self, key: str) -> bool:
+        from repro.core.persistence import snapshot_server
+        server = self.registers[key]
+        try:
+            blob = snapshot_server(server)
+        except ProtocolError:
+            return False
+        if self._codec is None:
+            self._codec = getattr(server, "codec", None)
+        del self.registers[key]
+        self._archive[key] = blob
+        if self._c_evictions is not None:
+            self._c_evictions.inc()
+            self._gauge_archived.set(len(self._archive))
+        return True
+
+    # -- message flow ------------------------------------------------------
+    def handle(self, sender: ProcessId, message: Any) -> List[Envelope]:
+        """Validate, route to the key's server, re-wrap the replies."""
+        if not isinstance(message, NamespacedMessage):
+            return []
+        if (message.register not in self.registers
+                and message.register not in self._archive
+                and self.key_error(message.register) is not None):
+            if self._c_rejected is not None:
+                self._c_rejected.inc()
+            return []
+        server = self.register_server(message.register)
+        replies = server.handle(sender, message.inner)
+        if self.behavior is not None:
+            replies = self.behavior.on_message(
+                server, sender, message.inner, replies)
+        return [
+            (dest, NamespacedMessage(register=message.register, inner=reply))
+            for dest, reply in replies
+        ]

@@ -27,9 +27,11 @@ the differential tests in ``tests/transport/test_codec2.py``.
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 from struct import Struct
 from typing import Any, Dict, List, Tuple
 
+from repro.core.namespace import NamespacedMessage
 from repro.core.tags import Tag, TaggedValue
 from repro.erasure.striping import CodedElement
 from repro.errors import ProtocolError
@@ -114,6 +116,65 @@ def _build_tables():
 _BY_ID, _PREFIXES, _FIELDS, _BYPASS_INIT, _OPID_FIRST = _build_tables()
 
 _NEW = object.__new__
+
+# Namespaced (keyed) traffic wraps every hot message in a
+# NamespacedMessage, whose first field is the register name rather than
+# an op_id -- so without help it misses every op_id-keyed fast path
+# below.  The wrapper's wire shape is fixed (magic, type id, nfields=2,
+# _T_STR register, _T_MSG inner), which lets the caches and the peek see
+# *through* it: skip the register string, then treat the inner message
+# exactly like an unwrapped one.  The byte-level dispatch assumes the
+# wrapper's type id fits one varint byte; guard it so registry growth
+# degrades to the slow path instead of misparsing.
+_NS_ID = _BY_ID.index(NamespacedMessage)
+_NS_PREFIX = _PREFIXES[NamespacedMessage]
+_NS_FAST = _NS_ID < 0x80 and len(_NS_PREFIX) == 3
+#: Tail templates kept per shape by the namespaced decoder cache, and
+#: register entries kept by the namespaced encoder cache.  Keyed
+#: workloads touch many registers round-robin, so a single slot would
+#: thrash; bounded tables capture the Zipf head plus the shared
+#: zero-state templates of the cold tail.
+_NS_CACHE_MAX = 512
+#: Distinct inner shapes the decoder tracks (one per message class that
+#: appears on the wire; the registry holds ~25 classes total).
+_NS_SHAPES_MAX = 64
+
+
+def _ns_spans(blob: bytes):
+    """Template spans of a namespaced v2 payload, or ``None``.
+
+    Returns ``(register_bytes, head_end, opid_end)`` where
+    ``blob[:head_end]`` covers everything up to and including the inner
+    ``_T_INT`` op_id marker and ``blob[opid_end:]`` is the remainder
+    after the op_id varint.  ``None`` when the payload is not the
+    one-byte-length shape the fast paths handle (callers fall back to
+    the full decode, which stays authoritative).
+    """
+    if blob[2] != 2 or blob[3] != _T_STR:
+        return None
+    rlen = blob[4]
+    if rlen >= 0x80:
+        return None
+    rend = 5 + rlen
+    if blob[rend] != _T_MSG or blob[rend + 1] != MAGIC_V2:
+        return None
+    pos = rend + 2
+    if blob[pos] < 0x80:
+        pos += 1
+    else:
+        _, pos = _read_uvarint(blob, pos)
+    if blob[pos] < 0x80:
+        pos += 1
+    else:
+        _, pos = _read_uvarint(blob, pos)
+    if blob[pos] != _T_INT:
+        return None
+    head_end = pos + 1
+    if blob[head_end] < 0x80:
+        opid_end = head_end + 1
+    else:
+        _, opid_end = _read_uvarint(blob, head_end)
+    return blob[5:rend], head_end, opid_end
 
 # Tag.__post_init__ only rejects negative numbers, and the wire carries
 # tag numbers as unsigned varints -- no byte sequence can decode to a
@@ -504,17 +565,124 @@ class CachedEncoder:
     field walk.  Misses (different objects, mutable field types,
     unregistered or op_id-less messages) fall back to the plain encode
     and stay bit-identical -- the cache changes cost, never bytes.
+
+    Namespaced (keyed) messages get the same treatment twice over: a
+    per-register LRU caches the full head (wrapper prefix + register +
+    inner prefix) for hot keys, and a per-inner-class fallback caches
+    just the tail for the cold tail of a large keyspace -- every
+    untouched key's reply shares the same ``(TAG_ZERO, b"")`` objects,
+    and every request the same empty field list, so identity matching
+    works across registers.
     """
 
-    __slots__ = ("_cls", "_vals", "_tail")
+    __slots__ = ("_cls", "_vals", "_tail", "_ns", "_shape")
 
     def __init__(self) -> None:
         self._cls: Any = None
         self._vals: tuple = ()
         self._tail = b""
+        #: register -> (inner class, non-op_id values, head, tail)
+        self._ns: "OrderedDict[str, tuple]" = OrderedDict()
+        #: inner class -> (non-op_id values, tail)
+        self._shape: Dict[type, tuple] = {}
+
+    def _encode_namespaced(self, message: Any) -> bytes:
+        register = message.register
+        inner = message.inner
+        icls = type(inner)
+        ns = self._ns
+        entry = ns.get(register)
+        if entry is not None and entry[0] is icls:
+            names = _FIELDS[icls]
+            vals = entry[1]
+            match = True
+            for name, cached in zip(names[1:], vals):
+                if getattr(inner, name) is not cached:
+                    match = False
+                    break
+            op_id = inner.op_id
+            if match and type(op_id) is int and op_id >= 0:
+                # The cached head ends at the inner ``_T_INT`` marker;
+                # only the op_id varint goes between head and tail.
+                out = bytearray(entry[2])
+                if op_id < 0x80:
+                    out.append(op_id)
+                elif op_id < 0x4000:
+                    out.append((op_id & 0x7F) | 0x80)
+                    out.append(op_id >> 7)
+                else:
+                    _uvarint(out, op_id)
+                out += entry[3]
+                ns.move_to_end(register)
+                return bytes(out)
+        names = _FIELDS.get(icls)
+        if (not names or names[0] != "op_id"
+                or type(register) is not str or len(register) >= 0x80):
+            return encode_message_v2(message)
+        shape = self._shape.get(icls)
+        if shape is not None:
+            op_id = inner.op_id
+            match = type(op_id) is int and op_id >= 0
+            if match:
+                for name, cached in zip(names[1:], shape[0]):
+                    if getattr(inner, name) is not cached:
+                        match = False
+                        break
+            if match:
+                # Cold-key fast path: rebuild the head from the live
+                # register (cheap -- one short string) and reuse the
+                # cached tail shared by every register in this state.
+                out = bytearray(_NS_PREFIX)
+                raw = register.encode()
+                out.append(_T_STR)
+                if len(raw) < 0x80:
+                    out.append(len(raw))
+                else:
+                    _uvarint(out, len(raw))
+                out += raw
+                out.append(_T_MSG)
+                out += _PREFIXES[icls]
+                out.append(_T_INT)
+                if op_id < 0x80:
+                    out.append(op_id)
+                elif op_id < 0x4000:
+                    out.append((op_id & 0x7F) | 0x80)
+                    out.append(op_id >> 7)
+                else:
+                    _uvarint(out, op_id)
+                out += shape[1]
+                return bytes(out)
+        out = bytearray(_NS_PREFIX)
+        _encode_value(out, register)
+        out.append(_T_MSG)
+        out += _PREFIXES[icls]
+        _encode_value(out, inner.op_id)
+        start = len(out)
+        vals = []
+        cacheable = type(inner.op_id) is int and inner.op_id >= 0
+        for name in names[1:]:
+            value = getattr(inner, name)
+            _encode_value(out, value)
+            if type(value) not in _IMMUTABLE_FIELD_TYPES:
+                cacheable = False
+            vals.append(value)
+        blob = bytes(out)
+        if cacheable:
+            tail = blob[start:]
+            self._shape[icls] = (tuple(vals), tail)
+            spans = _ns_spans(blob)
+            if spans is not None:
+                _, head_end, _ = spans
+                ns[register] = (icls, tuple(vals), blob[:head_end], tail)
+                ns.move_to_end(register)
+                if len(ns) > _NS_CACHE_MAX:
+                    ns.popitem(last=False)
+        return blob
 
     def __call__(self, message: Any) -> bytes:
         cls = type(message)
+        if cls is NamespacedMessage and _NS_FAST:
+            return self._encode_namespaced(message)
         if cls is self._cls:
             names = _FIELDS[cls]
             match = True
@@ -575,17 +743,109 @@ class CachedDecoder:
     what the full decode would have produced.  Everything else -- v1
     payloads, differing bytes, mutable or op_id-less shapes -- falls
     through to :func:`repro.transport.codec.decode_message` verbatim.
+
+    Namespaced payloads cache by *shape*, not by register: the template
+    key is the five fixed bytes after the register string (``_T_MSG``,
+    inner magic, type id, field count, ``_T_INT``) plus the byte-exact
+    tail after the op_id varint.  A keyed read fleet answers most
+    requests from a handful of shapes -- every untouched key shares one
+    ``DataReply`` template, every query one request template -- so the
+    hit rate is independent of how many keys are live.  The register
+    string is parsed fresh on every hit (it feeds the rebuilt wrapper),
+    so templates are register-agnostic by construction.
     """
 
-    __slots__ = ("_head", "_tail", "_cls", "_pairs")
+    __slots__ = ("_head", "_tail", "_cls", "_pairs", "_ns")
 
     def __init__(self) -> None:
         self._head: Any = None
         self._tail = b""
         self._cls: Any = None
         self._pairs: dict = {}
+        #: inner-prefix bytes -> tail bytes -> (inner class, pairs)
+        self._ns: Dict[bytes, "OrderedDict[bytes, tuple]"] = {}
+
+    def _decode_namespaced(self, data):
+        """Rebuild a namespaced payload from a learned shape template.
+
+        ``None`` on any mismatch; the caller falls through to the full
+        decode (and re-learns the template from its result).
+        """
+        try:
+            if data[3] != _T_STR:
+                return None
+            rlen = data[4]
+            if rlen >= 0x80:
+                return None
+            rend = 5 + rlen
+            tails = self._ns.get(bytes(data[rend:rend + 5]))
+            if tails is None:
+                return None
+            pos = rend + 5
+            op_id = data[pos]
+            if op_id < 0x80:
+                end = pos + 1
+            else:
+                second = data[pos + 1]
+                if second < 0x80:
+                    op_id = (op_id & 0x7F) | (second << 7)
+                    end = pos + 2
+                else:
+                    op_id, end = _read_uvarint(data, pos)
+            entry = tails.get(bytes(data[end:]))
+            if entry is None:
+                return None
+            register = str(data[5:rend], "utf-8")
+        except (IndexError, ProtocolError, UnicodeDecodeError):
+            return None
+        inner = _NEW(entry[0])
+        fields = inner.__dict__
+        fields.update(entry[1])
+        fields["op_id"] = op_id
+        message = _NEW(NamespacedMessage)
+        fields = message.__dict__
+        fields["register"] = register
+        fields["inner"] = inner
+        return message
+
+    def _learn_namespaced(self, data, message) -> None:
+        inner = message.inner
+        icls = type(inner)
+        names = _FIELDS.get(icls)
+        if not (names and names[0] == "op_id" and _BYPASS_INIT.get(icls)):
+            return
+        fields = inner.__dict__
+        values = [fields[name] for name in names[1:]]
+        if not all(type(v) in _IMMUTABLE_FIELD_TYPES for v in values):
+            return
+        blob = bytes(data)
+        try:
+            spans = _ns_spans(blob)
+        except IndexError:
+            return
+        if spans is None:
+            return
+        rkey, head_end, opid_end = spans
+        rend = 5 + len(rkey)
+        if head_end != rend + 5:
+            return  # multi-byte inner type id; stay on the slow path
+        ns = self._ns
+        tails = ns.get(blob[rend:head_end])
+        if tails is None:
+            if len(ns) >= _NS_SHAPES_MAX:
+                return
+            tails = ns[blob[rend:head_end]] = OrderedDict()
+        tails[blob[opid_end:]] = (icls, dict(zip(names[1:], values)))
+        tails.move_to_end(blob[opid_end:])
+        if len(tails) > _NS_CACHE_MAX:
+            tails.popitem(last=False)
 
     def __call__(self, data) -> Any:
+        if (_NS_FAST and self._ns and len(data) > 5
+                and data[0] == MAGIC_V2 and data[1] == _NS_ID):
+            message = self._decode_namespaced(data)
+            if message is not None:
+                return message
         head = self._head
         if head is not None:
             hl = len(head)
@@ -615,6 +875,10 @@ class CachedDecoder:
 
         message = decode_message(data)
         cls = type(message)
+        if cls is NamespacedMessage:
+            if _NS_FAST and data[0] == MAGIC_V2:
+                self._learn_namespaced(data, message)
+            return message
         names = _FIELDS.get(cls)
         if (data[0] == MAGIC_V2 and names and names[0] == "op_id"
                 and _BYPASS_INIT.get(cls)):
@@ -647,13 +911,15 @@ class CachedDecoder:
 def peek_op_id_v2(data) -> Any:
     """The ``op_id`` of a v2 payload, read without decoding the message.
 
-    Returns ``None`` for anything else -- v1 payloads, wrapped messages
-    whose first field is not ``op_id`` (``NamespacedMessage``), or bytes
-    too malformed to peek at; callers fall back to the full decode,
-    which reports malformations properly.  Reply pumps use this to route
-    (or drop) a reply by ``op_id`` before paying for its decode: surplus
-    replies past the quorum and stale replies to finished operations
-    never need their payloads parsed at all.
+    Namespaced payloads are peeked *through*: the register string is
+    skipped and the inner message's ``op_id`` returned, so keyed reply
+    streams route as cheaply as bare ones.  Returns ``None`` for
+    anything else -- v1 payloads, messages whose first field is not
+    ``op_id``, or bytes too malformed to peek at; callers fall back to
+    the full decode, which reports malformations properly.  Reply pumps
+    use this to route (or drop) a reply by ``op_id`` before paying for
+    its decode: surplus replies past the quorum and stale replies to
+    finished operations never need their payloads parsed at all.
     """
     try:
         if data[0] != MAGIC_V2:
@@ -664,6 +930,29 @@ def peek_op_id_v2(data) -> Any:
             pos += 1
         else:
             type_id, pos = _read_uvarint(data, pos)
+        if type_id == _NS_ID:
+            # Skip the wrapper: nfields, register string, _T_MSG, magic.
+            nfields = data[pos]
+            if nfields < 0x80:
+                pos += 1
+            else:
+                nfields, pos = _read_uvarint(data, pos)
+            if data[pos] != _T_STR:
+                return None
+            rlen = data[pos + 1]
+            if rlen < 0x80:
+                pos += 2
+            else:
+                rlen, pos = _read_uvarint(data, pos + 1)
+            pos += rlen
+            if data[pos] != _T_MSG or data[pos + 1] != MAGIC_V2:
+                return None
+            pos += 2
+            type_id = data[pos]
+            if type_id < 0x80:
+                pos += 1
+            else:
+                type_id, pos = _read_uvarint(data, pos)
         if type_id >= len(_BY_ID) or not _OPID_FIRST[type_id]:
             return None
         nfields = data[pos]

@@ -9,6 +9,7 @@ that drivers replay against any :class:`repro.core.register.RegisterSystem`.
 from repro.workloads.generator import (
     ScheduledOp,
     WorkloadSpec,
+    ZipfSampler,
     apply_schedule,
     apply_schedule_async,
     generate_schedule,
@@ -18,6 +19,7 @@ from repro.workloads.generator import (
 __all__ = [
     "WorkloadSpec",
     "ScheduledOp",
+    "ZipfSampler",
     "generate_schedule",
     "apply_schedule",
     "apply_schedule_async",

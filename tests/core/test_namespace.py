@@ -170,3 +170,32 @@ def test_namespaced_reader_state_is_per_register():
     system.run()
     assert read_a.value == b"a-value"
     assert read_b.value == b""  # not b"a-value"
+
+
+# -- key-space DoS defence ----------------------------------------------------
+
+def test_invalid_register_names_allocate_no_state():
+    """Garbage names are dropped before any per-register state exists."""
+    server = make_server()
+    for bad in ("", "has space", "nul\x00byte", "x" * 129, "café", 42,
+                None, b"bytes"):
+        assert server.handle("r0", NamespacedMessage(bad, QueryData(op_id=1))) == []
+    assert server.registers == {}
+
+
+def test_valid_names_still_served_after_rejections():
+    server = make_server()
+    server.handle("r0", NamespacedMessage("x" * 500, QueryData(op_id=1)))
+    [(_, reply)] = server.handle(
+        "r0", NamespacedMessage("legit", QueryData(op_id=2)))
+    assert reply.register == "legit"
+    assert set(server.registers) == {"legit"}
+
+
+def test_max_length_name_accepted():
+    server = make_server()
+    name = "k" * 128  # exactly the bound
+    assert server.handle("r0", NamespacedMessage(name, QueryData(op_id=1))) != []
+    assert server.handle(
+        "r0", NamespacedMessage(name + "k", QueryData(op_id=2))) == []
+    assert set(server.registers) == {name}

@@ -1,0 +1,209 @@
+"""Sharded keyspace over the asyncio TCP runtime."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import LocalCluster
+from repro.sharding import KeyspaceConfig, key_name
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_keyed_put_get_roundtrip():
+    async def scenario():
+        cluster = LocalCluster("bsr", f=1, n=9,
+                               keyspace=KeyspaceConfig(group_size=5, seed=3))
+        await cluster.start()
+        try:
+            writer = cluster.client("w000")
+            reader = cluster.client("r000")
+            await writer.connect()
+            await reader.connect()
+            for i in range(12):
+                await writer.write(f"value-{i}".encode(),
+                                   register=key_name(i))
+            for i in range(12):
+                assert (await reader.read(register=key_name(i))
+                        == f"value-{i}".encode())
+            assert await reader.read(register="untouched-key") == b""
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_keys_land_only_on_their_group():
+    async def scenario():
+        keyspace = KeyspaceConfig(group_size=5, seed=3)
+        cluster = LocalCluster("bsr", f=1, n=9, keyspace=keyspace)
+        await cluster.start()
+        try:
+            writer = cluster.client("w000")
+            await writer.connect()
+            placement = keyspace.placement(cluster.server_ids)
+            for i in range(10):
+                await writer.write(b"v", register=key_name(i))
+            for i in range(10):
+                key = key_name(i)
+                group = set(placement.servers_for(key))
+                for pid, node in cluster.nodes.items():
+                    hosted = key in node.protocol.registers
+                    assert hosted == (pid in group), (key, pid)
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_group_quorums_tolerate_f_byzantine():
+    async def scenario():
+        cluster = LocalCluster("bsr", f=1, n=9,
+                               keyspace=KeyspaceConfig(group_size=5, seed=3),
+                               byzantine={0: "stale"})
+        await cluster.start()
+        try:
+            writer = cluster.client("w000")
+            reader = cluster.client("r000")
+            await writer.connect()
+            await reader.connect()
+            for i in range(8):
+                await writer.write(f"v{i}".encode(), register=key_name(i))
+                assert (await reader.read(register=key_name(i))
+                        == f"v{i}".encode())
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_invalid_key_rejected_client_side():
+    async def scenario():
+        cluster = LocalCluster("bsr", f=1, n=9,
+                               keyspace=KeyspaceConfig(group_size=5, seed=3))
+        await cluster.start()
+        try:
+            writer = cluster.client("w000")
+            await writer.connect()
+            with pytest.raises(ConfigurationError):
+                await writer.write(b"x", register="bad key")
+            with pytest.raises(ConfigurationError):
+                await writer.write(b"x", register="y" * 300)
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_eviction_under_live_load():
+    async def scenario():
+        cluster = LocalCluster(
+            "bsr", f=1, n=5,
+            keyspace=KeyspaceConfig(group_size=5, seed=3, max_resident=4))
+        await cluster.start()
+        try:
+            writer = cluster.client("w000")
+            reader = cluster.client("r000")
+            await writer.connect()
+            await reader.connect()
+            for i in range(16):
+                await writer.write(f"v{i}".encode(), register=key_name(i))
+            # Every key still reads back despite only 4 resident per node.
+            for i in range(16):
+                assert (await reader.read(register=key_name(i))
+                        == f"v{i}".encode())
+            for node in cluster.nodes.values():
+                assert len(node.protocol.registers) <= 4
+                assert len(node.protocol.archived_keys) > 0
+            snap = cluster.registry.snapshot()
+            evictions = sum(c["value"] for c in snap["counters"]
+                            if c["name"] == "table_evictions_total")
+            rehydrations = sum(c["value"] for c in snap["counters"]
+                               if c["name"] == "table_rehydrations_total")
+            assert evictions > 0 and rehydrations > 0
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_client_group_ops_metric():
+    async def scenario():
+        cluster = LocalCluster("bsr", f=1, n=9,
+                               keyspace=KeyspaceConfig(group_size=5, seed=3))
+        await cluster.start()
+        try:
+            writer = cluster.client("w000")
+            await writer.connect()
+            for i in range(6):
+                await writer.write(b"v", register=key_name(i))
+            snap = cluster.registry.snapshot()
+            entries = [c for c in snap["counters"]
+                       if c["name"] == "client_group_ops_total"]
+            assert entries
+            assert sum(c["value"] for c in entries) == 6
+            for entry in entries:
+                label = entry["labels"]["group"]
+                assert len(label.split("+")) == 5
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_sharded_bcsr_requires_full_fleet_groups():
+    with pytest.raises(ConfigurationError):
+        LocalCluster("bcsr", f=1, n=7,
+                     keyspace=KeyspaceConfig(group_size=6, seed=1))
+
+
+def test_sharded_bcsr_full_fleet_roundtrip():
+    async def scenario():
+        cluster = LocalCluster("bcsr", f=1,
+                               keyspace=KeyspaceConfig(group_size=6, seed=1))
+        await cluster.start()
+        try:
+            writer = cluster.client("w000")
+            reader = cluster.client("r000")
+            await writer.connect()
+            await reader.connect()
+            for i in range(4):
+                await writer.write(f"coded-{i}".encode(),
+                                   register=key_name(i))
+                assert (await reader.read(register=key_name(i))
+                        == f"coded-{i}".encode())
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_undersized_groups_rejected():
+    with pytest.raises(ConfigurationError):
+        LocalCluster("bsr", f=1, n=9,
+                     keyspace=KeyspaceConfig(group_size=4, seed=1))
+
+
+def test_concurrent_multikey_clients():
+    async def scenario():
+        cluster = LocalCluster("bsr", f=1, n=9,
+                               keyspace=KeyspaceConfig(group_size=5, seed=3))
+        await cluster.start()
+        try:
+            writer = cluster.client("w000")
+            reader = cluster.client("r000")
+            await writer.connect()
+            await reader.connect()
+            await asyncio.gather(*(
+                writer.write(f"v{i}".encode(), register=key_name(i))
+                for i in range(10)))
+            values = await asyncio.gather(*(
+                reader.read(register=key_name(i)) for i in range(10)))
+            assert values == [f"v{i}".encode() for i in range(10)]
+        finally:
+            await cluster.stop()
+
+    run(scenario())

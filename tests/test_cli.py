@@ -156,3 +156,76 @@ def test_modelcheck_accepts_exhaustive_flag(capsys):
                  "--max-states", "50"]) in (0, 1)
     out = capsys.readouterr().out
     assert "quorum pairs" in out
+
+
+# -- keys (sharded keyspace inspection) ---------------------------------------
+
+@pytest.fixture
+def keyspace_spec(tmp_path):
+    from repro.deploy import ClusterSpec
+
+    return ClusterSpec(
+        algorithm="bsr", f=1, n=9, secret="cli-keys",
+        keyspace={"group_size": 5, "vnodes": 32, "seed": 7},
+    ).save(str(tmp_path / "cluster.json"))
+
+
+def test_keys_stats_reports_shares(keyspace_spec, capsys):
+    assert main(["keys", "stats", "--spec", keyspace_spec,
+                 "--sample", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "group_size=5" in out
+    assert "placement fingerprint:" in out
+    for i in range(9):
+        assert f"s{i:03d}" in out
+
+
+def test_keys_locate_names_the_group(keyspace_spec, capsys):
+    assert main(["keys", "locate", "key-0042",
+                 "--spec", keyspace_spec]) == 0
+    out = capsys.readouterr().out
+    assert "primary:" in out
+    assert "group:" in out
+    assert "size 5" in out
+
+
+def test_keys_locate_matches_spec_placement(keyspace_spec, capsys):
+    from repro.deploy import ClusterSpec
+
+    assert main(["keys", "locate", "key-0007",
+                 "--spec", keyspace_spec]) == 0
+    out = capsys.readouterr().out
+    group = ClusterSpec.from_file(keyspace_spec).locate("key-0007")
+    for node in group:
+        assert str(node) in out
+
+
+def test_keys_rebalance_dry_run(keyspace_spec, capsys):
+    assert main(["keys", "rebalance", "--spec", keyspace_spec,
+                 "--dry-run", "--add", "1", "--sample", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "9 -> 10 nodes" in out
+    assert "change groups" in out
+
+
+def test_keys_rebalance_requires_dry_run(keyspace_spec, capsys):
+    assert main(["keys", "rebalance", "--spec", keyspace_spec,
+                 "--add", "1"]) == 1
+    assert "--dry-run" in capsys.readouterr().err
+
+
+def test_keys_refuses_unsharded_spec(tmp_path, capsys):
+    from repro.deploy import ClusterSpec
+
+    plain = ClusterSpec(algorithm="bsr", f=1, secret="plain").save(
+        str(tmp_path / "plain.json"))
+    assert main(["keys", "stats", "--spec", plain]) == 1
+    assert "no [keyspace]" in capsys.readouterr().err
+
+
+def test_chaos_keyed_workload(capsys):
+    assert main(["chaos", "--schedule", "none", "--ops", "10",
+                 "--keys", "8", "--zipf-s", "1.1", "--seed", "3",
+                 "--period", "0.3"]) == 0
+    out = capsys.readouterr().out
+    assert "per register" in out

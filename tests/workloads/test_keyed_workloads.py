@@ -86,3 +86,67 @@ def test_cross_register_staleness_is_not_a_violation():
     trace = system.run()
     assert read.value == b""
     check_safety_per_register(trace, initial_value=b"").raise_if_violated()
+
+
+# -- ZipfSampler and the keys / zipf_s aliases --------------------------------
+
+def test_zipf_sampler_ranks_hottest_first():
+    from repro.workloads import ZipfSampler
+
+    sampler = ZipfSampler(100, 1.2)
+    rng = SimRng(9, "zipf")
+    draws = [sampler.sample(rng) for _ in range(3000)]
+    assert all(0 <= d < 100 for d in draws)
+    assert draws.count(0) > draws.count(50)
+    assert draws.count(0) > 3000 / 100 * 3
+
+
+def test_zipf_sampler_zero_skew_is_uniform():
+    from repro.workloads import ZipfSampler
+
+    sampler = ZipfSampler(10, 0.0)
+    rng = SimRng(10, "zipf-uniform")
+    draws = [sampler.sample(rng) for _ in range(5000)]
+    counts = [draws.count(i) for i in range(10)]
+    assert min(counts) > 300  # every index drawn roughly evenly
+
+
+def test_zipf_sampler_scales_to_many_keys():
+    from repro.workloads import ZipfSampler
+
+    sampler = ZipfSampler(10_000, 1.1)
+    rng = SimRng(11, "zipf-wide")
+    draws = [sampler.sample(rng) for _ in range(1000)]
+    assert all(0 <= d < 10_000 for d in draws)
+    assert len(set(draws)) > 100  # the tail is reachable
+
+
+def test_zipf_sampler_validates():
+    from repro.workloads import ZipfSampler
+
+    with pytest.raises(ValueError):
+        ZipfSampler(0, 1.0)
+    with pytest.raises(ValueError):
+        ZipfSampler(10, -0.5)
+
+
+def test_keys_alias_overrides_num_keys():
+    spec = WorkloadSpec(num_ops=10, keys=50, zipf_s=1.3)
+    assert spec.num_keys == 50
+    assert spec.key_skew == 1.3
+    assert spec.keys == 50 and spec.zipf_s == 1.3
+
+
+def test_aliases_mirror_canonical_fields():
+    spec = WorkloadSpec(num_ops=10, num_keys=7, key_skew=0.8)
+    assert spec.keys == 7
+    assert spec.zipf_s == 0.8
+
+
+def test_schedule_uses_key_name_format():
+    spec = WorkloadSpec(num_ops=100, keys=10_000, zipf_s=1.1)
+    schedule = generate_schedule(spec, SimRng(12, "wide-keys"))
+    for op in schedule:
+        assert op.register is not None
+        assert op.register.startswith("key-")
+        assert 0 <= int(op.register[4:]) < 10_000
