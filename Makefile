@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-codec bench-hotpath bench-keyspace bench-pipeline bench-tables chaos-soak cluster-smoke examples lint metrics-smoke modelcheck clean
+.PHONY: install test bench bench-codec bench-hotpath bench-keyspace bench-load bench-pipeline bench-tables chaos-soak cluster-smoke examples lint load-smoke metrics-smoke modelcheck clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -37,6 +37,19 @@ bench-hotpath:
 bench-keyspace:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_e20_keyspace.py
 
+# E21 open-loop load rig: multi-process workers against a
+# process-per-node cluster, honest (coordinated-omission-free) latency,
+# SLO sweep for max sustainable throughput; writes BENCH_load.json.
+bench-load:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_e21_load.py
+
+# Fast end-to-end sanity of the load rig (inline workers, ~10 s).
+load-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro load --users 20 --rps 60 \
+		--duration 3 --warmup 0.5 --cooldown 0.25 --keys 16 \
+		--workers 1 --inline --no-sweep --out /tmp/BENCH_load_smoke.json
+	PYTHONPATH=src $(PYTHON) tools/check_bench_schema.py /tmp/BENCH_load_smoke.json
+
 # Regenerate every experiment table (what EXPERIMENTS.md records).
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s -m ""
@@ -63,6 +76,7 @@ lint:
 	PYTHONPATH=src $(PYTHON) tools/check_no_print.py
 	PYTHONPATH=src $(PYTHON) tools/hotpath_smoke.py
 	PYTHONPATH=src $(PYTHON) tools/check_ring_determinism.py
+	PYTHONPATH=src $(PYTHON) tools/check_bench_schema.py
 
 examples:
 	@for script in examples/*.py; do \

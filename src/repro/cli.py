@@ -11,7 +11,11 @@ Subcommands:
 * ``cluster``   -- serve / inspect / signal a process-per-node cluster
   (``status --metrics`` adds scraped per-phase latency histograms).
 * ``metrics``   -- scrape a served cluster's metric registries and dump
-  them as Prometheus text exposition or JSON.
+  them as Prometheus text exposition or JSON (``dump --watch`` appends
+  a JSON-lines snapshot time series).
+* ``load``      -- open-loop multi-process load generator with honest
+  latency, merged per-worker histograms and an SLO sweep
+  (``load-worker`` is its internal per-process entry point).
 * ``keys``      -- inspect a sharded keyspace: placement stats, the
   group serving one key, and rebalance dry-runs.
 * ``algorithms`` -- list the implemented algorithms and their bounds.
@@ -385,7 +389,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         read_state,
         stats_ping,
     )
-    from repro.obs import merge_snapshots, render_prometheus
+    from repro.obs import SnapshotLog, merge_snapshots, render_prometheus
 
     spec = ClusterSpec.from_file(args.spec)
     state_path = args.state or default_state_path(spec, args.spec)
@@ -408,6 +412,33 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                 snapshots.append(ack.metrics)
         return snapshots
 
+    if args.watch:
+        # Time-series sidecar: one JSON line per scrape interval,
+        # appended to --out (or streamed to stdout).
+        import time as time_module
+
+        log = SnapshotLog(args.out if args.out else sys.stdout)
+        scrapes = 0
+        try:
+            while True:
+                snapshots = asyncio.run(scrape_all())
+                if snapshots:
+                    log.append(merge_snapshots(snapshots),
+                               ts=time_module.time(),
+                               extra={"nodes": len(snapshots)})
+                scrapes += 1
+                if args.count and scrapes >= args.count:
+                    break
+                time_module.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        finally:
+            log.close()
+        if args.out:
+            print(f"appended {log.lines} snapshots to {args.out}",
+                  file=sys.stderr)
+        return 0
+
     snapshots = asyncio.run(scrape_all())
     if not snapshots:
         print("no node answered a stats ping", file=sys.stderr)
@@ -418,6 +449,41 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     else:
         sys.stdout.write(render_prometheus(merged))
     return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from repro.load import LoadProfile, SloPolicy, parse_mix, run_load
+
+    _maybe_uvloop(args)
+    profile = LoadProfile(
+        users=args.users, rps=args.rps, read_ratio=parse_mix(args.mix),
+        keys=args.keys, zipf_s=args.zipf_s, value_size=args.value_size,
+        duration=args.duration, warmup=args.warmup, cooldown=args.cooldown,
+        seed=args.seed, timeout=args.timeout, algorithm=args.algorithm,
+        f=args.f, n=args.n, clients_per_worker=args.clients_per_worker,
+        max_history=args.max_history,
+    )
+    slo = SloPolicy(p99_ms=args.slo_p99_ms,
+                    max_error_rate=args.slo_error_rate)
+    sweep = ("none" if args.no_sweep
+             else "binary" if args.sweep else "step")
+    report = asyncio.run(run_load(
+        profile, procs=args.procs, workers=args.workers, slo=slo,
+        sweep=sweep, sweep_duration=args.sweep_duration,
+        inline=args.inline, timeseries_path=args.timeseries,
+    ))
+    print(report.format())
+    if args.out:
+        report.write(args.out)
+        print(f"wrote {args.out}")
+    return 0 if report.safety_ok else 1
+
+
+def _cmd_load_worker(args: argparse.Namespace) -> int:
+    from repro.load import worker_main
+
+    _maybe_uvloop(args)
+    return worker_main()
 
 
 def _cmd_keys(args: argparse.Namespace) -> int:
@@ -664,6 +730,88 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_dump.add_argument("--timeout", type=float, default=2.0)
     metrics_dump.add_argument("--format", default="prometheus",
                               choices=("prometheus", "json"))
+    metrics_dump.add_argument("--watch", action="store_true",
+                              help="scrape periodically and append one "
+                                   "JSON line per interval (time-series "
+                                   "sidecar)")
+    metrics_dump.add_argument("--interval", type=float, default=2.0,
+                              help="seconds between --watch scrapes")
+    metrics_dump.add_argument("--count", type=int, default=0,
+                              help="stop --watch after N scrapes "
+                                   "(0 = until Ctrl-C)")
+    metrics_dump.add_argument("--out", default=None,
+                              help="append --watch lines to this file "
+                                   "(default: stdout)")
+
+    load = sub.add_parser(
+        "load",
+        help="open-loop multi-process load generator with honest latency "
+             "and an SLO sweep",
+    )
+    load.add_argument("--users", type=int, default=200,
+                      help="total concurrent sessions across all workers")
+    load.add_argument("--rps", type=float, default=500.0,
+                      help="target aggregate arrival rate (Poisson)")
+    load.add_argument("--mix", default="90/10",
+                      help="read/write mix, e.g. 90/10 (or a bare read "
+                           "ratio like 0.9)")
+    load.add_argument("--keys", type=int, default=64,
+                      help="distinct keys (>1 shards the cluster; Zipf "
+                           "popularity)")
+    load.add_argument("--zipf-s", type=float, default=0.99,
+                      help="Zipf exponent for key popularity (0 = uniform)")
+    load.add_argument("--value-size", type=int, default=64)
+    load.add_argument("--duration", type=float, default=10.0,
+                      help="measured window, seconds")
+    load.add_argument("--warmup", type=float, default=2.0)
+    load.add_argument("--cooldown", type=float, default=0.5)
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--timeout", type=float, default=10.0,
+                      help="per-operation liveness timeout")
+    load.add_argument("--algorithm", default="bsr",
+                      choices=CLIENT_ALGORITHMS)
+    load.add_argument("--f", type=int, default=1)
+    load.add_argument("--n", type=int, default=None)
+    load.add_argument("--workers", type=int, default=2,
+                      help="worker processes the offered load splits "
+                           "across")
+    load.add_argument("--clients-per-worker", type=int, default=4,
+                      help="real connection sets per worker (sessions "
+                           "multiplex over them)")
+    load.add_argument("--max-history", type=int, default=128,
+                      help="bound every server's per-register history")
+    load.add_argument("--procs", action="store_true",
+                      help="drive a real process-per-node cluster instead "
+                           "of the in-process one")
+    load.add_argument("--inline", action="store_true",
+                      help="run workers as tasks in this process instead "
+                           "of subprocesses (tests, smoke runs)")
+    load.add_argument("--sweep", action="store_true",
+                      help="binary-refine the max sustainable rate "
+                           "(default: step sweep at fractions of --rps)")
+    load.add_argument("--no-sweep", action="store_true",
+                      help="run only the main pass, no SLO sweep")
+    load.add_argument("--sweep-duration", type=float, default=None,
+                      help="measured seconds per sweep pass (default: "
+                           "duration/3, clamped to [3, 8])")
+    load.add_argument("--slo-p99-ms", type=float, default=250.0,
+                      help="SLO: honest p99 bound, milliseconds")
+    load.add_argument("--slo-error-rate", type=float, default=0.005,
+                      help="SLO: failed-operation share bound")
+    load.add_argument("--out", default="BENCH_load.json",
+                      help="write the report JSON here ('' = skip)")
+    load.add_argument("--timeseries", default=None,
+                      help="append per-worker snapshot JSON lines to "
+                           "this file during the run")
+    load.add_argument("--uvloop", action="store_true",
+                      help="use uvloop when installed (falls back to the "
+                           "stdlib loop with a notice)")
+
+    load_worker = sub.add_parser(
+        "load-worker",
+        help="internal: one load-rig worker (config on stdin, JSONL out)")
+    load_worker.add_argument("--uvloop", action="store_true",
+                             help="use uvloop when installed")
 
     keys = sub.add_parser(
         "keys",
@@ -723,6 +871,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cluster": _cmd_cluster,
         "metrics": _cmd_metrics,
         "keys": _cmd_keys,
+        "load": _cmd_load,
+        "load-worker": _cmd_load_worker,
         "modelcheck": _cmd_modelcheck,
     }
     return handlers[args.command](args)

@@ -30,6 +30,8 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricRegistry,
+    aggregate_histograms,
+    merge_registry_snapshots,
     merge_snapshots,
     render_prometheus,
     summarize_histogram_snapshot,
@@ -41,6 +43,11 @@ from repro.obs.stats import (
     percentile,
     summarize_buckets,
     summarize_latencies,
+)
+from repro.obs.timeseries import (
+    SnapshotLog,
+    iter_snapshot_log,
+    read_snapshot_log,
 )
 from repro.obs.tracing import (
     PHASE_BY_MESSAGE,
@@ -66,11 +73,16 @@ __all__ = [
     "OpSpan",
     "OpTracer",
     "PHASE_BY_MESSAGE",
+    "SnapshotLog",
+    "aggregate_histograms",
     "bucket_percentile",
+    "iter_snapshot_log",
+    "merge_registry_snapshots",
     "merge_snapshots",
     "nearest_rank",
     "percentile",
     "phase_name",
+    "read_snapshot_log",
     "render_prometheus",
     "summarize_buckets",
     "summarize_histogram_snapshot",

@@ -270,6 +270,88 @@ def merge_snapshots(snapshots: Iterable[Dict],
     return merged
 
 
+def merge_registry_snapshots(snapshots: Iterable[Dict],
+                             namespace: str = "repro") -> Dict:
+    """*Aggregate* several snapshots into one (same-metric entries fold).
+
+    Unlike :func:`merge_snapshots` (pure concatenation for components
+    that already distinguish themselves by label), this is the merge the
+    load rig's coordinator applies to per-worker registries shipped over
+    IPC: entries with the same ``(name, labels)`` are combined --
+    counters and gauges sum, histograms add bucket-wise (their bounds
+    must agree; mismatched bounds raise ``ValueError`` rather than
+    silently mixing scales).  Min/max/sum stay exact across the fold, so
+    a percentile computed from the merged histogram equals one computed
+    from a single registry that had observed every worker's samples.
+    """
+    counters: Dict[Tuple[str, LabelPairs], float] = {}
+    gauges: Dict[Tuple[str, LabelPairs], float] = {}
+    histograms: Dict[Tuple[str, LabelPairs], Dict] = {}
+    for snapshot in snapshots:
+        for entry in snapshot.get("counters", ()):
+            key = (entry["name"], _label_pairs(entry.get("labels", {})))
+            counters[key] = counters.get(key, 0.0) + float(entry["value"])
+        for entry in snapshot.get("gauges", ()):
+            key = (entry["name"], _label_pairs(entry.get("labels", {})))
+            gauges[key] = gauges.get(key, 0.0) + float(entry["value"])
+        for entry in snapshot.get("histograms", ()):
+            key = (entry["name"], _label_pairs(entry.get("labels", {})))
+            merged = histograms.get(key)
+            if merged is None:
+                histograms[key] = {
+                    "buckets": list(entry["buckets"]),
+                    "counts": list(entry["counts"]),
+                    "sum": float(entry["sum"]),
+                    "min": entry["min"],
+                    "max": entry["max"],
+                }
+                continue
+            if list(entry["buckets"]) != merged["buckets"]:
+                raise ValueError(
+                    f"histogram {entry['name']!r} bucket bounds differ "
+                    f"across snapshots; cannot merge")
+            merged["counts"] = [a + b for a, b in
+                                zip(merged["counts"], entry["counts"])]
+            merged["sum"] += float(entry["sum"])
+            if sum(entry["counts"]):
+                if sum(merged["counts"]) == sum(entry["counts"]):
+                    # The accumulator was empty so far: adopt the
+                    # entry's extrema instead of comparing with zeros.
+                    merged["min"], merged["max"] = entry["min"], entry["max"]
+                else:
+                    merged["min"] = min(merged["min"], entry["min"])
+                    merged["max"] = max(merged["max"], entry["max"])
+    return {
+        "namespace": namespace,
+        "counters": [{"name": name, "labels": dict(pairs), "value": value}
+                     for (name, pairs), value in sorted(counters.items())],
+        "gauges": [{"name": name, "labels": dict(pairs), "value": value}
+                   for (name, pairs), value in sorted(gauges.items())],
+        "histograms": [{"name": name, "labels": dict(pairs), **body}
+                       for (name, pairs), body in sorted(histograms.items())],
+    }
+
+
+def aggregate_histograms(snapshot: Dict, name: str,
+                         **labels: str) -> Optional[Dict]:
+    """Fold every ``name`` histogram matching ``labels`` into one entry.
+
+    ``labels`` is a *subset* match: an entry qualifies when every given
+    pair appears among its labels, whatever else it carries (the worker
+    / op labels the load rig adds).  Returns one snapshot-shaped entry
+    (labels = the filter) or ``None`` when nothing matched.
+    """
+    wanted = [entry for entry in snapshot.get("histograms", ())
+              if entry.get("name") == name
+              and all(entry.get("labels", {}).get(k) == v
+                      for k, v in labels.items())]
+    if not wanted:
+        return None
+    merged = merge_registry_snapshots(
+        [{"histograms": [dict(entry, labels=labels)]} for entry in wanted])
+    return merged["histograms"][0]
+
+
 def render_prometheus(snapshot: Dict) -> str:
     """Prometheus text format from a :meth:`MetricRegistry.snapshot` dict.
 

@@ -1,0 +1,69 @@
+"""Append-only JSON-lines log of registry snapshots.
+
+The minimal metrics sidecar: one line per scrape, each a self-contained
+``{"ts": <unix seconds>, "snapshot": <MetricRegistry.snapshot()>}``
+document.  ``repro metrics dump --watch`` appends one line per interval
+while a cluster serves, and the load rig's coordinator appends every
+worker snapshot it receives over the IPC pipe -- either way the result
+is a replayable time series a notebook (or a later Prometheus importer)
+can walk without holding the whole run in memory.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterator, List, Optional, Union
+
+
+class SnapshotLog:
+    """Writer for a snapshot time-series file (JSON lines, append mode).
+
+    Accepts a path (opened in append mode, so successive runs extend the
+    series) or an already-open text stream (left open on :meth:`close`,
+    so ``stdout`` works).  Every :meth:`append` is one flushed line --
+    a crashed run keeps every snapshot recorded before the crash.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._fh: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.lines = 0
+
+    def append(self, snapshot: Dict, ts: float,
+               extra: Optional[Dict] = None) -> None:
+        """Write one ``{"ts", "snapshot", **extra}`` line, flushed."""
+        record: Dict = {"ts": ts, "snapshot": snapshot}
+        if extra:
+            record.update(extra)
+        self._fh.write(json.dumps(record, separators=(",", ":"),
+                                  sort_keys=True) + "\n")
+        self._fh.flush()
+        self.lines += 1
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "SnapshotLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_snapshot_log(path: str) -> List[Dict]:
+    """Parse every line of a snapshot log (blank lines skipped)."""
+    return list(iter_snapshot_log(path))
+
+
+def iter_snapshot_log(path: str) -> Iterator[Dict]:
+    """Yield each record of a snapshot log without loading the file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

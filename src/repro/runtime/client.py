@@ -178,24 +178,52 @@ class AsyncRegisterClient:
             for name in ("connects", "reconnects", "disconnects",
                          "frames_dropped", "frames_resent", "ops_retried",
                          "throttled", "drain_timeouts", "drain_failures",
-                         "ops_queued", "replies_stale", "send_batches")
+                         "ops_queued", "replies_stale", "send_batches",
+                         "connections_pruned")
         }
+        #: Servers :meth:`connect` skipped because no declared key routes
+        #: to them (group-local pruning).  An operation that does route
+        #: to one lazily un-prunes it -- see :meth:`_servers_for`.
+        self._pruned: set = set()
         self._tracer = OpTracer(self.registry, sink=trace_sink,
                                 client_id=client, algorithm=algorithm)
         self._log = LogGate(logger, self.registry,
                             component=f"client/{client}")
 
     # -- connection management ----------------------------------------------
-    async def connect(self) -> int:
+    async def connect(self, keys: Optional[Sequence[str]] = None) -> int:
         """Open connections to every reachable server; returns the count.
 
         Servers that are down are not fatal: with ``reconnect`` enabled a
         background supervisor keeps re-dialing them, so a server that
         comes up later joins the quorum without another ``connect`` call.
+
+        ``keys`` enables *group-local pruning* on a key-routed client:
+        only servers appearing in at least one of the given keys'
+        placement groups are dialed, the rest are skipped and counted as
+        ``connections_pruned``.  Pruning is advisory, not a fence -- an
+        operation on a key that routes to a pruned server lazily dials it
+        through the reconnect supervisor, so a session whose working set
+        drifts past its declared keys stays live (it just pays one dial).
         """
+        allowed = None
+        if keys is not None:
+            if self.placement is None:
+                raise ConfigurationError(
+                    "connect(keys=...) requires a key-routed client "
+                    "(placement is not configured)")
+            allowed = set()
+            for key in keys:
+                allowed.update(self.placement.servers_for(key))
         for pid in self.servers:
             if pid in self._connections:
                 continue
+            if allowed is not None and pid not in allowed:
+                if pid not in self._pruned:
+                    self._pruned.add(pid)
+                    self._counters["connections_pruned"].inc()
+                continue
+            self._pruned.discard(pid)
             if await self._dial(pid):
                 self._counters["connects"].inc()
             elif not self.reconnect:
@@ -669,6 +697,15 @@ class AsyncRegisterClient:
         """
         if self.placement is not None:
             group = self.placement.servers_for(register)
+            if self._pruned:
+                # The working set drifted past the keys declared at
+                # connect time: re-admit this group's pruned servers.
+                # The supervisor dials in the background and replays
+                # this op's pending frames once the link is up.
+                for pid in group:
+                    if pid in self._pruned:
+                        self._pruned.discard(pid)
+                        self._ensure_supervisor(pid)
             counter = self._group_counters.get(group)
             if counter is None:
                 counter = self._group_counters[group] = self.registry.counter(

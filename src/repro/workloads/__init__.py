@@ -6,6 +6,13 @@ reproducible operation schedules -- op mix, arrival process, value sizes --
 that drivers replay against any :class:`repro.core.register.RegisterSystem`.
 """
 
+from repro.workloads.arrivals import (
+    Arrival,
+    Windows,
+    generate_arrivals,
+    poisson_offsets,
+    sample_keys,
+)
 from repro.workloads.generator import (
     ScheduledOp,
     WorkloadSpec,
@@ -17,11 +24,16 @@ from repro.workloads.generator import (
 )
 
 __all__ = [
+    "Arrival",
     "WorkloadSpec",
     "ScheduledOp",
+    "Windows",
     "ZipfSampler",
+    "generate_arrivals",
     "generate_schedule",
     "apply_schedule",
     "apply_schedule_async",
+    "poisson_offsets",
+    "sample_keys",
     "TAO_READ_RATIO",
 ]

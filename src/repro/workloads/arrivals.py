@@ -1,0 +1,158 @@
+"""Open-loop arrival processes for the load rig.
+
+A *closed-loop* driver (``apply_schedule_async``, the soak client loops)
+submits the next operation only after the previous one finished, so when
+the system slows down the driver slows down with it and the recorded
+latencies silently exclude the queueing delay a real open population
+would have suffered -- the *coordinated omission* problem.  An
+*open-loop* driver decides every operation's submission instant ahead of
+time from an arrival process and measures each operation from that
+intended instant, whether or not the system was ready for it.
+
+This module is the schedule half of that driver: :func:`generate_arrivals`
+turns a rate, duration and mix into a deterministic list of
+:class:`Arrival` records (Poisson interarrivals, Zipf key popularity,
+Bernoulli read/write choice -- all drawn from one :class:`SimRng`, so a
+seed pins the byte-exact offered load).  The execution half lives in
+:mod:`repro.load.worker`, which replays the arrivals against live
+clients and records honest latency; it extends the closed-loop session
+model of :func:`repro.workloads.generator.apply_schedule_async` with the
+scheduled-start measurement discipline.
+
+Warm-up / measure / cool-down windows are part of the schedule too
+(:class:`Windows`): classifying an operation by its *scheduled* offset --
+never by when it actually ran -- keeps a backlogged run from smuggling
+late warm-up operations into the measured window or vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.keys import key_name
+from repro.sim.rng import SimRng
+from repro.workloads.generator import ZipfSampler
+
+#: Window labels, in schedule order.
+WARMUP, MEASURE, COOLDOWN = "warmup", "measure", "cooldown"
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled operation of an open-loop run.
+
+    ``offset`` is seconds since the run's epoch -- the instant the
+    operation is *due*, which is also the instant latency is measured
+    from.  ``key`` is ``None`` for single-register workloads.
+    """
+
+    offset: float
+    kind: str                 # "read" | "write"
+    key: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Windows:
+    """Warm-up / measure / cool-down phases of an open-loop schedule."""
+
+    warmup: float
+    measure: float
+    cooldown: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0 or self.measure <= 0 or self.cooldown < 0:
+            raise ValueError(
+                "warmup/cooldown must be >= 0 and measure > 0")
+
+    @property
+    def total(self) -> float:
+        """Seconds from epoch to the last scheduled arrival."""
+        return self.warmup + self.measure + self.cooldown
+
+    @property
+    def measure_start(self) -> float:
+        return self.warmup
+
+    @property
+    def measure_end(self) -> float:
+        return self.warmup + self.measure
+
+    def label(self, offset: float) -> str:
+        """Which window a *scheduled* offset belongs to."""
+        if offset < self.warmup:
+            return WARMUP
+        if offset < self.measure_end:
+            return MEASURE
+        return COOLDOWN
+
+
+def poisson_offsets(rate: float, duration: float, rng: SimRng) -> List[float]:
+    """Arrival offsets of a Poisson process of ``rate`` per second.
+
+    Exponential interarrivals drawn from ``rng`` until ``duration`` is
+    exceeded; deterministic for a given rng state.  Returns offsets in
+    ``[0, duration)``, strictly increasing.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    offsets: List[float] = []
+    now = 0.0
+    mean = 1.0 / rate
+    while True:
+        now += rng.expovariate(1.0 / mean)
+        if now >= duration:
+            return offsets
+        offsets.append(now)
+
+
+def generate_arrivals(rate: float, windows: Windows, read_ratio: float,
+                      rng: SimRng, num_keys: int = 1,
+                      zipf_s: float = 0.99) -> List[Arrival]:
+    """A deterministic open-loop schedule covering every window.
+
+    Draws Poisson(``rate``) arrival offsets over ``windows.total``
+    seconds, then a Bernoulli(``read_ratio``) read/write choice and --
+    when ``num_keys > 1`` -- a Zipf(``zipf_s``) key per arrival, all from
+    the one ``rng`` so the whole offered load replays byte-for-byte
+    under a fixed seed.
+    """
+    if not 0.0 <= read_ratio <= 1.0:
+        raise ValueError("read_ratio must be within [0, 1]")
+    if num_keys < 1:
+        raise ValueError("num_keys must be >= 1")
+    sampler = ZipfSampler(num_keys, zipf_s) if num_keys > 1 else None
+    arrivals: List[Arrival] = []
+    for offset in poisson_offsets(rate, windows.total, rng):
+        kind = "read" if rng.random() < read_ratio else "write"
+        key = sampler.key(rng) if sampler is not None else None
+        arrivals.append(Arrival(offset=offset, kind=kind, key=key))
+    return arrivals
+
+
+def sample_key_ranks(num_keys: int, samples: int) -> List[int]:
+    """Popularity ranks whose keys get full trace sampling.
+
+    A handful of ranks spread from the warm head to the cold tail so the
+    sampled consistency trace sees contended and quiet keys alike,
+    without drowning in the hottest key's traffic.  Rank 0 (the hottest
+    key) is deliberately excluded for that reason.
+    """
+    if num_keys <= 1 or samples <= 0:
+        return []
+    ranks = []
+    for i in range(samples):
+        # Geometric-ish spread over (0, num_keys): 1/8, 1/4, 1/2 ... of
+        # the keyspace, clamped and deduplicated.
+        rank = max(1, num_keys >> (samples - i))
+        rank = min(rank, num_keys - 1)
+        if rank not in ranks:
+            ranks.append(rank)
+    return ranks
+
+
+def sample_keys(num_keys: int, samples: int) -> List[str]:
+    """Key names for :func:`sample_key_ranks` (``key-<rank>``)."""
+    return [key_name(rank) for rank in sample_key_ranks(num_keys, samples)]

@@ -1,0 +1,1 @@
+"""Tests for the open-loop load rig (repro.load)."""

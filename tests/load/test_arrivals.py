@@ -1,0 +1,119 @@
+"""Arrival schedules: Poisson determinism, windows, sampled key ranks."""
+
+import pytest
+
+from repro.core.keys import key_name
+from repro.sim.rng import SimRng
+from repro.workloads.arrivals import (
+    COOLDOWN,
+    MEASURE,
+    WARMUP,
+    Windows,
+    generate_arrivals,
+    poisson_offsets,
+    sample_key_ranks,
+    sample_keys,
+)
+
+
+# -- Poisson offsets --------------------------------------------------------
+
+def test_poisson_offsets_deterministic_under_fixed_seed():
+    first = poisson_offsets(200.0, 5.0, SimRng(7, "load/worker000"))
+    second = poisson_offsets(200.0, 5.0, SimRng(7, "load/worker000"))
+    assert first == second           # byte-exact replay, not approximate
+    assert len(first) > 500          # ~1000 expected at rate 200 over 5s
+    assert all(0.0 <= x < 5.0 for x in first)
+    assert all(a < b for a, b in zip(first, first[1:]))
+
+
+def test_poisson_offsets_vary_with_seed_and_stream():
+    base = poisson_offsets(100.0, 2.0, SimRng(7, "load/worker000"))
+    other_seed = poisson_offsets(100.0, 2.0, SimRng(8, "load/worker000"))
+    other_worker = poisson_offsets(100.0, 2.0, SimRng(7, "load/worker001"))
+    assert base != other_seed
+    assert base != other_worker
+
+
+def test_poisson_offsets_validation():
+    with pytest.raises(ValueError):
+        poisson_offsets(0.0, 1.0, SimRng(1, "x"))
+    with pytest.raises(ValueError):
+        poisson_offsets(10.0, 0.0, SimRng(1, "x"))
+
+
+# -- full schedules ---------------------------------------------------------
+
+def test_generate_arrivals_deterministic_and_mixed():
+    windows = Windows(warmup=1.0, measure=4.0, cooldown=0.5)
+    make = lambda: generate_arrivals(  # noqa: E731 - local shorthand
+        300.0, windows, 0.9, SimRng(3, "load/worker000"),
+        num_keys=32, zipf_s=0.99)
+    first, second = make(), make()
+    assert first == second
+    kinds = [a.kind for a in first]
+    reads = kinds.count("read")
+    assert 0.8 < reads / len(kinds) < 0.97   # Bernoulli(0.9) around 90%
+    keys = {a.key for a in first}
+    assert keys <= {key_name(i) for i in range(32)}
+    assert len(keys) > 4                     # Zipf still touches a spread
+
+
+def test_generate_arrivals_single_register_has_no_keys():
+    windows = Windows(warmup=0.0, measure=1.0)
+    arrivals = generate_arrivals(100.0, windows, 0.5,
+                                 SimRng(1, "load/worker000"))
+    assert arrivals and all(a.key is None for a in arrivals)
+
+
+def test_generate_arrivals_validation():
+    windows = Windows(warmup=0.0, measure=1.0)
+    rng = SimRng(1, "x")
+    with pytest.raises(ValueError):
+        generate_arrivals(10.0, windows, 1.5, rng)
+    with pytest.raises(ValueError):
+        generate_arrivals(10.0, windows, 0.5, rng, num_keys=0)
+
+
+# -- windows ----------------------------------------------------------------
+
+def test_windows_label_uses_scheduled_offset():
+    windows = Windows(warmup=2.0, measure=10.0, cooldown=1.0)
+    assert windows.total == 13.0
+    assert windows.measure_start == 2.0
+    assert windows.measure_end == 12.0
+    assert windows.label(0.0) == WARMUP
+    assert windows.label(1.999) == WARMUP
+    assert windows.label(2.0) == MEASURE          # inclusive lower bound
+    assert windows.label(11.999) == MEASURE
+    assert windows.label(12.0) == COOLDOWN        # exclusive upper bound
+    assert windows.label(99.0) == COOLDOWN
+
+
+def test_windows_validation():
+    with pytest.raises(ValueError):
+        Windows(warmup=-1.0, measure=1.0)
+    with pytest.raises(ValueError):
+        Windows(warmup=0.0, measure=0.0)
+
+
+# -- sampled key ranks ------------------------------------------------------
+
+def test_sample_key_ranks_exclude_hottest_and_stay_in_range():
+    for num_keys in (2, 8, 64, 1024):
+        ranks = sample_key_ranks(num_keys, 4)
+        assert ranks, num_keys
+        assert 0 not in ranks                 # hottest key never sampled
+        assert all(1 <= r < num_keys for r in ranks)
+        assert len(ranks) == len(set(ranks))  # deduplicated
+
+
+def test_sample_key_ranks_degenerate_cases():
+    assert sample_key_ranks(1, 4) == []
+    assert sample_key_ranks(64, 0) == []
+
+
+def test_sample_keys_are_key_names():
+    keys = sample_keys(64, 4)
+    assert keys == [key_name(r) for r in sample_key_ranks(64, 4)]
+    assert all(k.startswith("key-") for k in keys)

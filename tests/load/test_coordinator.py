@@ -1,0 +1,126 @@
+"""Coordinator and report shaping: merged metrics, SLO verdicts, e2e."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.load.coordinator import PassOutcome, _rebuild_trace, run_load
+from repro.load.profile import LoadProfile, SloPolicy
+from repro.load.report import LoadReport, pass_metrics
+from repro.obs import MetricRegistry
+from repro.sim.trace import OpKind
+
+
+def _synthetic_outcome():
+    registry = MetricRegistry()
+    registry.counter("load_arrivals_total", window="measure").inc(100)
+    for outcome, count in (("ok", 90), ("timeout", 6), ("error", 2),
+                           ("abandoned", 2)):
+        registry.counter("load_ops_total", op="read", window="measure",
+                         outcome=outcome).inc(count)
+    op_hist = registry.histogram("load_op_seconds", op="read",
+                                 window="measure")
+    service_hist = registry.histogram("load_service_seconds", op="read",
+                                      window="measure")
+    for _ in range(100):
+        op_hist.observe(0.040)
+        service_hist.observe(0.010)
+    registry.histogram("load_queue_delay_seconds",
+                       window="measure").observe(0.030)
+    registry.counter("load_ops_queued_total").inc(7)
+    return PassOutcome(
+        label="main", target_rps=50.0, measure_duration=2.0,
+        snapshot=registry.snapshot(),
+        summaries=[{"max_backlog": 12}], trace_records=[],
+        wall_time=3.0, violations=0, safety_detail="ok", sampled=True)
+
+
+def test_pass_metrics_rates_and_percentiles():
+    metrics = pass_metrics(_synthetic_outcome(), SloPolicy())
+    assert metrics["offered_rps"] == pytest.approx(50.0)
+    assert metrics["achieved_rps"] == pytest.approx(45.0)
+    assert metrics["error_rate"] == pytest.approx(0.10)
+    assert metrics["ops"] == {"ok": 90, "error": 2, "timeout": 6,
+                              "abandoned": 2}
+    # All observations were 40ms; the bucketed estimate is clamped by
+    # the exact maximum, so every percentile lands on it.
+    assert metrics["p50_ms"] == pytest.approx(40.0)
+    assert metrics["p99_ms"] == pytest.approx(40.0)
+    assert metrics["p999_ms"] == pytest.approx(40.0)
+    assert metrics["service_p99_ms"] == pytest.approx(10.0)
+    assert metrics["queue_delay_p99_ms"] == pytest.approx(30.0)
+    assert metrics["queued"] == 7
+    assert metrics["max_backlog"] == 12
+    # 10% errors busts the 0.5% SLO clause even with a fine p99.
+    assert metrics["slo"]["clauses"]["p99"]
+    assert not metrics["slo"]["clauses"]["errors"]
+    assert not metrics["slo"]["ok"]
+
+
+def test_load_report_build_and_schema():
+    outcome = _synthetic_outcome()
+    profile = LoadProfile(users=4, rps=50.0)
+    report = LoadReport.build(profile=profile, slo=SloPolicy(),
+                              outcomes=[outcome], procs=False, workers=1,
+                              sweep="none")
+    assert report.main["pass"] == "main"
+    assert report.max_sustainable_rps == 0.0       # errors failed the SLO
+    assert report.safety_ok                        # but no violations
+    document = report.to_dict()
+    assert document["experiment"] == "E21-load"
+    assert isinstance(document["results"], list) and document["results"]
+    assert document["safety"] == {"ok": True, "detail": "ok"}
+    assert "max_sustainable_rps" in document
+    rendered = report.format()
+    assert "max sustainable throughput" in rendered
+    assert "honest p99" in rendered
+
+
+def test_rebuild_trace_keeps_failed_writes_incomplete():
+    records = [
+        {"client": "c0", "kind": "write", "key": "key-0001",
+         "start": 1.0, "end": 2.0, "value": "key-0001|c0|1"},
+        {"client": "c0", "kind": "write", "key": "key-0001",
+         "start": 3.0, "end": None, "value": "key-0001|c0|2"},
+        {"client": "c1", "kind": "read", "key": "key-0001",
+         "start": 4.0, "end": 5.0, "value": "key-0001|c0|1"},
+    ]
+    trace = _rebuild_trace(records, per_register=True)
+    records_out = list(trace)
+    assert len(records_out) == 3
+    kinds = [r.kind for r in records_out]
+    assert kinds == [OpKind.WRITE, OpKind.WRITE, OpKind.READ]
+    assert records_out[0].responded_at == 2.0
+    assert records_out[1].responded_at is None     # stays incomplete
+    assert records_out[2].value == b"key-0001|c0|1"
+
+
+def test_run_load_rejects_bad_arguments():
+    profile = LoadProfile(users=2, rps=10.0, duration=1.0)
+    with pytest.raises(ConfigurationError):
+        asyncio.run(run_load(profile, sweep="bogus"))
+    with pytest.raises(ConfigurationError):
+        asyncio.run(run_load(profile, workers=0))
+
+
+def test_run_load_inline_end_to_end():
+    """A tiny but complete run: cluster, workers, merge, safety check."""
+    profile = LoadProfile(users=8, rps=40.0, keys=8, duration=1.5,
+                          warmup=0.25, cooldown=0.1, timeout=5.0,
+                          clients_per_worker=2, seed=11)
+    report = asyncio.run(run_load(profile, workers=1, inline=True,
+                                  sweep="none"))
+    main = report.main
+    assert main["arrivals"] > 20                  # ~60 expected
+    assert main["ops"]["ok"] > 0
+    assert main["violations"] == 0
+    assert report.safety_ok
+    assert "sampled ops" in report.safety_detail  # full check really ran
+    assert main["offered_rps"] > 0
+    assert main["p99_ms"] > 0
+    # Honest latency can never undercut the closed-loop view.
+    assert main["p99_ms"] >= main["service_p99_ms"] - 1e-6
+    document = report.to_dict()
+    assert document["config"]["profile"]["keys"] == 8
+    assert document["results"][0]["pass"] == "main"

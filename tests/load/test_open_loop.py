@@ -1,0 +1,198 @@
+"""OpenLoopEngine: coordinated omission, late ops, abandoned backlog.
+
+These tests drive the engine with synthetic slow clients, so the only
+system under test is the measurement discipline itself: latency charged
+from the *scheduled* instant, late arrivals recorded as queued rather
+than skipped, and leftover backlog abandoned with lower-bound latencies
+instead of silently dropped.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.load.worker import OpenLoopEngine, make_value, value_anomaly
+from repro.obs import MetricRegistry, aggregate_histograms
+from repro.workloads.arrivals import Arrival, Windows
+
+
+class SlowClient:
+    """Fixed service time per op; remembers values per register."""
+
+    def __init__(self, client_id, delay, read_value=None, fail=None):
+        self.client_id = client_id
+        self.delay = delay
+        self.read_value = read_value
+        self.fail = fail
+        self.store = {}
+        self.calls = 0
+
+    async def _serve(self):
+        self.calls += 1
+        await asyncio.sleep(self.delay)
+        if self.fail is not None:
+            raise self.fail
+
+    async def write(self, value, register=None):
+        await self._serve()
+        self.store[register] = value
+
+    async def read(self, register=None):
+        await self._serve()
+        if self.read_value is not None:
+            return self.read_value
+        return self.store.get(register, b"")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _counter_total(snapshot, name, **labels):
+    return sum(entry["value"] for entry in snapshot["counters"]
+               if entry["name"] == name
+               and all(entry["labels"].get(k) == v
+                       for k, v in labels.items()))
+
+
+def test_open_loop_latency_includes_queueing_delay():
+    """Under overload the honest histogram diverges from the service one.
+
+    Offered 500/s against a capacity of 100/s (2 sessions x 20ms): a
+    closed-loop driver would report ~20ms forever; the open-loop numbers
+    must charge the growing backlog to each op's scheduled instant.
+    """
+    async def scenario():
+        windows = Windows(warmup=0.0, measure=1.0)
+        arrivals = [Arrival(offset=i * 0.002, kind="read")
+                    for i in range(60)]
+        registry = MetricRegistry()
+        client = SlowClient("slow-0", delay=0.02)
+        engine = OpenLoopEngine(arrivals, windows, [client], registry,
+                                users=2, drain_grace=30.0)
+        summary = await engine.run()
+        snapshot = registry.snapshot()
+        honest = aggregate_histograms(snapshot, "load_op_seconds",
+                                      window="measure")
+        service = aggregate_histograms(snapshot, "load_service_seconds",
+                                       window="measure")
+        # Every arrival executed: counted once, none skipped.
+        assert client.calls == 60
+        assert _counter_total(snapshot, "load_ops_total",
+                              window="measure") == 60
+        assert summary["arrivals"]["measure"] == 60
+        assert summary["abandoned"] == 0
+        # Most dequeues ran late, and each was recorded as queued.
+        assert summary["queued"] > 30
+        assert summary["max_backlog"] > 5
+        # The open-loop tail saw the backlog; the closed-loop one did not.
+        assert honest["max"] > 0.3
+        assert honest["max"] > service["max"] * 2
+        assert service["max"] < honest["max"]
+
+    run(scenario())
+
+
+def test_backlog_is_abandoned_not_dropped():
+    """Whatever the drain grace cannot finish is counted as abandoned."""
+    async def scenario():
+        windows = Windows(warmup=0.0, measure=1.0)
+        arrivals = [Arrival(offset=0.0, kind="read") for _ in range(5)]
+        registry = MetricRegistry()
+        client = SlowClient("stuck-0", delay=30.0)
+        engine = OpenLoopEngine(arrivals, windows, [client], registry,
+                                users=1, drain_grace=0.05)
+        summary = await engine.run()
+        snapshot = registry.snapshot()
+        # 1 in-flight (cancelled) + 4 queued: all 5 accounted for.
+        assert summary["abandoned"] == 5
+        assert _counter_total(snapshot, "load_ops_total",
+                              outcome="abandoned") == 5
+        assert _counter_total(snapshot, "load_ops_total") == 5
+        honest = aggregate_histograms(snapshot, "load_op_seconds",
+                                      window="measure")
+        assert honest is not None and sum(honest["counts"]) == 5
+
+    run(scenario())
+
+
+def test_errors_and_timeouts_still_observe_latency():
+    async def scenario():
+        windows = Windows(warmup=0.0, measure=1.0)
+        arrivals = [Arrival(offset=0.0, kind="read") for _ in range(3)]
+        registry = MetricRegistry()
+        client = SlowClient("err-0", delay=0.0, fail=RuntimeError("boom"))
+        engine = OpenLoopEngine(arrivals, windows, [client], registry,
+                                users=3, drain_grace=5.0)
+        summary = await engine.run()
+        snapshot = registry.snapshot()
+        assert summary["abandoned"] == 0
+        assert _counter_total(snapshot, "load_ops_total",
+                              outcome="error") == 3
+        assert _counter_total(snapshot, "load_errors_total",
+                              kind="RuntimeError") == 3
+        honest = aggregate_histograms(snapshot, "load_op_seconds",
+                                      window="measure")
+        assert sum(honest["counts"]) == 3
+
+    run(scenario())
+
+
+def test_sampled_writes_logged_before_attempt_and_reads_checked():
+    """Sampled writes stay incomplete on failure; bad reads count."""
+    async def scenario():
+        windows = Windows(warmup=0.0, measure=1.0)
+        registry = MetricRegistry()
+        ok = SlowClient("ok-0", delay=0.0)
+        engine = OpenLoopEngine(
+            [Arrival(offset=0.0, kind="write", key="key-0007")],
+            windows, [ok], registry, users=1,
+            sample_keys=["key-0007"], drain_grace=5.0)
+        await engine.run()
+        [entry] = engine.trace
+        assert entry["kind"] == "write" and entry["key"] == "key-0007"
+        assert entry["end"] is not None
+        assert entry["value"].startswith("key-0007|ok-0|")
+
+        registry2 = MetricRegistry()
+        bad = SlowClient("bad-0", delay=0.0, fail=RuntimeError("boom"))
+        engine2 = OpenLoopEngine(
+            [Arrival(offset=0.0, kind="write", key="key-0007")],
+            windows, [bad], registry2, users=1,
+            sample_keys=["key-0007"], drain_grace=5.0)
+        await engine2.run()
+        [entry2] = engine2.trace
+        assert entry2["end"] is None    # failed write stays incomplete
+
+        registry3 = MetricRegistry()
+        liar = SlowClient("liar-0", delay=0.0,
+                          read_value=b"key-9999|other|1...")
+        engine3 = OpenLoopEngine(
+            [Arrival(offset=0.0, kind="read", key="key-0007")],
+            windows, [liar], registry3, users=1,
+            sample_keys=["key-0007"], drain_grace=5.0)
+        summary3 = await engine3.run()
+        assert summary3["anomalies"] == 1
+
+    run(scenario())
+
+
+def test_make_value_and_value_anomaly():
+    value = make_value("key-0003", "w0", 17, 64)
+    assert len(value) == 64
+    assert value.startswith(b"key-0003|w0|17")
+    assert value_anomaly("key-0003", value) is None
+    assert value_anomaly("key-0003", b"") is None          # initial value
+    assert value_anomaly("key-0003", b"seed", b"seed") is None
+    assert value_anomaly("key-0003", make_value("key-0004", "w0", 1, 32))
+    assert value_anomaly("key-0003", "not-bytes")
+    assert value_anomaly("key-0003", b"garbage")
+
+
+def test_engine_validates_inputs():
+    windows = Windows(warmup=0.0, measure=1.0)
+    with pytest.raises(ValueError):
+        OpenLoopEngine([], windows, [SlowClient("c", 0.0)],
+                       MetricRegistry(), users=0)
+    with pytest.raises(ValueError):
+        OpenLoopEngine([], windows, [], MetricRegistry(), users=1)

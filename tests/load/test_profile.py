@@ -1,0 +1,58 @@
+"""LoadProfile / SloPolicy / mix parsing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.load.profile import LoadProfile, SloPolicy, parse_mix
+
+
+def test_parse_mix_pairs_and_bare_ratios():
+    assert parse_mix("90/10") == pytest.approx(0.9)
+    assert parse_mix("9/1") == pytest.approx(0.9)
+    assert parse_mix("50/50") == pytest.approx(0.5)
+    assert parse_mix("100/0") == pytest.approx(1.0)
+    assert parse_mix("0/100") == pytest.approx(0.0)
+    assert parse_mix("0.75") == pytest.approx(0.75)
+
+
+@pytest.mark.parametrize("bad", ["", "abc", "1/2/3", "-1/2", "0/0", "1.5"])
+def test_parse_mix_rejects_garbage(bad):
+    with pytest.raises(ConfigurationError):
+        parse_mix(bad)
+
+
+def test_profile_validation():
+    for kwargs in ({"users": 0}, {"rps": 0.0}, {"read_ratio": 1.5},
+                   {"keys": 0}, {"duration": 0.0},
+                   {"clients_per_worker": 0}):
+        with pytest.raises(ConfigurationError):
+            LoadProfile(**kwargs)
+
+
+def test_worker_slice_splits_users_and_rate_exactly():
+    profile = LoadProfile(users=10, rps=99.0, seed=7, keys=8)
+    slices = [profile.worker_slice(i, 3) for i in range(3)]
+    assert [s.users for s in slices] == [4, 3, 3]
+    assert sum(s.users for s in slices) == profile.users
+    assert sum(s.rps for s in slices) == pytest.approx(profile.rps)
+    assert all(s.seed == 7 and s.keys == 8 for s in slices)
+    with pytest.raises(ConfigurationError):
+        profile.worker_slice(3, 3)
+
+
+def test_profile_round_trips_and_rejects_unknown_keys():
+    profile = LoadProfile(users=5, rps=42.0, keys=16,
+                          sample_keys=["key-0001"])
+    assert LoadProfile.from_dict(profile.to_dict()) == profile
+    with pytest.raises(ConfigurationError):
+        LoadProfile.from_dict({"users": 5, "bogus": 1})
+
+
+def test_slo_policy_clauses():
+    slo = SloPolicy(p99_ms=100.0, max_error_rate=0.01)
+    verdict = slo.evaluate(p99_ms=50.0, error_rate=0.0, violations=0)
+    assert verdict["ok"] and all(verdict["clauses"].values())
+    assert not slo.evaluate(150.0, 0.0, 0)["ok"]
+    assert not slo.evaluate(50.0, 0.02, 0)["ok"]
+    bad = slo.evaluate(50.0, 0.0, 2)
+    assert not bad["ok"] and not bad["clauses"]["consistency"]

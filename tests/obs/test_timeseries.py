@@ -1,0 +1,136 @@
+"""Snapshot aggregation and the JSON-lines time-series sidecar."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricRegistry,
+    SnapshotLog,
+    aggregate_histograms,
+    iter_snapshot_log,
+    merge_registry_snapshots,
+    read_snapshot_log,
+)
+from repro.obs.stats import bucket_percentile
+
+
+def _worker_registry(values, ops=1):
+    registry = MetricRegistry()
+    registry.counter("ops_total", op="read").inc(ops)
+    registry.gauge("backlog").set(len(values))
+    hist = registry.histogram("op_seconds", op="read")
+    for value in values:
+        hist.observe(value)
+    return registry
+
+
+# -- merge_registry_snapshots ----------------------------------------------
+
+def test_merge_folds_counters_and_gauges_by_identity():
+    merged = merge_registry_snapshots([
+        _worker_registry([0.1], ops=3).snapshot(),
+        _worker_registry([0.2], ops=4).snapshot(),
+    ])
+    [counter] = [c for c in merged["counters"] if c["name"] == "ops_total"]
+    assert counter["value"] == 7
+    assert counter["labels"] == {"op": "read"}
+    [gauge] = merged["gauges"]
+    assert gauge["value"] == 2  # gauges sum too (backlogs add up)
+
+
+def test_merged_histogram_equals_single_registry_of_all_samples():
+    """Percentiles from the merged histogram match a single registry
+    that observed every worker's samples -- aggregation, not averaging."""
+    worker_a = [0.010, 0.020, 0.500]
+    worker_b = [0.001, 0.250]
+    merged = merge_registry_snapshots([
+        _worker_registry(worker_a).snapshot(),
+        _worker_registry(worker_b).snapshot(),
+    ])
+    oracle = _worker_registry(worker_a + worker_b).snapshot()
+    [got] = merged["histograms"]
+    [want] = oracle["histograms"]
+    assert got["counts"] == list(want["counts"])
+    assert got["sum"] == pytest.approx(want["sum"])
+    assert got["min"] == want["min"] == 0.001
+    assert got["max"] == want["max"] == 0.500
+    for fraction in (0.5, 0.99):
+        assert (bucket_percentile(got["buckets"], got["counts"], fraction,
+                                  got["max"])
+                == bucket_percentile(want["buckets"], list(want["counts"]),
+                                     fraction, want["max"]))
+
+
+def test_merge_adopts_extrema_from_first_non_empty_histogram():
+    empty = _worker_registry([]).snapshot()
+    filled = _worker_registry([0.3]).snapshot()
+    [entry] = merge_registry_snapshots([empty, filled])["histograms"]
+    assert entry["min"] == 0.3 and entry["max"] == 0.3
+
+
+def test_merge_rejects_mismatched_bucket_bounds():
+    registry = MetricRegistry()
+    registry.histogram("op_seconds", op="read",
+                       buckets=(1.0, 2.0)).observe(0.5)
+    with pytest.raises(ValueError):
+        merge_registry_snapshots([
+            _worker_registry([0.1]).snapshot(), registry.snapshot()])
+
+
+def test_merge_keeps_distinct_labels_apart():
+    registry = MetricRegistry()
+    registry.counter("ops_total", op="read").inc(1)
+    registry.counter("ops_total", op="write").inc(2)
+    merged = merge_registry_snapshots([registry.snapshot(),
+                                       registry.snapshot()])
+    by_op = {c["labels"]["op"]: c["value"] for c in merged["counters"]}
+    assert by_op == {"read": 2, "write": 4}
+
+
+# -- aggregate_histograms ---------------------------------------------------
+
+def test_aggregate_histograms_folds_subset_label_matches():
+    registry = MetricRegistry()
+    registry.histogram("op_seconds", op="read", window="measure").observe(0.1)
+    registry.histogram("op_seconds", op="write",
+                       window="measure").observe(0.2)
+    registry.histogram("op_seconds", op="read", window="warmup").observe(9.0)
+    snapshot = registry.snapshot()
+    folded = aggregate_histograms(snapshot, "op_seconds", window="measure")
+    assert sum(folded["counts"]) == 2
+    assert folded["max"] == 0.2          # warmup's 9.0 excluded
+    reads = aggregate_histograms(snapshot, "op_seconds", op="read",
+                                 window="measure")
+    assert sum(reads["counts"]) == 1
+    assert aggregate_histograms(snapshot, "nope") is None
+
+
+# -- SnapshotLog ------------------------------------------------------------
+
+def test_snapshot_log_round_trips_through_a_file(tmp_path):
+    path = str(tmp_path / "series.jsonl")
+    registry = _worker_registry([0.1])
+    with SnapshotLog(path) as log:
+        log.append(registry.snapshot(), ts=100.0)
+        log.append(registry.snapshot(), ts=101.0, extra={"worker": 3})
+        assert log.lines == 2
+    # Append mode: a second run extends the series.
+    with SnapshotLog(path) as log:
+        log.append(registry.snapshot(), ts=102.0)
+    records = read_snapshot_log(path)
+    assert [r["ts"] for r in records] == [100.0, 101.0, 102.0]
+    assert records[1]["worker"] == 3
+    assert records[0]["snapshot"]["counters"]
+    assert list(iter_snapshot_log(path))[2]["ts"] == 102.0
+
+
+def test_snapshot_log_leaves_caller_streams_open():
+    stream = io.StringIO()
+    log = SnapshotLog(stream)
+    log.append({"counters": []}, ts=5.0)
+    log.close()
+    assert not stream.closed
+    record = json.loads(stream.getvalue())
+    assert record["ts"] == 5.0

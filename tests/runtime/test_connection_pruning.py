@@ -1,0 +1,104 @@
+"""Group-local connection pruning on key-routed clients."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import LocalCluster
+from repro.sharding import KeyspaceConfig, key_name
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _stats_counter(client, name):
+    return client.stats()[name]
+
+
+def test_connect_with_keys_dials_only_the_declared_groups():
+    async def scenario():
+        keyspace = KeyspaceConfig(group_size=5, seed=3)
+        cluster = LocalCluster("bsr", f=1, n=10, keyspace=keyspace)
+        await cluster.start()
+        try:
+            placement = keyspace.placement(cluster.server_ids)
+            key = key_name(0)
+            group = set(placement.servers_for(key))
+            client = cluster.client("c-pruned")
+            connected = await client.connect(keys=[key])
+            assert connected == len(group) == 5
+            assert set(client._connections) == group
+            pruned = _stats_counter(client, "connections_pruned")
+            assert pruned == 10 - len(group)
+            # The pruned-out servers were never dialed.
+            assert _stats_counter(client, "connects") == len(group)
+            await client.write(b"v0", register=key)
+            assert await client.read(register=key) == b"v0"
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_operation_outside_declared_keys_lazily_undials():
+    async def scenario():
+        keyspace = KeyspaceConfig(group_size=5, seed=3)
+        cluster = LocalCluster("bsr", f=1, n=10, keyspace=keyspace)
+        await cluster.start()
+        try:
+            placement = keyspace.placement(cluster.server_ids)
+            declared = key_name(0)
+            home = set(placement.servers_for(declared))
+            other = next(key_name(i) for i in range(1, 64)
+                         if set(placement.servers_for(key_name(i)))
+                         - home)
+            client = cluster.client("c-drift")
+            await client.connect(keys=[declared])
+            before = set(client._connections)
+            assert set(placement.servers_for(other)) - before
+            # Pruning is advisory: the op dials the missing servers.
+            await client.write(b"drift", register=other)
+            assert await client.read(register=other) == b"drift"
+            needed = set(placement.servers_for(other))
+            assert not (needed & client._pruned)
+            # The background supervisor dials the un-pruned servers.
+            for _ in range(50):
+                if needed <= set(client._connections):
+                    break
+                await asyncio.sleep(0.05)
+            assert needed <= set(client._connections)
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_connect_keys_requires_placement():
+    async def scenario():
+        cluster = LocalCluster("bsr", f=1)
+        await cluster.start()
+        try:
+            client = cluster.client("c-plain")
+            with pytest.raises(ConfigurationError):
+                await client.connect(keys=["key-0000"])
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_connect_without_keys_still_dials_everyone():
+    async def scenario():
+        keyspace = KeyspaceConfig(group_size=5, seed=3)
+        cluster = LocalCluster("bsr", f=1, n=10, keyspace=keyspace)
+        await cluster.start()
+        try:
+            client = cluster.client("c-full")
+            assert await client.connect() == 10
+            assert _stats_counter(client, "connections_pruned") == 0
+        finally:
+            await cluster.stop()
+
+    run(scenario())

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Lint: every ``BENCH_*.json`` at the repo root is a sane bench document.
+
+The benchmarks all publish the same coarse shape -- a name under
+``"experiment"`` (or the older ``"benchmark"``) plus a non-empty
+``"results"`` list of row dicts, each carrying at least one finite
+numeric field.  CI regenerates some of these documents and notebooks
+consume all of them, so a truncated write, a NaN that leaked through a
+division, or an empty sweep should fail the lint rather than surface as
+a confusing plot later.
+
+Exit status is the number of malformed documents (0 == clean).
+"""
+
+import glob
+import json
+import math
+import os
+import sys
+
+#: Either key may carry the document's name (the codec bench predates
+#: the ``experiment`` convention).
+NAME_KEYS = ("experiment", "benchmark")
+
+
+def _bad_numbers(value, path):
+    """Yield the paths of every NaN/Inf anywhere under ``value``."""
+    if isinstance(value, float) and not math.isfinite(value):
+        yield path
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            yield from _bad_numbers(item, f"{path}.{key}")
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            yield from _bad_numbers(item, f"{path}[{index}]")
+
+
+def check_document(path):
+    """Yield human-readable problems with one bench document."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        yield f"unreadable JSON ({exc})"
+        return
+    if not isinstance(doc, dict):
+        yield f"top level must be an object, got {type(doc).__name__}"
+        return
+    if not any(isinstance(doc.get(key), str) and doc[key]
+               for key in NAME_KEYS):
+        yield f"missing a name under one of {NAME_KEYS}"
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        yield "'results' must be a non-empty list"
+        return
+    for index, row in enumerate(results):
+        if not isinstance(row, dict):
+            yield f"results[{index}] is not an object"
+            continue
+        numeric = [v for v in row.values()
+                   if isinstance(v, (int, float))
+                   and not isinstance(v, bool)
+                   and math.isfinite(v)]
+        if not numeric:
+            yield f"results[{index}] has no finite numeric field"
+    for where in _bad_numbers(doc, "$"):
+        yield f"non-finite number at {where}"
+
+
+def main(argv):
+    if len(argv) > 1 and argv[1].endswith(".json"):
+        paths = argv[1:]
+    else:
+        root = argv[1] if len(argv) > 1 else os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    bad = 0
+    for path in paths:
+        problems = list(check_document(path))
+        if problems:
+            bad += 1
+            for problem in problems:
+                print(f"{os.path.basename(path)}: {problem}",
+                      file=sys.stderr)
+    print(f"check_bench_schema: {len(paths)} documents, "
+          f"{bad} malformed", file=sys.stderr)
+    return bad
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
