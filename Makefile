@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-codec bench-hotpath bench-keyspace bench-load bench-pipeline bench-tables chaos-soak cluster-smoke examples lint load-smoke metrics-smoke modelcheck clean
+.PHONY: install test bench bench-codec bench-hotpath bench-keyspace bench-load bench-obs bench-pipeline bench-tables chaos-soak cluster-smoke examples lint load-smoke metrics-smoke obs-smoke modelcheck clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -50,6 +50,13 @@ load-smoke:
 		--workers 1 --inline --no-sweep --out /tmp/BENCH_load_smoke.json
 	PYTHONPATH=src $(PYTHON) tools/check_bench_schema.py /tmp/BENCH_load_smoke.json
 
+# E22 observability overhead: depth-16 loopback throughput with the
+# flight recorder off / sampling 1-in-64 / sampling plus a live scrape
+# loop; asserts the <=5% budget and writes BENCH_obs.json at the root.
+bench-obs:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_e22_obs.py
+	PYTHONPATH=src $(PYTHON) tools/check_bench_schema.py BENCH_obs.json
+
 # Regenerate every experiment table (what EXPERIMENTS.md records).
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s -m ""
@@ -72,8 +79,14 @@ cluster-smoke:
 metrics-smoke: lint
 	PYTHONPATH=src $(PYTHON) tools/metrics_smoke.py > /dev/null
 
+# Observability-plane smoke: flight-recorder scrape -> causal stitch
+# (witness/quorum instants) -> MetricsExporter over live HTTP.
+obs-smoke: lint
+	PYTHONPATH=src $(PYTHON) tools/obs_smoke.py
+
 lint:
 	PYTHONPATH=src $(PYTHON) tools/check_no_print.py
+	PYTHONPATH=src $(PYTHON) tools/check_metric_names.py
 	PYTHONPATH=src $(PYTHON) tools/hotpath_smoke.py
 	PYTHONPATH=src $(PYTHON) tools/check_ring_determinism.py
 	PYTHONPATH=src $(PYTHON) tools/check_bench_schema.py

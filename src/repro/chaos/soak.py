@@ -49,6 +49,7 @@ from repro.metrics import summarize_trace
 from repro.obs import (
     LatencySummary,
     MetricRegistry,
+    SnapshotLog,
     summarize_histogram_snapshot,
 )
 from repro.sharding import GROUP_FLOORS, KeyspaceConfig
@@ -236,7 +237,9 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
                    procs: bool = False,
                    concurrency: int = 1,
                    keys: int = 1, zipf_s: float = 0.99,
-                   client_kwargs: Optional[Dict[str, Any]] = None) -> SoakResult:
+                   client_kwargs: Optional[Dict[str, Any]] = None,
+                   timeseries_path: Optional[str] = None,
+                   timeseries_interval: float = 1.0) -> SoakResult:
     """Run ``ops`` mixed operations under the named nemesis schedule.
 
     ``procs=True`` runs the workload against a process-per-node cluster
@@ -253,6 +256,12 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
     the same liveness margin as the single-register soak -- the point
     here is the per-key state table and routing under faults, not
     placement-induced quorum shrinkage.
+
+    ``timeseries_path`` appends a windowed registry snapshot (JSON line
+    with per-interval histogram deltas, see
+    :class:`repro.obs.SnapshotLog`) every ``timeseries_interval``
+    seconds while the workload runs -- the soak twin of
+    ``repro load --timeseries``.
     """
     if concurrency < 1:
         raise ConfigurationError("concurrency must be at least 1")
@@ -331,6 +340,23 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
         # Key draws come from a dedicated fork so a keys=1 run's pacing
         # stream is byte-for-byte what it was before keys existed.
         sampler = ZipfSampler(keys, zipf_s) if keys > 1 else None
+
+        ts_log: Optional[SnapshotLog] = None
+        ts_task: Optional[asyncio.Task] = None
+        if timeseries_path is not None:
+            import time as time_module
+
+            ts_log = SnapshotLog(timeseries_path, windows=True)
+
+            async def sample_timeseries() -> None:
+                while True:
+                    await asyncio.sleep(max(0.05, timeseries_interval))
+                    ts_log.append(registry.snapshot(),
+                                  ts=time_module.time(),
+                                  extra={"schedule": schedule})
+
+            ts_task = asyncio.ensure_future(sample_timeseries())
+
         tasks = [asyncio.ensure_future(nemesis.run())]
         for client, kinds, prefix in plans:
             think = duration / (len(kinds) + 1) if kinds else 0.0
@@ -342,7 +368,25 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
                 client, trace, kinds, think, rng.fork(prefix), value_size,
                 f"{prefix}/{seed}", errors, concurrency=concurrency,
                 registers=registers)))
-        await asyncio.gather(*tasks)
+        try:
+            await asyncio.gather(*tasks)
+        finally:
+            if ts_task is not None:
+                ts_task.cancel()
+                try:
+                    await ts_task
+                except asyncio.CancelledError:
+                    pass
+            if ts_log is not None:
+                import time as time_module
+
+                # One final window so short runs still get a snapshot.
+                # Same ``extra`` as the periodic appends: the extra keys
+                # the window-delta series, so changing it would reset
+                # the baseline and double-count the run.
+                ts_log.append(registry.snapshot(), ts=time_module.time(),
+                              extra={"schedule": schedule})
+                ts_log.close()
         if getattr(cluster, "chaos_plan", None) is not None:
             cluster.chaos_plan.heal()
 

@@ -12,7 +12,13 @@ Subcommands:
   (``status --metrics`` adds scraped per-phase latency histograms).
 * ``metrics``   -- scrape a served cluster's metric registries and dump
   them as Prometheus text exposition or JSON (``dump --watch`` appends
-  a JSON-lines snapshot time series).
+  a JSON-lines snapshot time series with size-based rotation;
+  ``serve`` runs the HTTP exporter sidecar).
+* ``trace``     -- record client span files against a served cluster,
+  then stitch them with the nodes' flight-recorder dumps into causal
+  per-operation timelines (``show`` / ``slow``).
+* ``top``       -- live terminal dashboard: per-node health, frame
+  rates and windowed per-phase latency percentiles.
 * ``load``      -- open-loop multi-process load generator with honest
   latency, merged per-worker histograms and an SLO sweep
   (``load-worker`` is its internal per-process entry point).
@@ -142,6 +148,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         max_history=args.max_history, concurrency=args.concurrency,
         keys=args.keys, zipf_s=args.zipf_s,
         client_kwargs=client_kwargs,
+        timeseries_path=args.timeseries,
+        timeseries_interval=args.timeseries_interval,
     ))
     backend = "OS processes" if result.procs else "in-process cluster"
     print(f"nemesis schedule {args.schedule!r} (seed {args.seed}, "
@@ -254,6 +262,13 @@ def _phases_from_snapshot(snapshot: Dict,
     return phases
 
 
+def _state_addresses(state: Dict) -> Dict[str, tuple]:
+    """``{node: (host, port)}`` for every bound node in a state file."""
+    return {node: (info["host"], info["port"])
+            for node, info in sorted(state["nodes"].items())
+            if info.get("port")}
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.deploy import (
         ClusterSpec,
@@ -320,6 +335,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                             "throttled": ack.throttled,
                             "snapshot_age": ack.snapshot_age,
                         }
+                        if getattr(ack, "keys_resident", -1) >= 0:
+                            # Sharded nodes report RegisterTable occupancy.
+                            health["keys_resident"] = ack.keys_resident
+                            health["keys_archived"] = ack.keys_archived
+                            health["rehydrations"] = ack.rehydrations
                     except PING_FAILURES:
                         health = None
                 entry = {
@@ -358,10 +378,16 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             if health is not None:
                 age = health["snapshot_age"]
                 rendered_age = f"{age:.1f}s" if age >= 0 else "none"
+                occupancy = ""
+                if "keys_resident" in health:
+                    occupancy = (
+                        f" keys={health['keys_resident']}"
+                        f"(+{health['keys_archived']} demoted)"
+                        f" rehydrations={health['rehydrations']}")
                 print(f"  {entry['node']}: history={health['history_len']} "
                       f"frames={health['frames']} "
                       f"throttled={health['throttled']} "
-                      f"snapshot_age={rendered_age}")
+                      f"snapshot_age={rendered_age}{occupancy}")
             for phase, digest in sorted(entry.get("phases", {}).items()):
                 print(f"    {phase}: count={digest['count']} "
                       f"p50={digest['p50'] * 1000:.1f}ms "
@@ -388,6 +414,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         default_state_path,
         read_state,
         stats_ping,
+        trace_dump,
     )
     from repro.obs import SnapshotLog, merge_snapshots, render_prometheus
 
@@ -412,12 +439,66 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                 snapshots.append(ack.metrics)
         return snapshots
 
+    if args.metrics_command == "serve":
+        import time as time_module
+
+        from repro.obs import MetricsExporter
+
+        addresses = _state_addresses(state)
+
+        def scrape() -> List[Dict]:
+            async def gather_all() -> List[Dict]:
+                results = await asyncio.gather(
+                    *(stats_ping(address, auth, timeout=args.timeout)
+                      for address in addresses.values()),
+                    return_exceptions=True)
+                return [ack.metrics for ack in results
+                        if not isinstance(ack, BaseException)
+                        and ack.metrics]
+            return asyncio.run(gather_all())
+
+        def lookup(op_id: int) -> List[Dict]:
+            async def gather_all() -> List[Dict]:
+                results = await asyncio.gather(
+                    *(trace_dump(address, auth, target_op=op_id,
+                                 timeout=args.timeout)
+                      for address in addresses.values()),
+                    return_exceptions=True)
+                records: List[Dict] = []
+                for ack in results:
+                    if isinstance(ack, BaseException):
+                        continue
+                    records.extend(dict(r) for r in ack.records or ())
+                return records
+            return asyncio.run(gather_all())
+
+        exporter = MetricsExporter(scrape, trace_lookup=lookup,
+                                   host=args.host, port=args.port)
+        host, port = exporter.start()
+        print(f"exporter on http://{host}:{port}/metrics "
+              f"({len(addresses)} nodes; /metrics.json /traces/<op_id> "
+              f"/healthz)")
+        try:
+            if args.duration > 0:
+                time_module.sleep(args.duration)
+            else:
+                while True:  # pragma: no cover - interactive loop
+                    time_module.sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        finally:
+            exporter.stop()
+        return 0
+
     if args.watch:
         # Time-series sidecar: one JSON line per scrape interval,
         # appended to --out (or streamed to stdout).
         import time as time_module
 
-        log = SnapshotLog(args.out if args.out else sys.stdout)
+        log = SnapshotLog(args.out if args.out else sys.stdout,
+                          max_bytes=(args.max_bytes
+                                     if args.out and args.max_bytes else None),
+                          keep=args.keep, windows=args.windows)
         scrapes = 0
         try:
             while True:
@@ -448,6 +529,273 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(json.dumps(merged, indent=2, sort_keys=True))
     else:
         sys.stdout.write(render_prometheus(merged))
+    return 0
+
+
+def _load_client_spans(path: str) -> List[Dict]:
+    """Client span records from a ``--trace`` JSONL file."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+async def _scrape_flights(addresses: Dict, auth, timeout: float,
+                          target_op: int = -1) -> List[Dict]:
+    """Fan a TraceDump over every node; unreachable nodes are skipped."""
+    from repro.deploy import trace_dump
+
+    results = await asyncio.gather(
+        *(trace_dump(address, auth, target_op=target_op, timeout=timeout)
+          for address in addresses.values()),
+        return_exceptions=True)
+    records: List[Dict] = []
+    for node, ack in zip(addresses, results):
+        if isinstance(ack, BaseException):
+            print(f"# node {node} unreachable, skipped", file=sys.stderr)
+            continue
+        records.extend(dict(r) for r in ack.records or ())
+    return records
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.deploy import ClusterSpec, default_state_path, read_state
+    from repro.obs import (
+        JsonlSink,
+        MemorySink,
+        SamplingSink,
+        format_timeline,
+        slowest,
+        stitch,
+        stitch_op,
+    )
+
+    spec = ClusterSpec.from_file(args.spec)
+    state_path = args.state or default_state_path(spec, args.spec)
+    state = read_state(state_path)
+    addresses = _state_addresses(state)
+    auth = spec.authenticator()
+
+    if args.trace_command == "record":
+        import random as random_module
+
+        memory = MemorySink()
+        jsonl = JsonlSink(args.out)
+
+        class Tee:
+            def emit(self, record: Dict) -> None:
+                jsonl.emit(record)
+                memory.emit(record)
+
+            def close(self) -> None:
+                jsonl.close()
+
+        sink = SamplingSink(Tee(), args.sample)
+        rng = random_module.Random(args.seed)
+
+        async def record() -> None:
+            client = spec.client("t000", addresses=addresses,
+                                 timeout=args.timeout, trace_sink=sink)
+            await client.connect()
+            try:
+                for index in range(args.ops):
+                    if index == 0 or rng.random() >= args.read_ratio:
+                        value = f"trace-{args.seed}:{index}".encode()
+                        await client.write(value.ljust(args.value_size, b"."))
+                    else:
+                        await client.read()
+            finally:
+                await client.close()
+
+        asyncio.run(record())
+        sink.close()
+        op_ids = [r.get("op_id") for r in memory.records]
+        print(f"recorded {len(op_ids)} sampled client spans to {args.out} "
+              f"(1-in-{args.sample} of {args.ops} ops)")
+        if op_ids:
+            shown = ", ".join(str(op) for op in op_ids[:12])
+            more = " ..." if len(op_ids) > 12 else ""
+            print(f"op_ids: {shown}{more}")
+            print(f"next: repro trace show {op_ids[-1]} "
+                  f"--trace {args.out} --spec {args.spec}")
+        return 0
+
+    client_records = _load_client_spans(args.trace)
+
+    if args.trace_command == "show":
+        server_records = asyncio.run(_scrape_flights(
+            addresses, auth, args.timeout, target_op=args.op_id))
+        op = stitch_op(args.op_id, client_records, server_records)
+        if op is None:
+            print(f"no client span for op {args.op_id} in {args.trace} "
+                  f"(sampled out, or never issued?)", file=sys.stderr)
+            return 1
+        print(format_timeline(op))
+        return 0
+
+    # slow --top N
+    server_records = asyncio.run(_scrape_flights(
+        addresses, auth, args.timeout))
+    stitched = stitch(client_records, server_records)
+    if not stitched:
+        print(f"no stitchable spans in {args.trace}", file=sys.stderr)
+        return 1
+    rows = []
+    for op in slowest(stitched, top=args.top):
+        rows.append((op.op_id, op.kind, op.client, op.outcome,
+                     f"{op.latency * 1000:.2f}", op.dominant_phase,
+                     len(op.servers),
+                     ",".join(op.missing_servers) or "-"))
+    print(format_table(
+        ("op", "kind", "client", "outcome", "latency(ms)",
+         "dominant phase", "server records", "missing"), rows,
+        title=f"slowest {len(rows)} of {len(stitched)} stitched ops"))
+    print(f"drill in: repro trace show <op> --trace {args.trace} "
+          f"--spec {args.spec}")
+    return 0
+
+
+def _phase_windows(prev: Dict, cur: Dict) -> Dict[str, Dict]:
+    """Per-phase ``{count, p50, p99}`` deltas between two merged scrapes.
+
+    Entries are matched per ``(phase, node)`` so each node's cumulative
+    histogram subtracts against its own previous scrape; a shrunk count
+    (node restart) falls back to the cumulative values.
+    """
+    from repro.obs import bucket_percentile
+
+    def index(snapshot: Dict) -> Dict:
+        out = {}
+        for entry in snapshot.get("histograms", ()):
+            if entry.get("name") != "node_phase_seconds":
+                continue
+            labels = entry.get("labels", {})
+            out[(labels.get("phase", ""), labels.get("node", ""))] = entry
+        return out
+
+    prev_idx, phases = index(prev), {}
+    for (phase, node), entry in index(cur).items():
+        counts = list(entry["counts"])
+        old = prev_idx.get((phase, node))
+        if old is not None and len(old["counts"]) == len(counts):
+            deltas = [c - p for c, p in zip(counts, old["counts"])]
+            if all(d >= 0 for d in deltas):
+                counts = deltas
+        agg = phases.setdefault(phase, {
+            "bounds": list(entry["buckets"]),
+            "counts": [0] * len(counts),
+            "max": float(entry.get("max", 0.0)),
+        })
+        if (agg["bounds"] == list(entry["buckets"])
+                and len(agg["counts"]) == len(counts)):
+            agg["counts"] = [a + c for a, c in zip(agg["counts"], counts)]
+            agg["max"] = max(agg["max"], float(entry.get("max", 0.0)))
+    out = {}
+    for phase, agg in sorted(phases.items()):
+        total = sum(agg["counts"])
+        if total:
+            out[phase] = {
+                "count": total,
+                "p50": bucket_percentile(agg["bounds"], agg["counts"],
+                                         0.50, agg["max"]),
+                "p99": bucket_percentile(agg["bounds"], agg["counts"],
+                                         0.99, agg["max"]),
+            }
+    return out
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as time_module
+
+    from repro.deploy import (
+        ClusterSpec,
+        PING_FAILURES,
+        default_state_path,
+        health_ping,
+        read_state,
+        stats_ping,
+    )
+    from repro.obs import merge_snapshots
+
+    spec = ClusterSpec.from_file(args.spec)
+    state_path = args.state or default_state_path(spec, args.spec)
+    state = read_state(state_path)
+    addresses = _state_addresses(state)
+    auth = spec.authenticator()
+
+    async def scrape():
+        acks, snapshots = {}, []
+        for node, address in addresses.items():
+            try:
+                acks[node] = await health_ping(address, auth,
+                                               timeout=args.timeout)
+            except PING_FAILURES:
+                acks[node] = None
+                continue
+            try:
+                sack = await stats_ping(address, auth, timeout=args.timeout)
+                if sack.metrics:
+                    snapshots.append(sack.metrics)
+            except PING_FAILURES:
+                pass
+        return acks, merge_snapshots(snapshots)
+
+    prev_frames: Dict[str, int] = {}
+    prev_merged: Dict = {}
+    prev_at: Optional[float] = None
+    scrapes = 0
+    try:
+        while True:
+            acks, merged = asyncio.run(scrape())
+            now = time_module.time()
+            elapsed = (now - prev_at) if prev_at is not None else None
+            if not args.no_clear and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            healthy = sum(1 for ack in acks.values() if ack is not None)
+            print(f"repro top -- {spec.algorithm} f={spec.f} "
+                  f"{healthy}/{len(addresses)} nodes healthy -- "
+                  f"scrape #{scrapes + 1} every {args.interval:.1f}s")
+            rows = []
+            for node, ack in acks.items():
+                if ack is None:
+                    rows.append((node, "down", "-", "-", "-", "-", "-"))
+                    continue
+                rate = "-"
+                if elapsed and node in prev_frames:
+                    rate = f"{(ack.frames - prev_frames[node]) / elapsed:.1f}"
+                occupancy = "-"
+                if getattr(ack, "keys_resident", -1) >= 0:
+                    occupancy = (f"{ack.keys_resident}"
+                                 f"+{ack.keys_archived}d"
+                                 f"/{ack.rehydrations}r")
+                rows.append((node, "healthy", ack.frames, rate,
+                             ack.throttled, ack.history_len, occupancy))
+                prev_frames[node] = ack.frames
+            print(format_table(
+                ("node", "state", "frames", "frames/s", "throttled",
+                 "history", "keys"), rows))
+            windows = _phase_windows(prev_merged, merged)
+            if windows:
+                window_rows = [
+                    (phase, digest["count"],
+                     f"{digest['p50'] * 1000:.2f}",
+                     f"{digest['p99'] * 1000:.2f}")
+                    for phase, digest in windows.items()]
+                label = (f"last {elapsed:.1f}s" if elapsed is not None
+                         else "since start")
+                print(format_table(
+                    ("phase", "count", "p50(ms)", "p99(ms)"), window_rows,
+                    title=f"server phase latency ({label})"))
+            prev_merged, prev_at = merged, now
+            scrapes += 1
+            if args.count and scrapes >= args.count:
+                break
+            time_module.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
     return 0
 
 
@@ -663,6 +1011,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--zipf-s", type=float, default=0.99,
                        help="Zipf exponent for key popularity "
                             "(0 = uniform)")
+    chaos.add_argument("--timeseries", default=None,
+                       help="append windowed registry snapshots (JSON "
+                            "lines with per-interval percentile deltas) "
+                            "to this file during the soak")
+    chaos.add_argument("--timeseries-interval", type=float, default=1.0,
+                       help="seconds between --timeseries snapshots")
 
     node = sub.add_parser(
         "node", help="serve a single register node in this process")
@@ -742,6 +1096,83 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_dump.add_argument("--out", default=None,
                               help="append --watch lines to this file "
                                    "(default: stdout)")
+    metrics_dump.add_argument("--max-bytes", type=int, default=None,
+                              help="rotate the --watch --out file when it "
+                                   "would exceed this size (keeps "
+                                   "--keep segments)")
+    metrics_dump.add_argument("--keep", type=int, default=4,
+                              help="rotated segments to retain "
+                                   "(file.1 .. file.N)")
+    metrics_dump.add_argument("--windows", action="store_true",
+                              help="attach per-interval histogram deltas "
+                                   "to every --watch line (read back "
+                                   "with read_snapshot_log(windows=True))")
+    metrics_serve = metrics_sub.add_parser(
+        "serve", help="HTTP exporter sidecar: /metrics /metrics.json "
+                      "/traces/<op_id> /healthz")
+    metrics_serve.add_argument("--spec", required=True)
+    metrics_serve.add_argument("--state", default=None)
+    metrics_serve.add_argument("--host", default="127.0.0.1")
+    metrics_serve.add_argument("--port", type=int, default=9464,
+                               help="listen port (0 = ephemeral)")
+    metrics_serve.add_argument("--timeout", type=float, default=2.0,
+                               help="per-node scrape timeout")
+    metrics_serve.add_argument("--duration", type=float, default=0.0,
+                               help="serve for N seconds then exit "
+                                    "(0 = until Ctrl-C)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="record client spans and stitch them with server flight "
+             "records into causal per-op timelines",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_record = trace_sub.add_parser(
+        "record", help="run a small traced workload against a served "
+                       "cluster, appending sampled client spans to a file")
+    trace_record.add_argument("--spec", required=True)
+    trace_record.add_argument("--state", default=None)
+    trace_record.add_argument("--out", required=True,
+                              help="client span JSONL file to append to")
+    trace_record.add_argument("--ops", type=int, default=20)
+    trace_record.add_argument("--read-ratio", type=float, default=0.5)
+    trace_record.add_argument("--value-size", type=int, default=32)
+    trace_record.add_argument("--sample", type=int, default=1,
+                              help="client-side sampling modulus (match "
+                                   "the spec's observability.trace_sample "
+                                   "so both halves keep the same ops)")
+    trace_record.add_argument("--seed", type=int, default=0)
+    trace_record.add_argument("--timeout", type=float, default=10.0)
+    trace_show = trace_sub.add_parser(
+        "show", help="stitched causal timeline for one operation")
+    trace_show.add_argument("op_id", type=int)
+    trace_show.add_argument("--trace", required=True,
+                            help="client span JSONL (from trace record or "
+                                 "a client trace_sink)")
+    trace_show.add_argument("--spec", required=True)
+    trace_show.add_argument("--state", default=None)
+    trace_show.add_argument("--timeout", type=float, default=2.0)
+    trace_slow = trace_sub.add_parser(
+        "slow", help="rank the slowest stitched operations")
+    trace_slow.add_argument("--trace", required=True)
+    trace_slow.add_argument("--spec", required=True)
+    trace_slow.add_argument("--state", default=None)
+    trace_slow.add_argument("--top", type=int, default=10)
+    trace_slow.add_argument("--timeout", type=float, default=2.0)
+
+    top = sub.add_parser(
+        "top",
+        help="live cluster dashboard: node health, frame rates, "
+             "windowed per-phase percentiles",
+    )
+    top.add_argument("--spec", required=True)
+    top.add_argument("--state", default=None)
+    top.add_argument("--interval", type=float, default=2.0)
+    top.add_argument("--count", type=int, default=0,
+                     help="stop after N scrapes (0 = until Ctrl-C)")
+    top.add_argument("--timeout", type=float, default=2.0)
+    top.add_argument("--no-clear", action="store_true",
+                     help="do not clear the terminal between scrapes")
 
     load = sub.add_parser(
         "load",
@@ -870,12 +1301,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "node": _cmd_node,
         "cluster": _cmd_cluster,
         "metrics": _cmd_metrics,
+        "trace": _cmd_trace,
+        "top": _cmd_top,
         "keys": _cmd_keys,
         "load": _cmd_load,
         "load-worker": _cmd_load_worker,
         "modelcheck": _cmd_modelcheck,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; exit quietly
+        # (and detach stdout so the interpreter's flush-at-exit does not
+        # raise the same error again).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

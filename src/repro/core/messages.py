@@ -283,6 +283,11 @@ class HealthAck(BaseMessage):
     frames: int = 0
     throttled: int = 0
     snapshot_age: float = -1.0
+    #: RegisterTable occupancy (sharded nodes only; ``-1`` when the node
+    #: hosts a single register and has no table).
+    keys_resident: int = -1
+    keys_archived: int = -1
+    rehydrations: int = -1
 
 
 @dataclass(frozen=True)
@@ -308,6 +313,37 @@ class StatsAck(BaseMessage):
 
     node_id: str = ""
     metrics: Any = None
+
+
+@dataclass(frozen=True)
+class TraceDump(BaseMessage):
+    """Scrape request for a node's flight-recorder records.
+
+    Like :class:`StatsPing` it is answered by the TCP node itself,
+    before the protocol state machine and exempt from rate limiting.
+    ``target_op`` of ``-1`` asks for every retained record; a specific
+    op_id narrows the dump to that operation.  ``limit`` of ``0`` means
+    no cap (the recorder itself is bounded).
+    """
+
+    target_op: int = -1
+    limit: int = 0
+
+
+@dataclass(frozen=True)
+class TraceAck(BaseMessage):
+    """Reply to :class:`TraceDump`: retained server-side span records.
+
+    ``records`` is a list of plain dicts as produced by
+    :class:`repro.obs.FlightRecorder` (op_id, phase, recv instant, queue
+    wait, service time, verdict); ``total`` counts every record the
+    recorder has ever captured, so a scraper can tell how much history
+    the bounded buffer has already evicted.
+    """
+
+    node_id: str = ""
+    records: Any = None
+    total: int = 0
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,7 @@ from repro.deploy.serve import (
     health_ping,
     serve_node,
     stats_ping,
+    trace_dump,
 )
 from repro.deploy.spec import ClusterSpec
 from repro.deploy.supervisor import (
@@ -44,4 +45,5 @@ __all__ = [
     "read_state",
     "serve_node",
     "stats_ping",
+    "trace_dump",
 ]

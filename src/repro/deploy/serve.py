@@ -29,7 +29,14 @@ import signal
 import sys
 from typing import IO, Optional, Tuple
 
-from repro.core.messages import HealthAck, HealthPing, StatsAck, StatsPing
+from repro.core.messages import (
+    HealthAck,
+    HealthPing,
+    StatsAck,
+    StatsPing,
+    TraceAck,
+    TraceDump,
+)
 from repro.deploy.spec import ClusterSpec
 from repro.errors import ProtocolError
 from repro.transport.auth import Authenticator
@@ -146,3 +153,20 @@ async def stats_ping(address: Tuple[str, int], auth: Authenticator,
     """
     return await _node_ping(address, auth, StatsPing(op_id=1), StatsAck,
                             probe_id, timeout)
+
+
+async def trace_dump(address: Tuple[str, int], auth: Authenticator,
+                     target_op: int = -1, limit: int = 0,
+                     probe_id: ProcessId = "probe",
+                     timeout: float = 2.0) -> TraceAck:
+    """Scrape a node's flight-recorder records (server-side span halves).
+
+    ``target_op`` narrows the dump to one operation (``-1`` = all
+    retained records); ``limit`` keeps only the newest that many.  The
+    returned :class:`~repro.core.messages.TraceAck` records join with
+    client span records through :func:`repro.obs.stitch`.
+    """
+    return await _node_ping(address, auth,
+                            TraceDump(op_id=1, target_op=target_op,
+                                      limit=limit),
+                            TraceAck, probe_id, timeout)

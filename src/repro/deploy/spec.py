@@ -87,6 +87,13 @@ class ClusterSpec:
     #: routes each key to its consistent-hash quorum group -- the same
     #: placement on every party, because it is derived from this spec.
     keyspace: Dict[str, Any] = field(default_factory=dict)
+    #: Observability block: ``exporter_port`` (+ optional
+    #: ``exporter_host``) makes the supervisor run an HTTP metrics
+    #: exporter sidecar (``/metrics``, ``/metrics.json``,
+    #: ``/traces/<op_id>``, ``/healthz``); ``trace_sample`` sets the
+    #: nodes' flight-recorder sampling modulus (default 64, 0 = off)
+    #: and ``trace_capacity`` the per-node record ring size.
+    observability: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.algorithm not in CLIENT_ALGORITHMS:
@@ -118,6 +125,20 @@ class ClusterSpec:
                 f"wire must be 'v1' or 'v2', got {self.wire!r}")
         if self.keyspace:
             self.keyspace_config().validate(self.algorithm, self.f, self.n)
+        if self.observability:
+            known = {"exporter_port", "exporter_host", "trace_sample",
+                     "trace_capacity"}
+            unknown = set(self.observability) - known
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown observability keys: {sorted(unknown)}")
+            for key in ("exporter_port", "trace_sample", "trace_capacity"):
+                value = self.observability.get(key)
+                if value is not None and (not isinstance(value, int)
+                                          or value < 0):
+                    raise ConfigurationError(
+                        f"observability.{key} must be a non-negative "
+                        f"integer, got {value!r}")
 
     # -- identity and addressing ------------------------------------------
     @property
@@ -247,6 +268,9 @@ class ClusterSpec:
             max_connections=self.max_connections,
             rate_limit=self.rate_limit, rate_burst=self.rate_burst,
             wire=self.wire,
+            flight_sample=int(self.observability.get("trace_sample", 64)),
+            flight_capacity=int(
+                self.observability.get("trace_capacity", 1024)),
         )
         if sharded:
             protocol.bind_registry(node.registry)

@@ -37,10 +37,11 @@ from repro.deploy.serve import (
     health_ping,
     parse_ready_line,
     stats_ping,
+    trace_dump,
 )
 from repro.deploy.spec import ClusterSpec
 from repro.errors import ConfigurationError
-from repro.obs import MetricRegistry
+from repro.obs import MetricRegistry, MetricsExporter
 from repro.runtime.client import AsyncRegisterClient
 from repro.types import ProcessId
 
@@ -124,6 +125,9 @@ class ClusterSupervisor:
         self.proxies: Dict[ProcessId, object] = {}
         self._clients: List[AsyncRegisterClient] = []
         self._own_spec_file = False
+        #: HTTP metrics exporter sidecar (``observability.exporter_port``
+        #: in the spec); ``None`` when not configured.
+        self.exporter: Optional[MetricsExporter] = None
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> None:
@@ -155,10 +159,59 @@ class ClusterSupervisor:
             # managed to spawn before reporting the failure.
             await self._reap_all()
             raise failures[0]
+        self._start_exporter()
         self._write_state()
+
+    def _start_exporter(self) -> None:
+        """Run the HTTP exporter sidecar when the spec asks for one.
+
+        The exporter's handler threads fan StatsPing / TraceDump probes
+        out to every node with their own short-lived event loop
+        (``asyncio.run``), so a slow scrape stalls that one HTTP request
+        -- never the supervisor's loop or the cluster.
+        """
+        port = self.spec.observability.get("exporter_port")
+        if port is None or self.exporter is not None:
+            return
+        host = str(self.spec.observability.get("exporter_host",
+                                               "127.0.0.1"))
+        auth = self.spec.authenticator()
+
+        def scrape_all() -> List[Dict]:
+            async def gather():
+                acks = await asyncio.gather(
+                    *(stats_ping(address, auth)
+                      for address in self.addresses.values()),
+                    return_exceptions=True)
+                return [ack.metrics for ack in acks
+                        if not isinstance(ack, BaseException)
+                        and ack.metrics]
+            return asyncio.run(gather())
+
+        def lookup(op_id: int) -> List[Dict]:
+            async def gather():
+                acks = await asyncio.gather(
+                    *(trace_dump(address, auth, target_op=op_id)
+                      for address in self.addresses.values()),
+                    return_exceptions=True)
+                records: List[Dict] = []
+                for ack in acks:
+                    if not isinstance(ack, BaseException):
+                        records.extend(dict(r) for r in ack.records or ())
+                return records
+            return asyncio.run(gather())
+
+        self.exporter = MetricsExporter(scrape_all, trace_lookup=lookup,
+                                        host=host, port=port)
+        self.exporter.start()
+        logger.info("metrics exporter serving on http://%s:%d",
+                    *self.exporter.address)
 
     async def stop(self) -> None:
         """Close clients, then SIGTERM every node (SIGKILL stragglers)."""
+        if self.exporter is not None:
+            self.exporter.stop()
+            self.exporter = None
         for client in self._clients:
             await client.close()
         self._clients.clear()
@@ -356,6 +409,9 @@ class ClusterSupervisor:
     def _write_state(self) -> None:
         state = {
             "spec_path": self.spec_path,
+            "exporter": (
+                {"host": self.exporter.host, "port": self.exporter.port}
+                if self.exporter is not None else None),
             "nodes": {
                 str(pid): {
                     "pid": handle.pid,

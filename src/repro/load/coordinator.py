@@ -323,7 +323,7 @@ async def run_load(profile: LoadProfile, procs: bool = False,
             secret=spec.secret_bytes, max_history=profile.max_history,
             keyspace=spec.keyspace_config())
 
-    timeseries = (SnapshotLog(timeseries_path)
+    timeseries = (SnapshotLog(timeseries_path, windows=True)
                   if timeseries_path is not None else None)
     outcomes: List[PassOutcome] = []
     await cluster.start()

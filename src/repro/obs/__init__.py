@@ -1,4 +1,4 @@
-"""Runtime observability: metrics, operation tracing, log flood control.
+"""Runtime observability: metrics, tracing, stitching, export, flood control.
 
 The paper's headline numbers are *round-trip counts* -- one-round BSR
 reads versus two-round writes (``get-tag`` + ``put-data``), one-shot
@@ -12,7 +12,16 @@ coded BCSR reads -- and this package is how the live runtime shows them:
 * :class:`OpTracer` / :class:`OpSpan` -- per-operation spans with
   per-phase timing, per-server reply latency and the quorum-wait
   breakdown (time to ``f + 1`` witnesses vs ``n - f`` replies), emitted
-  as JSONL through pluggable sinks.
+  as JSONL through pluggable sinks (:class:`SamplingSink` thins them by
+  deterministic op_id modulus).
+* :class:`FlightRecorder` / :mod:`repro.obs.stitch` -- the server-side
+  halves of those spans (recv/queue/service per frame, scraped over
+  ``TraceDump``) and the joiner that stitches both sides into one
+  causal timeline per operation.
+* :class:`MetricsExporter` -- a stdlib HTTP sidecar serving merged
+  Prometheus text (``/metrics``), JSON snapshots and per-op traces.
+* :class:`SnapshotLog` -- the JSONL time-series sidecar, with
+  size-based rotation and per-window percentile deltas.
 * :class:`LogGate` -- per-reason rate limiting on warnings so a
   Byzantine peer cannot turn logging into a denial of service.
 * :mod:`repro.obs.stats` -- the single nearest-rank percentile
@@ -23,6 +32,8 @@ own modules), so every layer -- transport, runtime, chaos, deploy -- can
 depend on it without cycles.
 """
 
+from repro.obs.flight import FlightRecorder
+from repro.obs.httpd import MetricsExporter
 from repro.obs.loglimit import LogGate
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -44,10 +55,18 @@ from repro.obs.stats import (
     summarize_buckets,
     summarize_latencies,
 )
+from repro.obs.stitch import (
+    StitchedOp,
+    format_timeline,
+    slowest,
+    stitch,
+    stitch_op,
+)
 from repro.obs.timeseries import (
     SnapshotLog,
     iter_snapshot_log,
     read_snapshot_log,
+    window_summary,
 )
 from repro.obs.tracing import (
     PHASE_BY_MESSAGE,
@@ -56,12 +75,14 @@ from repro.obs.tracing import (
     NullSink,
     OpSpan,
     OpTracer,
+    SamplingSink,
     phase_name,
 )
 
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -69,13 +90,17 @@ __all__ = [
     "LogGate",
     "MemorySink",
     "MetricRegistry",
+    "MetricsExporter",
     "NullSink",
     "OpSpan",
     "OpTracer",
     "PHASE_BY_MESSAGE",
+    "SamplingSink",
     "SnapshotLog",
+    "StitchedOp",
     "aggregate_histograms",
     "bucket_percentile",
+    "format_timeline",
     "iter_snapshot_log",
     "merge_registry_snapshots",
     "merge_snapshots",
@@ -84,7 +109,11 @@ __all__ = [
     "phase_name",
     "read_snapshot_log",
     "render_prometheus",
+    "slowest",
+    "stitch",
+    "stitch_op",
     "summarize_buckets",
     "summarize_histogram_snapshot",
     "summarize_latencies",
+    "window_summary",
 ]

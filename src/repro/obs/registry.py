@@ -45,8 +45,21 @@ def _label_pairs(labels: Dict[str, str]) -> LabelPairs:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format requires escaping inside quoted label values; anything else
+    passes through verbatim.  Hostile register names (a key is
+    client-chosen) surface in per-key table metrics, so this is a
+    correctness fix, not cosmetics.
+    """
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _render_labels(pairs: LabelPairs, extra: str = "") -> str:
-    parts = [f'{key}="{value}"' for key, value in pairs]
+    parts = [f'{key}="{_escape_label_value(value)}"' for key, value in pairs]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""

@@ -78,6 +78,33 @@ class JsonlSink:
             self._fh.close()
 
 
+class SamplingSink:
+    """Keep one span record in ``sample`` by deterministic op_id modulus.
+
+    The predicate (``op_id % sample == 0``) matches
+    :meth:`repro.obs.flight.FlightRecorder.wants`, so a client tracing
+    through a sampling sink and servers recording at the same modulus
+    retain records for exactly the same operations -- every sampled op
+    can be stitched end-to-end without any cross-process coordination.
+    ``sample <= 1`` keeps everything.
+    """
+
+    def __init__(self, sink, sample: int = 64) -> None:
+        if sample < 1:
+            raise ValueError("sampling modulus must be >= 1")
+        self.sink = sink
+        self.sample = sample
+
+    def emit(self, record: Dict) -> None:
+        op_id = record.get("op_id")
+        if self.sample <= 1 or (type(op_id) is int
+                                and op_id % self.sample == 0):
+            self.sink.emit(record)
+
+    def close(self) -> None:
+        self.sink.close()
+
+
 class PhaseTimings:
     """Mutable per-phase accumulator inside a span."""
 

@@ -47,7 +47,13 @@ from repro.sharding.ring import Placement
 from repro.core.operation import ClientOperation
 from repro.core.regular import HistoryReadOperation, TwoRoundReadOperation
 from repro.errors import AuthenticationError, ConfigurationError, LivenessError, ProtocolError
-from repro.obs import LogGate, MetricRegistry, OpTracer, phase_name
+from repro.obs import (
+    LogGate,
+    MetricRegistry,
+    OpTracer,
+    SamplingSink,
+    phase_name,
+)
 from repro.runtime.dispatch import BatchedConnection, OpDispatcher, OpState
 from repro.transport.auth import Authenticator
 from repro.transport.codec import (
@@ -114,6 +120,7 @@ class AsyncRegisterClient:
                  max_inflight: Optional[int] = None,
                  registry: Optional[MetricRegistry] = None,
                  trace_sink: Optional[Any] = None,
+                 trace_sample: Optional[int] = None,
                  wire: str = "v2",
                  placement: Optional[Placement] = None) -> None:
         if algorithm not in CLIENT_ALGORITHMS:
@@ -185,6 +192,11 @@ class AsyncRegisterClient:
         #: to them (group-local pruning).  An operation that does route
         #: to one lazily un-prunes it -- see :meth:`_servers_for`.
         self._pruned: set = set()
+        if trace_sink is not None and trace_sample is not None:
+            # Deterministic 1-in-N span sampling, aligned with the
+            # server-side flight recorders (same op_id modulus) so every
+            # sampled operation can be stitched end-to-end.
+            trace_sink = SamplingSink(trace_sink, trace_sample)
         self._tracer = OpTracer(self.registry, sink=trace_sink,
                                 client_id=client, algorithm=algorithm)
         self._log = LogGate(logger, self.registry,

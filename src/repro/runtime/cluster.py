@@ -72,7 +72,9 @@ class LocalCluster:
                  rate_burst: Optional[float] = None,
                  registry: Optional[MetricRegistry] = None,
                  wire: str = "v2",
-                 keyspace: Optional[KeyspaceConfig] = None) -> None:
+                 keyspace: Optional[KeyspaceConfig] = None,
+                 flight_sample: int = 64,
+                 flight_capacity: int = 1024) -> None:
         if algorithm not in CLIENT_ALGORITHMS:
             raise ConfigurationError(
                 f"algorithm {algorithm!r} not supported by the asyncio "
@@ -111,6 +113,10 @@ class LocalCluster:
         #: cluster speaks: ``"v2"`` binary or ``"v1"`` JSON.  Decoding
         #: is always version-agnostic, so mixed clusters interoperate.
         self.wire = wire
+        #: Flight-recorder settings every node inherits (``sample=0``
+        #: turns server-side trace recording off -- the bench baseline).
+        self.flight_sample = flight_sample
+        self.flight_capacity = flight_capacity
         #: One registry shared by every node, proxy and (by default)
         #: client of this cluster, so a single snapshot shows the whole
         #: deployment.
@@ -163,7 +169,9 @@ class LocalCluster:
                 pid, protocol, auth, host=self.host, port=0,
                 max_connections=self.max_connections,
                 rate_limit=self.rate_limit, rate_burst=self.rate_burst,
-                registry=self.registry, wire=self.wire)
+                registry=self.registry, wire=self.wire,
+                flight_sample=self.flight_sample,
+                flight_capacity=self.flight_capacity)
         snapshot_path = None
         if self.snapshot_dir is not None:
             import os
@@ -176,6 +184,8 @@ class LocalCluster:
             max_connections=self.max_connections,
             rate_limit=self.rate_limit, rate_burst=self.rate_burst,
             registry=self.registry, wire=self.wire,
+            flight_sample=self.flight_sample,
+            flight_capacity=self.flight_capacity,
         )
 
     async def start(self) -> None:

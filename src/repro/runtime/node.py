@@ -15,9 +15,11 @@ from repro.core.messages import (
     StatsAck,
     StatsPing,
     Throttled,
+    TraceAck,
+    TraceDump,
 )
 from repro.errors import AuthenticationError, ConfigurationError, ProtocolError
-from repro.obs import PHASE_BY_MESSAGE, LogGate, MetricRegistry
+from repro.obs import PHASE_BY_MESSAGE, FlightRecorder, LogGate, MetricRegistry
 from repro.runtime.limits import PerClientBuckets
 from repro.transport.auth import Authenticator
 from repro.transport.codec import (
@@ -83,7 +85,10 @@ class RegisterServerNode:
                  rate_limit: Optional[float] = None,
                  rate_burst: Optional[float] = None,
                  registry: Optional[MetricRegistry] = None,
-                 wire: str = "v2") -> None:
+                 wire: str = "v2",
+                 flight: Optional[FlightRecorder] = None,
+                 flight_sample: int = 64,
+                 flight_capacity: int = 1024) -> None:
         if wire not in ("v1", "v2"):
             raise ConfigurationError(
                 f"wire version {wire!r} not supported; choose v1 or v2")
@@ -111,13 +116,24 @@ class RegisterServerNode:
         self._buckets = (PerClientBuckets(rate_limit, rate_burst)
                          if rate_limit is not None else None)
         self.registry = registry if registry is not None else MetricRegistry()
+        #: Server-side span records for causal trace stitching.  Sampling
+        #: is deterministic by op_id, matching the client's SamplingSink;
+        #: ``flight_sample=0`` turns recording off entirely.
+        if flight is not None:
+            self.flight: Optional[FlightRecorder] = flight
+        elif flight_sample > 0:
+            self.flight = FlightRecorder(node_id=str(server_id),
+                                         capacity=flight_capacity,
+                                         sample=flight_sample)
+        else:
+            self.flight = None
         node = str(server_id)
         self._counters = {
             name: self.registry.counter(f"node_{name}_total", node=node)
             for name in ("frames", "frames_bad", "frames_retried",
                          "frames_throttled", "connections_refused",
-                         "health_pings", "stats_pings", "wire_frames",
-                         "reply_batches")
+                         "health_pings", "stats_pings", "trace_dumps",
+                         "wire_frames", "reply_batches")
         }
         self._connections_gauge = self.registry.gauge(
             "node_connections", node=node)
@@ -260,17 +276,22 @@ class RegisterServerNode:
                     BrokenPipeError):  # pragma: no cover - teardown races
                 pass
 
-    def _note_repeat(self, sender: ProcessId, message: Any) -> None:
-        """Count frames the node has already seen (client re-sends)."""
+    def _note_repeat(self, sender: ProcessId, message: Any) -> bool:
+        """Count frames the node has already seen (client re-sends).
+
+        Returns whether this frame was a repeat, so the flight recorder
+        can tag re-served operations in stitched timelines.
+        """
         key = (sender, message.op_id, type(message))
         recent = self._recent_frames
         if key in recent:
             recent.move_to_end(key)
             self._c_frames_retried.inc()
-            return
+            return True
         recent[key] = None
         if len(recent) > RETRY_WINDOW:
             recent.popitem(last=False)
+        return False
 
     async def _connection_loop(self, reader: asyncio.StreamReader,
                                writer: asyncio.StreamWriter) -> None:
@@ -302,11 +323,15 @@ class RegisterServerNode:
                 self._log.warning("bad-frame", "server %s closing "
                                   "connection: %s", self.server_id, exc)
                 return
+            # One chunk-receipt instant for every frame in the burst:
+            # a frame's queue wait is the time it spent behind earlier
+            # messages of the same chunk before its handler ran.
+            received = loop.time()
             replies: list = []
             needs_checkpoint = False
             for frame in frames:
                 self._c_wire_frames.inc()
-                if self._serve_frame(frame, replies, loop):
+                if self._serve_frame(frame, replies, loop, received):
                     needs_checkpoint = True
             if needs_checkpoint:
                 # One durable snapshot per chunk (the checkpoint path
@@ -324,7 +349,8 @@ class RegisterServerNode:
                     return
 
     def _serve_frame(self, frame, replies: list,
-                     loop: asyncio.AbstractEventLoop) -> bool:
+                     loop: asyncio.AbstractEventLoop,
+                     received: Optional[float] = None) -> bool:
         """Verify one wire frame and serve every message it carries.
 
         Encoded reply payloads are appended to ``replies``; the
@@ -348,13 +374,14 @@ class RegisterServerNode:
                 self._log.warning("bad-frame", "server %s dropping bad "
                                   "payload: %s", self.server_id, exc)
                 continue
-            if self._serve_message(sender, message, replies, loop):
+            if self._serve_message(sender, message, replies, loop, received):
                 needs_checkpoint = True
         return needs_checkpoint
 
     def _serve_message(self, sender: ProcessId, message: Any,
                        replies: list,
-                       loop: asyncio.AbstractEventLoop) -> bool:
+                       loop: asyncio.AbstractEventLoop,
+                       received: Optional[float] = None) -> bool:
         """Run one verified message through the node/protocol layers.
 
         Returns whether the message changed the protocol's durable
@@ -365,12 +392,23 @@ class RegisterServerNode:
             # Answered by the node, not the protocol, and exempt from
             # rate limiting: readiness probes must work under load.
             self._counters["health_pings"].inc()
+            # RegisterTable occupancy, when the protocol is a sharded
+            # table (duck-typed: single-register protocols report -1).
+            resident = getattr(self.protocol, "resident_keys", None)
+            archived = getattr(self.protocol, "archived_keys", None)
+            rehydrations = -1
+            if resident is not None:
+                rehydrations = int(self.registry.counter_value(
+                    "table_rehydrations_total", node=str(self.server_id)))
             ack = HealthAck(
                 op_id=message.op_id, node_id=str(self.server_id),
                 history_len=len(getattr(self.protocol, "history", ())),
                 frames=int(self._counters["frames"].value),
                 throttled=int(self._counters["frames_throttled"].value),
                 snapshot_age=self.snapshot_age(),
+                keys_resident=-1 if resident is None else len(resident),
+                keys_archived=-1 if archived is None else len(archived),
+                rehydrations=rehydrations,
             )
             replies.append(self._encode(ack))
             return False
@@ -383,6 +421,20 @@ class RegisterServerNode:
                            metrics=self.registry.snapshot())
             replies.append(self._encode(ack))
             return False
+        if isinstance(message, TraceDump):
+            # Flight-recorder scrape: node-level like the pings above,
+            # so stitched timelines stay reachable under protocol load.
+            self._counters["trace_dumps"].inc()
+            fl = self.flight
+            ack = TraceAck(
+                op_id=message.op_id, node_id=str(self.server_id),
+                records=(fl.dump(message.target_op, message.limit)
+                         if fl is not None else []),
+                total=fl.total if fl is not None else 0,
+            )
+            replies.append(self._encode(ack))
+            return False
+        fl = self.flight
         if self._buckets is not None and not self._buckets.allow(sender):
             self._counters["frames_throttled"].inc()
             throttle = Throttled(
@@ -391,8 +443,20 @@ class RegisterServerNode:
                 dropped=type(message).__name__,
             )
             replies.append(self._encode(throttle))
+            op_id = getattr(message, "op_id", None)
+            if fl is not None and fl.wants(op_id):
+                now = loop.time()
+                fl.record({
+                    "op_id": op_id, "node": str(self.server_id),
+                    "phase": self._frame_phase(message),
+                    "recv": received if received is not None else now,
+                    "queue_wait": (now - received
+                                   if received is not None else 0.0),
+                    "service": 0.0, "verdict": "throttled",
+                    "repeat": False,
+                })
             return False
-        self._note_repeat(sender, message)
+        repeated = self._note_repeat(sender, message)
         started = loop.time()
         history = getattr(self.protocol, "history", None)
         history_before = -1 if history is None else len(history)
@@ -429,7 +493,20 @@ class RegisterServerNode:
                     "node_phase_seconds", node=str(self.server_id),
                     phase=phase)
             self._hist_by_cls[cls] = hist
-        hist.observe(loop.time() - started)
+        ended = loop.time()
+        hist.observe(ended - started)
+        if fl is not None:
+            op_id = getattr(message, "op_id", None)
+            if fl.wants(op_id):
+                fl.record({
+                    "op_id": op_id, "node": str(self.server_id),
+                    "phase": self._frame_phase(message),
+                    "recv": received if received is not None else started,
+                    "queue_wait": (started - received
+                                   if received is not None else 0.0),
+                    "service": ended - started, "verdict": "served",
+                    "repeat": repeated,
+                })
         return mutated
 
     def _frame_phase(self, message: Any) -> str:

@@ -64,3 +64,30 @@ def test_soak_outcomes_count_retries_under_chaos():
     reconnects = sum(stats.get("reconnects", 0)
                      for stats in result.client_stats.values())
     assert reconnects > 0
+
+
+def test_soak_timeseries_sidecar_appends_windowed_snapshots(tmp_path):
+    from repro.obs import read_snapshot_log
+
+    path = str(tmp_path / "soak-series.jsonl")
+    result = run(run_soak(
+        algorithm="bsr", f=1, schedule="none", ops=10, read_ratio=0.5,
+        seed=7, start=0.2, period=0.4, timeout=10.0,
+        timeseries_path=path, timeseries_interval=0.2,
+    ))
+    assert result.errors == []
+    records = read_snapshot_log(path, windows=True)
+    assert records, "the soak appended no snapshots"
+    assert all(r["schedule"] == "none" for r in records)
+    # At least one window saw traffic, and windowed entries summarize
+    # to percentiles at read time.
+    summaries = [entry["summary"]
+                 for record in records
+                 for entry in record.get("window", {}).get("histograms", ())
+                 if entry["name"] == "client_op_seconds"]
+    assert summaries
+    assert all(s["count"] > 0 for s in summaries)
+    assert any(s["p99"] > 0 for s in summaries)
+    # Windows partition the run: their counts sum to the ops completed.
+    total = sum(s["count"] for s in summaries)
+    assert total == result.ops_completed

@@ -1,0 +1,109 @@
+"""Flight recorder ring and the matching client-side sampling sink."""
+
+import pytest
+
+from repro.obs import FlightRecorder, MemorySink, SamplingSink
+
+
+def _entry(op_id, node="s000", phase="get-tag", recv=1.0):
+    return {"op_id": op_id, "node": node, "phase": phase, "recv": recv,
+            "queue_wait": 0.001, "service": 0.002, "verdict": "served",
+            "repeat": False}
+
+
+# -- sampling predicate ------------------------------------------------------
+
+def test_wants_is_deterministic_modulus():
+    recorder = FlightRecorder(sample=8)
+    assert [op for op in range(1, 33) if recorder.wants(op)] == [8, 16, 24, 32]
+
+
+def test_sample_zero_disables_recording():
+    recorder = FlightRecorder(sample=0)
+    assert not recorder.wants(64)
+    assert not recorder.wants(0)
+
+
+def test_sample_one_records_everything():
+    recorder = FlightRecorder(sample=1)
+    assert all(recorder.wants(op) for op in range(1, 10))
+
+
+def test_wants_rejects_non_int_op_ids():
+    recorder = FlightRecorder(sample=1)
+    assert not recorder.wants(None)
+    assert not recorder.wants("64")
+    assert not recorder.wants(64.0)
+
+
+def test_client_and_server_sample_the_same_ops():
+    """The whole point: SamplingSink and FlightRecorder agree, so every
+    client-kept span has matching server records to stitch against."""
+    recorder = FlightRecorder(sample=16)
+    memory = MemorySink()
+    sink = SamplingSink(memory, sample=16)
+    for op in range(1, 100):
+        sink.emit({"op_id": op})
+    client_kept = {r["op_id"] for r in memory.records}
+    server_kept = {op for op in range(1, 100) if recorder.wants(op)}
+    assert client_kept == server_kept
+
+
+# -- ring bounds and dumps ---------------------------------------------------
+
+def test_ring_evicts_oldest_but_total_keeps_counting():
+    recorder = FlightRecorder(capacity=4, sample=1)
+    for op in range(10):
+        recorder.record(_entry(op))
+    assert len(recorder) == 4
+    assert recorder.total == 10
+    assert [r["op_id"] for r in recorder.dump()] == [6, 7, 8, 9]
+
+
+def test_dump_filters_by_op_id():
+    recorder = FlightRecorder(sample=1)
+    recorder.record(_entry(5, phase="get-tag"))
+    recorder.record(_entry(6))
+    recorder.record(_entry(5, phase="put-data"))
+    assert [r["phase"] for r in recorder.dump(5)] == ["get-tag", "put-data"]
+    assert recorder.dump(-1) == recorder.dump()  # -1 == all (wire default)
+    assert recorder.dump(999) == []
+
+
+def test_dump_limit_keeps_newest_after_filtering():
+    recorder = FlightRecorder(sample=1)
+    for op in range(6):
+        recorder.record(_entry(op))
+    assert [r["op_id"] for r in recorder.dump(limit=2)] == [4, 5]
+
+
+def test_clear_resets_ring_not_total():
+    recorder = FlightRecorder(sample=1)
+    recorder.record(_entry(1))
+    recorder.clear()
+    assert len(recorder) == 0
+    assert recorder.total == 1
+
+
+def test_invalid_construction_rejected():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+    with pytest.raises(ValueError):
+        FlightRecorder(sample=-1)
+    with pytest.raises(ValueError):
+        SamplingSink(MemorySink(), sample=0)
+
+
+def test_sampling_sink_close_propagates():
+    class Closable:
+        closed = False
+
+        def emit(self, record):
+            pass
+
+        def close(self):
+            self.closed = True
+
+    inner = Closable()
+    SamplingSink(inner, sample=4).close()
+    assert inner.closed

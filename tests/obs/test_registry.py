@@ -119,3 +119,22 @@ def test_merge_snapshots_concatenates():
     values = {entry["labels"]["node"]: entry["value"]
               for entry in merged["counters"]}
     assert values == {"s000": 1, "s001": 2}
+
+
+def test_prometheus_escapes_adversarial_label_values():
+    """Label values are attacker-influenced (key names, client ids); the
+    exposition must escape backslashes, quotes and newlines per the
+    Prometheus text format or one hostile key corrupts the whole page."""
+    registry = MetricRegistry()
+    registry.counter("ops_total", key='evil"} repro_fake 1 #').inc()
+    registry.counter("ops_total", key="back\\slash").inc(2)
+    registry.counter("ops_total", key="multi\nline").inc(3)
+    text = registry.to_prometheus()
+    assert 'key="evil\\"} repro_fake 1 #"' in text
+    assert 'key="back\\\\slash"' in text
+    assert 'key="multi\\nline"' in text
+    # No raw newline smuggled into the middle of a sample line: every
+    # non-comment line still parses as `name{labels} value`.
+    for line in text.splitlines():
+        if line and not line.startswith("#"):
+            assert line.rstrip().rsplit(" ", 1)[1].replace(".", "").isdigit()

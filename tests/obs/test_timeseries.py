@@ -134,3 +134,160 @@ def test_snapshot_log_leaves_caller_streams_open():
     assert not stream.closed
     record = json.loads(stream.getvalue())
     assert record["ts"] == 5.0
+
+
+# -- partial scrapes ---------------------------------------------------------
+
+def test_merge_registry_snapshots_of_nothing_is_empty():
+    merged = merge_registry_snapshots([])
+    assert merged["counters"] == []
+    assert merged["histograms"] == []
+
+
+def test_merge_tolerates_empty_and_missing_sections():
+    """A partially-scraped cluster mixes full snapshots with empty ones
+    (node just restarted) and ones missing whole sections."""
+    merged = merge_registry_snapshots([
+        _worker_registry([0.1], ops=2).snapshot(),
+        {"namespace": "repro", "counters": [], "gauges": [],
+         "histograms": []},
+        {"namespace": "repro"},  # no sections at all
+    ])
+    [counter] = [c for c in merged["counters"] if c["name"] == "ops_total"]
+    assert counter["value"] == 2
+    [hist] = merged["histograms"]
+    assert sum(hist["counts"]) == 1
+
+
+def test_merge_missing_node_keeps_remaining_series_intact():
+    """Dropping one node's snapshot (scrape timeout) only loses that
+    node's series -- per-node labels keep entries disjoint."""
+    def node_snapshot(node, frames):
+        registry = MetricRegistry()
+        registry.counter("node_frames_total", node=node).inc(frames)
+        return registry.snapshot()
+
+    full = merge_registry_snapshots(
+        [node_snapshot("s000", 5), node_snapshot("s001", 7)])
+    partial = merge_registry_snapshots([node_snapshot("s000", 5)])
+    by_node = {c["labels"]["node"]: c["value"] for c in full["counters"]}
+    assert by_node == {"s000": 5, "s001": 7}
+    [survivor] = partial["counters"]
+    assert survivor["labels"]["node"] == "s000"
+    assert survivor["value"] == 5
+
+
+def test_aggregate_histograms_skips_snapshots_without_histograms():
+    assert aggregate_histograms({}, "op_seconds") is None
+    assert aggregate_histograms({"histograms": []}, "op_seconds") is None
+
+
+# -- rotation ----------------------------------------------------------------
+
+def _fill(log, count, start=0.0):
+    for i in range(count):
+        log.append({"counters": [{"name": "x", "labels": {},
+                                  "value": i}]}, ts=start + i)
+
+
+def test_rotation_rolls_segments_and_reads_across_them(tmp_path):
+    import os
+
+    path = str(tmp_path / "series.jsonl")
+    with SnapshotLog(path, max_bytes=200, keep=3) as log:
+        _fill(log, 12)
+    assert os.path.exists(path + ".1")
+    records = read_snapshot_log(path)
+    # Oldest segments beyond ``keep`` were dropped, order is preserved.
+    stamps = [r["ts"] for r in records]
+    assert stamps == sorted(stamps)
+    assert stamps[-1] == 11.0
+    assert len(records) < 12
+    assert not os.path.exists(path + ".4")
+
+
+def test_rotation_never_splits_a_record(tmp_path):
+    path = str(tmp_path / "series.jsonl")
+    with SnapshotLog(path, max_bytes=120, keep=2) as log:
+        _fill(log, 8)
+    for segment in [path, path + ".1", path + ".2"]:
+        with open(segment) as fh:
+            for line in fh:
+                json.loads(line)  # every line is complete JSON
+
+
+def test_rotation_requires_a_path_target():
+    with pytest.raises(ValueError):
+        SnapshotLog(io.StringIO(), max_bytes=100)
+
+
+def test_rotation_validates_limits(tmp_path):
+    path = str(tmp_path / "series.jsonl")
+    with pytest.raises(ValueError):
+        SnapshotLog(path, max_bytes=0)
+    with pytest.raises(ValueError):
+        SnapshotLog(path, keep=0)
+
+
+def test_reading_a_missing_log_yields_nothing(tmp_path):
+    assert read_snapshot_log(str(tmp_path / "absent.jsonl")) == []
+
+
+# -- windowed percentile deltas ----------------------------------------------
+
+def test_windows_store_deltas_and_summaries_come_at_read_time(tmp_path):
+    path = str(tmp_path / "series.jsonl")
+    registry = _worker_registry([0.010, 0.020])
+    with SnapshotLog(path, windows=True) as log:
+        log.append(registry.snapshot(), ts=1.0)
+        registry.histogram("op_seconds", op="read").observe(0.500)
+        log.append(registry.snapshot(), ts=2.0)
+        log.append(registry.snapshot(), ts=3.0)  # quiet interval
+    first, second, third = read_snapshot_log(path, windows=True)
+    # First window = the whole cumulative state (first sight).
+    [w1] = first["window"]["histograms"]
+    assert sum(w1["counts"]) == 2
+    # Second window = just the one new observation.
+    [w2] = second["window"]["histograms"]
+    assert sum(w2["counts"]) == 1
+    assert w2["summary"]["count"] == 1
+    assert w2["summary"]["p50"] >= 0.25  # the 0.5s sample, bucketed
+    assert {"count", "mean", "p50", "p99", "p999"} <= set(w2["summary"])
+    # Quiet interval: zero-delta windows are not stored.
+    assert "window" not in third
+
+
+def test_windows_adopt_fresh_counts_after_counter_reset(tmp_path):
+    path = str(tmp_path / "series.jsonl")
+    with SnapshotLog(path, windows=True) as log:
+        log.append(_worker_registry([0.1, 0.2, 0.3]).snapshot(), ts=1.0)
+        # Restarted process: cumulative counts shrink.
+        log.append(_worker_registry([0.1]).snapshot(), ts=2.0)
+    _, after_reset = read_snapshot_log(path, windows=True)
+    [window] = after_reset["window"]["histograms"]
+    assert sum(window["counts"]) == 1  # fresh totals, not negative deltas
+
+
+def test_windows_keep_interleaved_series_apart(tmp_path):
+    """Per-worker appends interleave; each ``extra`` keys its own
+    baseline so worker A's delta never subtracts worker B's counts."""
+    path = str(tmp_path / "series.jsonl")
+    worker_a = _worker_registry([0.1])
+    worker_b = _worker_registry([0.1, 0.2])
+    with SnapshotLog(path, windows=True) as log:
+        log.append(worker_a.snapshot(), ts=1.0, extra={"worker": 0})
+        log.append(worker_b.snapshot(), ts=1.1, extra={"worker": 1})
+        worker_a.histogram("op_seconds", op="read").observe(0.3)
+        log.append(worker_a.snapshot(), ts=2.0, extra={"worker": 0})
+    records = read_snapshot_log(path, windows=True)
+    [w] = records[2]["window"]["histograms"]
+    assert sum(w["counts"]) == 1  # only worker A's new sample
+
+
+def test_window_summary_handles_degenerate_entries():
+    from repro.obs import window_summary
+
+    empty = {"name": "x", "labels": {}, "buckets": [1.0], "counts": [0, 0],
+             "sum": 0.0, "max": 0.0}
+    summary = window_summary(empty)
+    assert summary["count"] == 0 and summary["mean"] == 0.0

@@ -34,6 +34,8 @@ from repro.core.messages import (
     TagHistoryReply,
     TagReply,
     Throttled,
+    TraceAck,
+    TraceDump,
     ValueReply,
 )
 from repro.core.namespace import NamespacedMessage
@@ -82,6 +84,13 @@ SAMPLES = {
         "histograms": [],
     }),
     "Throttled": Throttled(op_id=21, retry_after=0.25, dropped="PutData"),
+    # records must be a tuple: both codecs restore top-level lists to
+    # tuples, and the roundtrip asserts decoded == original.
+    "TraceDump": TraceDump(op_id=23, target_op=128, limit=16),
+    "TraceAck": TraceAck(op_id=24, node_id="s002", records=(
+        {"op_id": 128, "node": "s002", "phase": "get-data", "recv": 12.5,
+         "queue_wait": 0.001, "service": 0.002, "verdict": "served",
+         "repeat": False},), total=5),
     "NamespacedMessage": NamespacedMessage(
         register="accounts/7", inner=PutData(op_id=22, tag=TAG, payload=b"x")),
 }

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Lint metric names at every ``registry.counter/gauge/histogram`` call.
+
+The observability plane leans on a naming convention instead of a central
+schema: counters end in ``_total``, histograms end in ``_seconds`` (every
+histogram in the tree measures a duration), and gauges carry neither
+suffix.  Prometheus consumers and the ``repro top`` phase table both key
+off those suffixes, so a drive-by metric with the wrong shape silently
+vanishes from dashboards.  This walks the AST and rejects:
+
+* counters whose name does not end in ``_total``
+* histograms whose name does not end in ``_seconds``
+* gauges whose name ends in ``_total`` or ``_seconds``
+* fully dynamic names (a bare variable or call as the name argument) --
+  f-strings are fine as long as they *end* in a literal chunk that
+  carries the suffix, e.g. ``f"client_{name}_total"``.
+
+Exit status is the number of violations, so ``make lint`` fails fast.
+"""
+
+import ast
+import sys
+from typing import List, Optional, Tuple
+
+INSTRUMENTS = ("counter", "gauge", "histogram")
+SUFFIX = {"counter": "_total", "histogram": "_seconds"}
+GAUGE_FORBIDDEN = ("_total", "_seconds")
+
+
+def _name_tail(node: ast.AST) -> Optional[str]:
+    """The trailing literal text of the metric-name argument.
+
+    Returns the full string for a constant, the last literal chunk for an
+    f-string ending in one, and ``None`` when the name is fully dynamic.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        last = node.values[-1]
+        if isinstance(last, ast.Constant) and isinstance(last.value, str):
+            return last.value
+    return None
+
+
+def check_file(path: str) -> List[Tuple[str, int, str]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in INSTRUMENTS):
+            continue
+        if not node.args:
+            continue  # the registry itself rejects a missing name
+        kind = func.attr
+        tail = _name_tail(node.args[0])
+        if tail is None:
+            violations.append((path, node.lineno,
+                               f"{kind}() name is fully dynamic; use a "
+                               "literal or an f-string ending in the "
+                               "suffix literal"))
+            continue
+        if kind == "gauge":
+            for forbidden in GAUGE_FORBIDDEN:
+                if tail.endswith(forbidden):
+                    violations.append(
+                        (path, node.lineno,
+                         f"gauge() name ends in '{forbidden}' -- reserved "
+                         "for counters/histograms"))
+        elif not tail.endswith(SUFFIX[kind]):
+            violations.append(
+                (path, node.lineno,
+                 f"{kind}() name must end in '{SUFFIX[kind]}', "
+                 f"got '...{tail[-24:]}'"))
+    return violations
+
+
+def iter_python_files(root: str):
+    import os
+
+    if os.path.isfile(root):
+        yield root
+        return
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def main(*roots: str) -> int:
+    roots = roots or ("src/repro", "benchmarks")
+    violations: List[Tuple[str, int, str]] = []
+    checked = 0
+    for root in roots:
+        for path in iter_python_files(root):
+            checked += 1
+            violations.extend(check_file(path))
+    for path, line, message in violations:
+        print(f"{path}:{line}: {message}", file=sys.stderr)
+    status = "FAIL" if violations else "ok"
+    print(f"check_metric_names: {checked} files, "
+          f"{len(violations)} violations [{status}]", file=sys.stderr)
+    return len(violations)
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))
