@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-codec bench-hotpath bench-keyspace bench-load bench-obs bench-pipeline bench-tables chaos-soak cluster-smoke examples lint load-smoke metrics-smoke obs-smoke modelcheck clean
+.PHONY: install test bench bench-codec bench-hotpath bench-keyspace bench-load bench-obs bench-pipeline bench-rivals bench-tables chaos-soak cluster-smoke examples lint load-smoke metrics-smoke obs-smoke modelcheck clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -57,6 +57,13 @@ bench-obs:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_e22_obs.py
 	PYTHONPATH=src $(PYTHON) tools/check_bench_schema.py BENCH_obs.json
 
+# E23 rivals scorecard: every registered protocol (resilience bound,
+# measured round-trips, loopback throughput, p99, safety-checked trace);
+# writes BENCH_rivals.json at the repository root.
+bench-rivals:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_e23_rivals.py
+	PYTHONPATH=src $(PYTHON) tools/check_bench_schema.py BENCH_rivals.json
+
 # Regenerate every experiment table (what EXPERIMENTS.md records).
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s -m ""
@@ -89,6 +96,7 @@ lint:
 	PYTHONPATH=src $(PYTHON) tools/check_metric_names.py
 	PYTHONPATH=src $(PYTHON) tools/hotpath_smoke.py
 	PYTHONPATH=src $(PYTHON) tools/check_ring_determinism.py
+	PYTHONPATH=src $(PYTHON) tools/check_protocol_dispatch.py
 	PYTHONPATH=src $(PYTHON) tools/check_bench_schema.py
 
 examples:

@@ -1,11 +1,17 @@
-"""Reliable broadcast (Bracha) -- the primitive the paper's algorithms avoid.
+"""Reliable broadcast -- the primitive the paper's algorithms avoid.
 
-Provided so the repository can implement the *prior-work baseline* the paper
-compares against (Section I-B): an ``n >= 3f + 1`` register whose writes go
-through reliable broadcast, paying the extra ~1.5 rounds of server-to-server
-communication per write.
+Provided so the repository can implement the *prior-work baselines* the
+paper compares against (Section I-B): registers whose writes go through a
+reliable broadcast, paying extra server-to-server communication per write.
+Two broadcasts are available:
+
+* :class:`BrachaInstance` -- Bracha's classic 3-step protocol at
+  ``n >= 3f + 1`` (SEND / ECHO / READY).
+* :class:`IR2Instance` -- the Imbs-Raynal 2-step protocol at
+  ``n >= 5f + 1`` (INIT / WITNESS), one communication step cheaper.
 """
 
 from repro.broadcast.bracha import BrachaInstance, BrachaState
+from repro.broadcast.imbs_raynal import IR2Instance, IR2State
 
-__all__ = ["BrachaInstance", "BrachaState"]
+__all__ = ["BrachaInstance", "BrachaState", "IR2Instance", "IR2State"]

@@ -1,0 +1,122 @@
+"""Imbs-Raynal 2-step asynchronous reliable broadcast among servers.
+
+Communication-optimal reliable broadcast [Imbs-Raynal 2015,
+arXiv:1510.06882] trading resilience for a whole message step: it needs
+``n >= 5f + 1`` servers but delivers after only two communication steps
+(INIT then one wave of WITNESS), where Bracha's classic protocol needs
+three (SEND, ECHO, READY) at ``n >= 3f + 1``.
+
+1. The source sends ``INIT(m)`` to every server.
+2. On first ``INIT(m)``: broadcast ``WITNESS(m)``.
+3. On ``n - 2f`` ``WITNESS(m)`` from distinct servers: broadcast
+   ``WITNESS(m)`` too, if not already done (amplification for servers the
+   source never reached).
+4. On ``n - f`` ``WITNESS(m)``: **deliver** ``m``.
+
+Guarantees (for ``n >= 5f + 1``): if the source is correct every correct
+server delivers ``m``; if any correct server delivers, every correct
+server eventually delivers the same ``m``; no two correct servers deliver
+different payloads for the same instance.
+
+Like :mod:`repro.broadcast.bracha` this module is payload-agnostic: each
+broadcast instance is an opaque key (source + operation id for register
+writes) and counts come per payload value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import ProcessId
+
+#: Phases of the protocol, used as message markers by the rb2 register.
+INIT, WITNESS = "init", "witness"
+
+
+def witness_amplify_threshold(n: int, f: int) -> int:
+    """Witnesses that make a server witness too: ``n - 2f``.
+
+    With ``n >= 5f + 1`` this exceeds ``3f``, so at least ``2f + 1``
+    *correct* servers stand behind the payload -- more than the ``f``
+    Byzantine servers could ever fake.
+    """
+    return n - 2 * f
+
+
+def ir2_deliver_threshold(n: int, f: int) -> int:
+    """Witnesses required to deliver: ``n - f``."""
+    return n - f
+
+
+@dataclass
+class IR2State:
+    """Per-(instance, server) protocol state."""
+
+    sent_witness: bool = False
+    delivered: bool = False
+    #: payload -> set of servers whose WITNESS we counted
+    witnesses: Dict[Any, Set[ProcessId]] = field(default_factory=dict)
+
+
+class IR2Instance:
+    """One server's view of all 2-step broadcast instances.
+
+    Drop-in structural sibling of :class:`~repro.broadcast.bracha.
+    BrachaInstance`: feed INIT/WITNESS events in, get ``("broadcast",
+    phase, payload)`` and ``("deliver", payload, None)`` tuples out.
+    """
+
+    def __init__(self, server_id: ProcessId, peers: List[ProcessId],
+                 f: int) -> None:
+        n = len(peers)
+        if n < 5 * f + 1:
+            raise ConfigurationError(
+                f"2-step reliable broadcast requires n >= 5f + 1, "
+                f"got n={n}, f={f}"
+            )
+        if server_id not in peers:
+            raise ConfigurationError("server must be among the peers")
+        self.server_id = server_id
+        self.peers = list(peers)
+        self.n = n
+        self.f = f
+        self._instances: Dict[Any, IR2State] = {}
+
+    def _state(self, key: Any) -> IR2State:
+        if key not in self._instances:
+            self._instances[key] = IR2State()
+        return self._instances[key]
+
+    # Outputs: ("broadcast", phase, payload) to all peers, or
+    #          ("deliver", payload, None) locally.
+    def on_init(self, key: Any, payload: Any) -> List[Tuple[str, Any, Any]]:
+        """Handle the source's INIT for instance ``key``."""
+        state = self._state(key)
+        if state.sent_witness:
+            return []
+        state.sent_witness = True
+        return [("broadcast", WITNESS, payload)]
+
+    def on_witness(self, key: Any, payload: Any,
+                   sender: ProcessId) -> List[Tuple[str, Any, Any]]:
+        """Handle a peer's WITNESS; may amplify and/or deliver."""
+        state = self._state(key)
+        state.witnesses.setdefault(payload, set()).add(sender)
+        outputs: List[Tuple[str, Any, Any]] = []
+        count = len(state.witnesses[payload])
+        if (not state.sent_witness
+                and count >= witness_amplify_threshold(self.n, self.f)):
+            state.sent_witness = True
+            outputs.append(("broadcast", WITNESS, payload))
+        if (not state.delivered
+                and count >= ir2_deliver_threshold(self.n, self.f)):
+            state.delivered = True
+            outputs.append(("deliver", payload, None))
+        return outputs
+
+    def delivered(self, key: Any) -> bool:
+        """Whether instance ``key`` has delivered at this server."""
+        state = self._instances.get(key)
+        return bool(state and state.delivered)

@@ -52,7 +52,8 @@ from repro.obs import (
     SnapshotLog,
     summarize_histogram_snapshot,
 )
-from repro.sharding import GROUP_FLOORS, KeyspaceConfig
+from repro.protocols import get_spec
+from repro.sharding import KeyspaceConfig
 from repro.sim.rng import SimRng
 from repro.sim.trace import OpKind, Trace
 from repro.workloads.generator import ZipfSampler
@@ -277,13 +278,14 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
             f"process cluster runs {PROCESS_SCHEDULES}")
 
     rng = SimRng(seed, f"soak/{algorithm}/{schedule}")
+    proto = get_spec(algorithm)
     keyspace: Optional[KeyspaceConfig] = None
     if keys > 1:
-        if algorithm not in GROUP_FLOORS:
+        if not proto.namespaced_ok:
             raise ConfigurationError(
                 f"algorithm {algorithm!r} does not support a sharded "
-                f"keyspace; choose from {sorted(GROUP_FLOORS)}")
-        keyspace = KeyspaceConfig(group_size=GROUP_FLOORS[algorithm](f),
+                f"keyspace")
+        keyspace = KeyspaceConfig(group_size=proto.min_servers(f),
                                   seed=seed)
     #: One registry for the whole run: clients, nemesis and (in-process)
     #: nodes/proxies all record into it, so the result's histograms
@@ -295,11 +297,20 @@ async def run_soak(algorithm: str = "bsr", f: int = 1,
     loop = asyncio.get_running_loop()
     started = loop.time()
     if procs:
-        from repro.deploy import ClusterSpec, ClusterSupervisor
+        from repro.deploy import ClusterSpec, ClusterSupervisor, reserve_ports
+        nodes: Dict[str, Any] = {}
+        if proto.peer_links:
+            # Peer-linked servers dial each other from the spec, so the
+            # ports must be pinned before the first process starts.
+            from repro.types import server_id as _sid
+            ports = reserve_ports(proto.min_servers(f))
+            nodes = {str(_sid(i)): ["127.0.0.1", port]
+                     for i, port in enumerate(ports)}
         spec = ClusterSpec(algorithm=algorithm, f=f,
                            snapshot_dir=snapshot_dir,
                            max_history=max_history,
                            secret=f"soak-{seed}",
+                           nodes=nodes,
                            keyspace=keyspace.to_dict() if keyspace else {})
         cluster = ClusterSupervisor(spec, registry=registry)
         initial_value = spec.initial_value.encode()

@@ -55,15 +55,17 @@ from repro.workloads import WorkloadSpec, apply_schedule, generate_schedule
 
 
 def _cmd_algorithms(args: argparse.Namespace) -> int:
+    # Generated from the protocol registry: registering a plugin is all
+    # it takes to appear here (and everywhere else).
+    from repro.protocols import specs
+
     rows = [
-        ("bsr", "4f + 1", "1", "MWMR safe (Section III)"),
-        ("bsr-history", "4f + 1", "1", "MWMR regular, history reads (III-C a)"),
-        ("bsr-2round", "4f + 1", "2", "MWMR regular, slow reads (III-C b)"),
-        ("bcsr", "5f + 1", "1", "SWMR safe, MDS-coded (Section IV)"),
-        ("rb", "3f + 1", "1+relay", "prior work: reliable-broadcast baseline"),
-        ("abd", "2f + 1", "2", "crash-only ABD atomic register"),
+        (spec.name, spec.quorum_rule, f"n >= {spec.min_servers(1)} @ f=1",
+         spec.read_rounds, spec.fault_model, spec.description)
+        for spec in specs()
     ]
-    print(format_table(("algorithm", "min servers", "read rounds", "summary"), rows))
+    print(format_table(("algorithm", "min servers", "example", "read rounds",
+                        "faults", "summary"), rows))
     return 0
 
 
@@ -977,9 +979,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a workload on a live TCP cluster under a nemesis "
              "fault schedule and check safety + liveness",
     )
-    from repro.runtime.client import CLIENT_ALGORITHMS
+    from repro.protocols import runtime_names
     chaos.add_argument("--algorithm", default="bsr",
-                       choices=CLIENT_ALGORITHMS)
+                       choices=runtime_names())
     chaos.add_argument("--schedule", default="combo", choices=SCHEDULES)
     chaos.add_argument("--f", type=int, default=1)
     chaos.add_argument("--ops", type=int, default=40)
@@ -1200,7 +1202,7 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--timeout", type=float, default=10.0,
                       help="per-operation liveness timeout")
     load.add_argument("--algorithm", default="bsr",
-                      choices=CLIENT_ALGORITHMS)
+                      choices=runtime_names())
     load.add_argument("--f", type=int, default=1)
     load.add_argument("--n", type=int, default=None)
     load.add_argument("--workers", type=int, default=2,

@@ -238,6 +238,54 @@ class RBReady(BaseMessage):
 
 
 @dataclass(frozen=True)
+class Rb2Send(BaseMessage):
+    """Imbs-Raynal 2-step broadcast INIT from the source (writer)."""
+
+    tag: Tag
+    payload: Any
+    source: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + TAG_BYTES + payload_size(self.payload)
+
+
+@dataclass(frozen=True)
+class Rb2Witness(BaseMessage):
+    """Imbs-Raynal 2-step broadcast WITNESS (server-to-server)."""
+
+    tag: Tag
+    payload: Any
+    source: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + TAG_BYTES + payload_size(self.payload)
+
+
+@dataclass(frozen=True)
+class MprWrite(BaseMessage):
+    """MPR register write from the writer to every server."""
+
+    tag: Tag
+    payload: Any
+    source: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + TAG_BYTES + payload_size(self.payload)
+
+
+@dataclass(frozen=True)
+class MprEcho(BaseMessage):
+    """MPR write echo (server-to-server vouching for a write)."""
+
+    tag: Tag
+    payload: Any
+    source: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + TAG_BYTES + payload_size(self.payload)
+
+
+@dataclass(frozen=True)
 class PushData(BaseMessage):
     """Unsolicited server-to-reader update (the baseline's *relay*).
 

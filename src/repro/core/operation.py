@@ -14,16 +14,32 @@ from __future__ import annotations
 
 import abc
 import itertools
+import os
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ProtocolError
 from repro.types import Envelope, ProcessId
 
-_op_counter = itertools.count(1)
+
+def _op_id_base() -> int:
+    """Start of this process's private op_id range.
+
+    A bare ``count(1)`` collides across processes: two load-rig workers
+    both number their operations 1, 2, 3, ..., and the flight recorder's
+    ``op_id % sample`` stitching can then merge records from *different*
+    operations into one bogus trace.  Folding the pid into the high bits
+    gives every process a disjoint 2**40 range while leaving the low bits
+    -- the only part ``op_id % sample`` looks at -- counting exactly as
+    before.
+    """
+    return ((os.getpid() & 0xFFFFF) << 40) | 1
+
+
+_op_counter = itertools.count(_op_id_base())
 
 
 def next_op_id() -> int:
-    """Globally unique operation identifier (process-wide)."""
+    """Operation identifier unique across cooperating processes."""
     return next(_op_counter)
 
 

@@ -44,6 +44,23 @@ def abd_min_servers(f: int) -> int:
     return 2 * f + 1
 
 
+def rb2_min_servers(f: int) -> int:
+    """Minimum servers for the Imbs-Raynal 2-step broadcast register.
+
+    The 2-step broadcast trades a whole communication phase for a
+    stronger resilience bound: ``n >= 5f + 1`` [Imbs-Raynal 2015].
+    """
+    _check_f(f)
+    return 5 * f + 1
+
+
+def mpr_min_servers(f: int) -> int:
+    """Minimum servers for the MPR signature-free atomic register:
+    ``3f + 1`` [Mostefaoui-Petrolia-Raynal 2016]."""
+    _check_f(f)
+    return 3 * f + 1
+
+
 def _check_f(f: int) -> None:
     if f < 0:
         raise QuorumError(f"f must be non-negative, got {f}")
@@ -72,6 +89,24 @@ def validate_rb_config(n: int, f: int) -> None:
     if n < rb_min_servers(f):
         raise QuorumError(
             f"the RB-based register requires n >= 3f + 1 = {rb_min_servers(f)} "
+            f"servers, got n={n} with f={f}"
+        )
+
+
+def validate_rb2_config(n: int, f: int) -> None:
+    """Raise :class:`QuorumError` unless ``n >= 5f + 1``."""
+    if n < rb2_min_servers(f):
+        raise QuorumError(
+            f"the 2-step-broadcast register requires n >= 5f + 1 = "
+            f"{rb2_min_servers(f)} servers, got n={n} with f={f}"
+        )
+
+
+def validate_mpr_config(n: int, f: int) -> None:
+    """Raise :class:`QuorumError` unless ``n >= 3f + 1``."""
+    if n < mpr_min_servers(f):
+        raise QuorumError(
+            f"the MPR register requires n >= 3f + 1 = {mpr_min_servers(f)} "
             f"servers, got n={n} with f={f}"
         )
 

@@ -1,19 +1,11 @@
 """High-level facade: build and run a simulated register deployment.
 
 :class:`RegisterSystem` assembles a complete execution -- simulator, server
-processes (correct or Byzantine), client processes -- for any of the
-implemented algorithms:
-
-========== =========================== ============ ==============
-name       algorithm                   servers      read rounds
-========== =========================== ============ ==============
-bsr        BSR (Section III)           n >= 4f + 1  1 (one-shot)
-bsr-history BSR + history reads        n >= 4f + 1  1 (one-shot)
-bsr-2round BSR + two-round reads       n >= 4f + 1  2
-bcsr       BCSR, MDS-coded (Section IV) n >= 5f + 1 1 (one-shot)
-rb         RB baseline (prior work)    n >= 3f + 1  1 + relay wait
-abd        ABD (crash-only)            n >= 2f + 1  2
-========== =========================== ============ ==============
+processes (correct or Byzantine), client processes -- for any protocol in
+the registry (:mod:`repro.protocols`).  Run ``repro algorithms`` for the
+registered set and their bounds; the classics are ``bsr``, ``bsr-history``,
+``bsr-2round``, ``bcsr``, ``rb``, ``abd``, plus the RB-era rival plugins
+``rb2`` and ``mpr``.
 
 Example::
 
@@ -27,57 +19,30 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
-from repro.baselines.abd import ABDReadOperation, ABDServer, ABDWriteOperation
-from repro.baselines.rb_register import (
-    RBReadOperation,
-    RBRegisterServer,
-    RBWriteOperation,
-)
 from repro.byzantine.behaviors import Behavior, make_behavior
-from repro.core.bcsr import BCSRReadOperation, BCSRServer, BCSRWriteOperation, make_codec
-from repro.core.bsr import (
-    BSRReadOperation,
-    BSRReaderState,
-    BSRServer,
-    BSRWriteOperation,
-)
 from repro.core.processes import ByzantineServerProcess, ClientProcess, ServerProcess
-from repro.core.quorum import (
-    abd_min_servers,
-    bcsr_min_servers,
-    bsr_min_servers,
-    rb_min_servers,
-)
-from repro.core.regular import (
-    HistoryReadOperation,
-    RegularBSRServer,
-    TwoRoundReadOperation,
-)
 from repro.core.namespace import (
     DEFAULT_REGISTER,
     NamespacedOperation,
     NamespacedServer,
 )
-from repro.core.tags import TaggedValue
 from repro.errors import ConfigurationError
+from repro.protocols import OpContext, ServerContext, get_spec, names
 from repro.sharding import KeyspaceConfig, RegisterTable
 from repro.sim.delays import DelayModel
 from repro.sim.simulator import Simulator
 from repro.sim.trace import OperationRecord, Trace
 from repro.types import ProcessId, reader_id, server_id, writer_id
 
-ALGORITHMS = ("bsr", "bsr-history", "bsr-2round", "bcsr", "rb", "abd")
 
-_MIN_SERVERS = {
-    "bsr": bsr_min_servers,
-    "bsr-history": bsr_min_servers,
-    "bsr-2round": bsr_min_servers,
-    "bcsr": bcsr_min_servers,
-    "rb": rb_min_servers,
-    "abd": abd_min_servers,
-}
+def __getattr__(name: str):
+    # Kept for callers that still import the tuple of algorithm names;
+    # computed lazily so it always reflects the live registry.
+    if name == "ALGORITHMS":
+        return names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -129,16 +94,14 @@ class RegisterSystem:
                  max_history: Optional[int] = None,
                  read_repair: bool = False,
                  keyspace: Optional[KeyspaceConfig] = None) -> None:
-        if algorithm not in ALGORITHMS:
-            raise ConfigurationError(
-                f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
-            )
+        spec = get_spec(algorithm)
+        self.spec = spec
         self.algorithm = algorithm
         self.f = f
-        self.n = n if n is not None else _MIN_SERVERS[algorithm](f)
-        if enforce_bounds and self.n < _MIN_SERVERS[algorithm](f):
+        self.n = n if n is not None else spec.min_servers(f)
+        if enforce_bounds and self.n < spec.min_servers(f):
             raise ConfigurationError(
-                f"{algorithm} requires n >= {_MIN_SERVERS[algorithm](f)} for f={f}, "
+                f"{algorithm} requires n >= {spec.min_servers(f)} for f={f}, "
                 f"got n={self.n} (pass enforce_bounds=False to experiment below "
                 "the bound, e.g. for the lower-bound scenarios)"
             )
@@ -148,7 +111,7 @@ class RegisterSystem:
         self._enforce_bounds = enforce_bounds
         self.sim = Simulator(seed=seed, delay_model=delay_model, horizon=horizon)
         self.server_ids = [server_id(i) for i in range(self.n)]
-        if algorithm != "bcsr":
+        if spec.make_codec is None:
             self._codec = None
         elif bcsr_k is not None:
             # Explicit dimension override for below-the-bound experiments
@@ -157,7 +120,7 @@ class RegisterSystem:
             from repro.erasure.striping import StripedCodec
             self._codec = StripedCodec(self.n, bcsr_k)
         else:
-            self._codec = make_codec(self.n, f)
+            self._codec = spec.make_codec(self.n, f)
 
         byzantine = dict(byzantine or {})
         if enforce_bounds and len(byzantine) > f:
@@ -182,10 +145,9 @@ class RegisterSystem:
             keyspace.validate(algorithm, f, self.n)
         self.namespaced = namespaced or keyspace is not None
         namespaced = self.namespaced
-        if namespaced and self.algorithm == "rb":
+        if namespaced and not spec.namespaced_ok:
             raise ConfigurationError(
-                "the rb baseline does not support namespacing (its Bracha "
-                "layer is single-register)"
+                f"the {algorithm} protocol does not support namespacing"
             )
         self._placement = (keyspace.placement(self.server_ids)
                            if keyspace is not None else None)
@@ -193,8 +155,8 @@ class RegisterSystem:
         self.server_protocols: Dict[ProcessId, Any] = {}
         for index, pid in enumerate(self.server_ids):
             if namespaced:
-                factory = (lambda name, pid=pid, index=index:
-                           self._make_server_protocol(pid, index))
+                factory = (lambda name, pid=pid:
+                           self._make_server_protocol(pid, register=name))
                 if keyspace is not None:
                     protocol = RegisterTable(
                         pid, factory, behavior=self.byzantine.get(pid),
@@ -208,7 +170,7 @@ class RegisterSystem:
                     )
                 process = ServerProcess(pid, protocol)
             else:
-                protocol = self._make_server_protocol(pid, index)
+                protocol = self._make_server_protocol(pid)
                 if pid in self.byzantine:
                     process = ByzantineServerProcess(pid, protocol,
                                                      self.byzantine[pid])
@@ -220,36 +182,37 @@ class RegisterSystem:
         self.writer_ids = [writer_id(i) for i in range(num_writers)]
         self.reader_ids = [reader_id(i) for i in range(num_readers)]
         self.clients: Dict[ProcessId, ClientProcess] = {}
-        self._reader_states: Dict[ProcessId, BSRReaderState] = {}
+        self._reader_states: Dict[ProcessId, Any] = {}
         for pid in self.writer_ids + self.reader_ids:
             client = ClientProcess(pid)
             self.clients[pid] = client
             self.sim.add_process(client)
         for pid in self.reader_ids:
-            self._reader_states[pid] = BSRReaderState(initial_value)
+            self._reader_states[pid] = self._new_reader_state()
         #: (reader, register) -> state, for namespaced deployments.
-        self._namespaced_reader_states: Dict[tuple, BSRReaderState] = {}
+        self._namespaced_reader_states: Dict[tuple, Any] = {}
         self._handles: List[OpHandle] = []
 
     # -- construction helpers ------------------------------------------------
-    def _make_server_protocol(self, pid: ProcessId, index: int) -> Any:
-        if self.algorithm == "bsr":
-            return BSRServer(pid, initial_value=self.initial_value,
-                             max_history=self.max_history)
-        if self.algorithm in ("bsr-history", "bsr-2round"):
-            return RegularBSRServer(pid, initial_value=self.initial_value,
-                                    max_history=self.max_history)
-        if self.algorithm == "bcsr":
-            return BCSRServer(pid, index, self._codec,
-                              initial_value=self.initial_value,
-                              max_history=self.max_history)
-        if self.algorithm == "rb":
-            return RBRegisterServer(pid, self.server_ids, self.f,
-                                    initial_value=self.initial_value)
-        if self.algorithm == "abd":
-            return ABDServer(pid, initial_value=self.initial_value,
-                             max_history=self.max_history)
-        raise AssertionError(f"unhandled algorithm {self.algorithm}")
+    def _new_reader_state(self) -> Any:
+        if self.spec.make_reader_state is None:
+            return None
+        return self.spec.make_reader_state(self.initial_value)
+
+    def _make_server_protocol(self, pid: ProcessId,
+                              register: str = DEFAULT_REGISTER) -> Any:
+        """Build one protocol instance for ``pid``.
+
+        ``register`` matters only for sharded deployments of protocols
+        with server-to-server links: the instance's peer group is the
+        key's quorum group, not the whole fleet.
+        """
+        servers = tuple(self._op_servers(register))
+        return self.spec.make_server(ServerContext(
+            server_id=pid, index=servers.index(pid) if pid in servers else 0,
+            servers=servers, f=self.f, initial_value=self.initial_value,
+            max_history=self.max_history, codec=self._codec,
+        ))
 
     def _op_servers(self, register: str) -> List[ProcessId]:
         """Server list an operation on ``register`` should contact.
@@ -280,17 +243,11 @@ class RegisterSystem:
         handle = OpHandle(client=pid, kind="write")
 
         def factory():
-            servers = self._op_servers(register)
-            if self.algorithm in ("bsr", "bsr-history", "bsr-2round"):
-                op = BSRWriteOperation(pid, servers, self.f, value,
-                                       enforce_bounds=self._enforce_bounds)
-            elif self.algorithm == "bcsr":
-                op = BCSRWriteOperation(pid, servers, self.f, value,
-                                        codec=self._codec)
-            elif self.algorithm == "rb":
-                op = RBWriteOperation(pid, servers, self.f, value)
-            else:
-                op = ABDWriteOperation(pid, servers, self.f, value)
+            op = self.spec.make_write(OpContext(
+                client_id=pid, servers=tuple(self._op_servers(register)),
+                f=self.f, value=value, initial_value=self.initial_value,
+                codec=self._codec, enforce_bounds=self._enforce_bounds,
+            ))
             if self.namespaced:
                 op = NamespacedOperation(register, op)
             handle.operation = op
@@ -311,30 +268,13 @@ class RegisterSystem:
         handle = OpHandle(client=pid, kind="read")
 
         def factory():
-            state = self._reader_state_for(pid, register)
-            servers = self._op_servers(register)
-            if self.algorithm == "bsr":
-                op = BSRReadOperation(pid, servers, self.f,
-                                      reader_state=state,
-                                      enforce_bounds=self._enforce_bounds,
-                                      repair=self.read_repair)
-            elif self.algorithm == "bsr-history":
-                op = HistoryReadOperation(pid, servers, self.f,
-                                          reader_state=state,
-                                          enforce_bounds=self._enforce_bounds)
-            elif self.algorithm == "bsr-2round":
-                op = TwoRoundReadOperation(pid, servers, self.f,
-                                           reader_state=state,
-                                           enforce_bounds=self._enforce_bounds)
-            elif self.algorithm == "bcsr":
-                op = BCSRReadOperation(pid, servers, self.f,
-                                       codec=self._codec,
-                                       initial_value=self.initial_value)
-            elif self.algorithm == "rb":
-                op = RBReadOperation(pid, servers, self.f,
-                                     initial_value=self.initial_value)
-            else:
-                op = ABDReadOperation(pid, servers, self.f)
+            op = self.spec.make_read(OpContext(
+                client_id=pid, servers=tuple(self._op_servers(register)),
+                f=self.f, initial_value=self.initial_value,
+                reader_state=self._reader_state_for(pid, register),
+                codec=self._codec, enforce_bounds=self._enforce_bounds,
+                repair=self.read_repair,
+            ))
             if self.namespaced:
                 op = NamespacedOperation(register, op)
             handle.operation = op
@@ -344,13 +284,13 @@ class RegisterSystem:
         self._handles.append(handle)
         return handle
 
-    def _reader_state_for(self, pid: ProcessId, register: str) -> BSRReaderState:
+    def _reader_state_for(self, pid: ProcessId, register: str) -> Any:
         """Per-reader state; per (reader, register) when namespaced."""
         if not self.namespaced:
             return self._reader_states[pid]
         key = (pid, register)
         if key not in self._namespaced_reader_states:
-            self._namespaced_reader_states[key] = BSRReaderState(self.initial_value)
+            self._namespaced_reader_states[key] = self._new_reader_state()
         return self._namespaced_reader_states[key]
 
     @staticmethod

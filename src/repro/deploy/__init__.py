@@ -26,7 +26,7 @@ from repro.deploy.serve import (
     stats_ping,
     trace_dump,
 )
-from repro.deploy.spec import ClusterSpec
+from repro.deploy.spec import ClusterSpec, reserve_ports
 from repro.deploy.supervisor import (
     ClusterSupervisor,
     NodeHandle,
@@ -43,6 +43,7 @@ __all__ = [
     "default_state_path",
     "health_ping",
     "read_state",
+    "reserve_ports",
     "serve_node",
     "stats_ping",
     "trace_dump",

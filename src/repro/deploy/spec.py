@@ -28,21 +28,34 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.byzantine.behaviors import make_behavior
-from repro.core.quorum import abd_min_servers, bcsr_min_servers, bsr_min_servers
 from repro.errors import ConfigurationError
-from repro.runtime.client import CLIENT_ALGORITHMS, AsyncRegisterClient
+from repro.protocols import ServerContext, get_spec, runtime_names
+from repro.runtime.client import AsyncRegisterClient
 from repro.runtime.node import RegisterServerNode
 from repro.sharding import HashRing, KeyspaceConfig, RegisterTable
 from repro.transport.auth import Authenticator, KeyChain
 from repro.types import ProcessId, server_id
 
-_MIN_SERVERS = {
-    "bsr": bsr_min_servers,
-    "bsr-history": bsr_min_servers,
-    "bsr-2round": bsr_min_servers,
-    "bcsr": bcsr_min_servers,
-    "abd": abd_min_servers,
-}
+
+def reserve_ports(count: int, host: str = "127.0.0.1") -> List[int]:
+    """Pick ``count`` currently-free TCP ports on ``host``.
+
+    Peer-linked protocols need every node's port written into the spec
+    before any process starts (see :meth:`ClusterSpec.__post_init__`);
+    tooling that used to rely on ephemeral binds calls this to pin a
+    block up front.  The usual caveat applies -- the ports are free at
+    probe time, not reserved -- which is fine for the single-host test
+    rigs this serves.
+    """
+    import socket
+    sockets = [socket.socket() for _ in range(count)]
+    try:
+        for sock in sockets:
+            sock.bind((host, 0))
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
 
 
 @dataclass
@@ -96,19 +109,28 @@ class ClusterSpec:
     observability: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.algorithm not in CLIENT_ALGORITHMS:
+        proto = get_spec(self.algorithm)
+        if not proto.runtime_ok:
             raise ConfigurationError(
                 f"algorithm {self.algorithm!r} not supported by the runtime; "
-                f"choose from {CLIENT_ALGORITHMS}"
+                f"choose from {runtime_names()}"
             )
         if self.f < 0:
             raise ConfigurationError(f"f must be non-negative, got {self.f}")
-        floor = _MIN_SERVERS[self.algorithm](self.f)
         if self.n is None:
-            self.n = floor
-        if self.n < floor:
-            raise ConfigurationError(
-                f"{self.algorithm} requires n >= {floor}, got {self.n}")
+            self.n = proto.min_servers(self.f)
+        proto.validate_config(self.n, self.f)
+        if proto.peer_links:
+            # Server-to-server protocols dial peers from this spec, so
+            # every node's port must be knowable up front -- an ephemeral
+            # port exists only in the process that bound it.
+            ephemeral = [pid for pid in self.node_ids
+                         if self.address_of(pid)[1] == 0]
+            if ephemeral:
+                raise ConfigurationError(
+                    f"{self.algorithm} servers message each other, so the "
+                    f"spec must pin every node's port (set base_port or "
+                    f"per-node addresses); ephemeral: {ephemeral}")
         unknown = set(self.byzantine) - set(self.node_ids)
         if unknown:
             raise ConfigurationError(
@@ -209,9 +231,11 @@ class ClusterSpec:
         config = self.keyspace_config()
         if config is not None:
             behavior_name = self.byzantine.get(node_id)
+            placement = config.placement(self.node_ids)
             return RegisterTable(
                 node_id,
-                factory=lambda name: self._build_base_protocol(node_id),
+                factory=lambda name: self._build_base_protocol(
+                    node_id, servers=placement.servers_for(name)),
                 behavior=make_behavior(behavior_name) if behavior_name
                 else None,
                 max_resident=config.max_resident,
@@ -219,26 +243,23 @@ class ClusterSpec:
             )
         return self._build_base_protocol(node_id)
 
-    def _build_base_protocol(self, node_id: ProcessId) -> Any:
-        from repro.baselines.abd import ABDServer
-        from repro.core.bcsr import BCSRServer, make_codec
-        from repro.core.bsr import BSRServer
-        from repro.core.regular import RegularBSRServer
-
-        index = self.node_ids.index(node_id)
-        initial = self.initial_value.encode()
-        if self.algorithm == "bsr":
-            return BSRServer(node_id, initial_value=initial,
-                             max_history=self.max_history)
-        if self.algorithm in ("bsr-history", "bsr-2round"):
-            return RegularBSRServer(node_id, initial_value=initial,
-                                    max_history=self.max_history)
-        if self.algorithm == "bcsr":
-            return BCSRServer(node_id, index, make_codec(self.n, self.f),
-                              initial_value=initial,
-                              max_history=self.max_history)
-        return ABDServer(node_id, initial_value=initial,
-                         max_history=self.max_history)
+    def _build_base_protocol(self, node_id: ProcessId,
+                             servers: Optional[Tuple[ProcessId, ...]] = None
+                             ) -> Any:
+        proto = get_spec(self.algorithm)
+        if servers is None:
+            servers = tuple(self.node_ids)
+        ctx = ServerContext(
+            server_id=node_id,
+            index=servers.index(node_id) if node_id in servers else 0,
+            servers=tuple(servers),
+            f=self.f,
+            initial_value=self.initial_value.encode(),
+            max_history=self.max_history,
+            codec=(proto.make_codec(self.n, self.f)
+                   if proto.make_codec is not None else None),
+        )
+        return proto.make_server(ctx)
 
     def build_node(self, node_id: ProcessId,
                    port: Optional[int] = None) -> RegisterServerNode:
@@ -250,9 +271,10 @@ class ClusterSpec:
         if node_id not in self.node_ids:
             raise ConfigurationError(
                 f"unknown node {node_id!r}; this spec has {self.node_ids}")
+        proto = get_spec(self.algorithm)
         host, spec_port = self.address_of(node_id)
         behavior_name = self.byzantine.get(node_id)
-        if self.snapshot_dir is not None:
+        if self.snapshot_dir is not None and proto.snapshot_ok:
             os.makedirs(self.snapshot_dir, exist_ok=True)
         protocol = self.build_protocol(node_id)
         sharded = isinstance(protocol, RegisterTable)
@@ -264,7 +286,8 @@ class ClusterSpec:
             # behaviour/snapshot hooks stay off in sharded deployments.
             behavior=None if sharded
             else (make_behavior(behavior_name) if behavior_name else None),
-            snapshot_path=None if sharded else self.snapshot_path(node_id),
+            snapshot_path=(None if sharded or not proto.snapshot_ok
+                           else self.snapshot_path(node_id)),
             max_connections=self.max_connections,
             rate_limit=self.rate_limit, rate_burst=self.rate_burst,
             wire=self.wire,
@@ -274,6 +297,8 @@ class ClusterSpec:
         )
         if sharded:
             protocol.bind_registry(node.registry)
+        if proto.peer_links:
+            node.set_peers(self.addresses)
         return node
 
     def client(self, client_id: ProcessId,

@@ -50,7 +50,8 @@ from repro.load.profile import LoadProfile, SloPolicy
 from repro.load.report import LoadReport, pass_metrics
 from repro.load.worker import run_worker
 from repro.obs import SnapshotLog, merge_registry_snapshots
-from repro.sharding import GROUP_FLOORS, KeyspaceConfig
+from repro.protocols import get_spec
+from repro.sharding import KeyspaceConfig
 from repro.sim.trace import OpKind, Trace
 from repro.workloads.arrivals import sample_keys as spread_sample_keys
 
@@ -81,20 +82,31 @@ class PassOutcome:
 
 
 def _build_spec(profile: LoadProfile, seed_tag: str):
-    from repro.deploy.spec import ClusterSpec
+    from repro.deploy.spec import ClusterSpec, reserve_ports
+    from repro.types import server_id
 
+    proto = get_spec(profile.algorithm)
     keyspace: Optional[KeyspaceConfig] = None
     if profile.keys > 1:
-        if profile.algorithm not in GROUP_FLOORS:
+        if not proto.namespaced_ok:
             raise ConfigurationError(
                 f"algorithm {profile.algorithm!r} does not support a "
-                f"sharded keyspace; choose from {sorted(GROUP_FLOORS)}")
+                f"sharded keyspace")
         keyspace = KeyspaceConfig(
-            group_size=GROUP_FLOORS[profile.algorithm](profile.f),
+            group_size=proto.min_servers(profile.f),
             seed=profile.seed)
+    nodes: Dict[str, Any] = {}
+    if proto.peer_links:
+        # Peer-linked servers dial each other from the spec, so every
+        # node's port must be pinned before the cluster starts.
+        n = profile.n if profile.n is not None else proto.min_servers(
+            profile.f)
+        nodes = {str(server_id(i)): ["127.0.0.1", port]
+                 for i, port in enumerate(reserve_ports(n))}
     return ClusterSpec(
         algorithm=profile.algorithm, f=profile.f, n=profile.n,
         secret=f"load-{seed_tag}", max_history=profile.max_history,
+        nodes=nodes,
         keyspace=keyspace.to_dict() if keyspace is not None else {},
     )
 

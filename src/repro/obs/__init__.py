@@ -77,6 +77,7 @@ from repro.obs.tracing import (
     OpTracer,
     SamplingSink,
     phase_name,
+    register_phase_names,
 )
 
 __all__ = [
@@ -96,6 +97,7 @@ __all__ = [
     "OpTracer",
     "PHASE_BY_MESSAGE",
     "SamplingSink",
+    "register_phase_names",
     "SnapshotLog",
     "StitchedOp",
     "aggregate_histograms",

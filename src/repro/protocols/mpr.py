@@ -1,0 +1,312 @@
+"""``mpr``: the Mostefaoui-Petrolia-Raynal signature-free register.
+
+The first RB-era rival of ROADMAP item 4 [Mostefaoui-Petrolia-Raynal
+2016, arXiv:1604.08161]: an atomic register for ``n >= 3f + 1`` servers
+with no signatures.  The dissemination/validation core follows the
+paper:
+
+* The writer broadcasts its write to every server; each server *echoes*
+  the ``(tag, value)`` pair to its peers.
+* A server that sees ``f + 1`` echoes for a pair echoes it too
+  (amplification, covering servers the writer never reached), and a
+  server that sees ``2f + 1`` echoes **validates** the pair: at least
+  ``f + 1`` correct servers vouch for it, more than the ``f`` Byzantine
+  servers could ever fake, so a never-written value cannot be smuggled
+  into storage.  Only validated pairs are stored and acknowledged.
+* A read queries every server, waits for ``n - f`` replies, and returns
+  the freshest pair vouched for by ``f + 1`` servers; servers relay
+  newly validated pairs to readers with pending queries, so a read
+  stuck short of witnesses eventually converges.  Before returning, the
+  reader *writes back* the chosen pair -- the classic second round that
+  upgrades regular-grade reads to atomic ones.
+
+Two liberties are taken to fit the repository's harness, both called
+out here because the conformance suite exercises them: the original is
+SWMR with writer-local sequence numbers, lifted to MWMR with the same
+``get-tag`` round every other register here uses; and echo bookkeeping
+is per ``(writer, op_id)`` instance rather than per writer sequence.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.messages import (
+    DataReply,
+    MprEcho,
+    MprWrite,
+    PushData,
+    PutAck,
+    PutData,
+    QueryData,
+    QueryTag,
+    TagReply,
+    stored_size,
+)
+from repro.core.operation import ClientOperation, ReplyCollector
+from repro.core.quorum import (
+    kth_highest,
+    mpr_min_servers,
+    validate_mpr_config,
+    witness_threshold,
+)
+from repro.core.tags import TAG_ZERO, Tag, TaggedValue
+from repro.protocols.registry import BYZANTINE, ProtocolSpec, register
+from repro.types import Envelope, ProcessId
+
+
+def echo_amplify_threshold(f: int) -> int:
+    """Echoes that make a server echo too: ``f + 1``."""
+    return f + 1
+
+
+def validation_threshold(f: int) -> int:
+    """Echoes required to validate (store + ack) a pair: ``2f + 1``."""
+    return 2 * f + 1
+
+
+class MPRServer:
+    """Echo-validated storage + relay to pending readers."""
+
+    def __init__(self, server_id: ProcessId, peers: Sequence[ProcessId],
+                 f: int, initial_value: Any = b"") -> None:
+        validate_mpr_config(len(peers), f)
+        self.server_id = server_id
+        self.peers = list(peers)
+        self.f = f
+        self.history: List[TaggedValue] = [TaggedValue(TAG_ZERO, initial_value)]
+        #: instance key -> pair -> servers whose echo we counted.
+        self._echoes: Dict[Any, Dict[TaggedValue, Set[ProcessId]]] = {}
+        #: instance key -> pairs we already echoed ourselves.
+        self._echoed: Dict[Any, Set[TaggedValue]] = {}
+        #: instances we already validated (and acked), to dedupe.
+        self._validated: Set[Any] = set()
+        #: reader -> op_id of its most recent (assumed pending) query.
+        self._pending_readers: Dict[ProcessId, int] = {}
+
+    @property
+    def latest(self) -> TaggedValue:
+        """The stored pair with the highest tag."""
+        return self.history[-1]
+
+    @property
+    def max_tag(self) -> Tag:
+        """The highest stored tag."""
+        return self.history[-1].tag
+
+    def storage_bytes(self) -> int:
+        """Bytes of user data stored (full replication)."""
+        return stored_size(self.latest.value)
+
+    # -- message handling ---------------------------------------------------
+    def handle(self, sender: ProcessId, message: Any) -> List[Envelope]:
+        """Dispatch one incoming message; returns outgoing envelopes."""
+        if isinstance(message, QueryTag):
+            return [(sender, TagReply(op_id=message.op_id, tag=self.max_tag))]
+        if isinstance(message, QueryData):
+            self._pending_readers[sender] = message.op_id
+            latest = self.latest
+            return [(sender, DataReply(op_id=message.op_id, tag=latest.tag,
+                                       payload=latest.value))]
+        if isinstance(message, MprWrite):
+            # Writes must come from the (trusted) writer itself, never a
+            # peer: echoing a Byzantine server's fabrication would let it
+            # rally the 2f + 1 echoes validation requires.
+            if sender in self.peers or not isinstance(message.tag, Tag):
+                return []
+            return self._echo(self._key(message),
+                              TaggedValue(message.tag, message.payload),
+                              message)
+        if isinstance(message, MprEcho):
+            if sender not in self.peers or not isinstance(message.tag, Tag):
+                return []
+            return self._count_echo(sender, message)
+        if isinstance(message, PutData):
+            # A reader's write-back (atomicity round).  Clients are
+            # trusted here -- the Byzantine budget is all server-side --
+            # but a peer must not get a direct-store path around echo
+            # validation.
+            if sender in self.peers or not isinstance(message.tag, Tag):
+                return []
+            envelopes = self._store(TaggedValue(message.tag, message.payload))
+            envelopes.append(
+                (sender, PutAck(op_id=message.op_id, tag=message.tag)))
+            return envelopes
+        return []
+
+    @staticmethod
+    def _key(message: Any) -> Tuple[str, int]:
+        return (message.source, message.op_id)
+
+    def _echo(self, key: Any, pair: TaggedValue, message: Any) -> List[Envelope]:
+        echoed = self._echoed.setdefault(key, set())
+        if pair in echoed:
+            return []
+        echoed.add(pair)
+        relayed = MprEcho(op_id=message.op_id, tag=pair.tag,
+                          payload=pair.value, source=message.source)
+        return [(peer, relayed) for peer in self.peers]
+
+    def _count_echo(self, sender: ProcessId, message: Any) -> List[Envelope]:
+        key = self._key(message)
+        pair = TaggedValue(message.tag, message.payload)
+        try:
+            witnesses = self._echoes.setdefault(key, {}).setdefault(pair, set())
+        except TypeError:  # unhashable forged payload
+            return []
+        witnesses.add(sender)
+        envelopes: List[Envelope] = []
+        if len(witnesses) >= echo_amplify_threshold(self.f):
+            envelopes.extend(self._echo(key, pair, message))
+        if (len(witnesses) >= validation_threshold(self.f)
+                and key not in self._validated):
+            self._validated.add(key)
+            envelopes.extend(self._store(pair))
+            envelopes.append(
+                (message.source, PutAck(op_id=message.op_id, tag=pair.tag)))
+        return envelopes
+
+    def _store(self, pair: TaggedValue) -> List[Envelope]:
+        """Adopt ``pair`` if fresher; relay it to pending readers."""
+        envelopes: List[Envelope] = []
+        if pair.tag > self.max_tag:
+            self.history.append(pair)
+            for reader, read_op_id in self._pending_readers.items():
+                envelopes.append(
+                    (reader, PushData(op_id=read_op_id, tag=pair.tag,
+                                      payload=pair.value))
+                )
+        return envelopes
+
+
+class MprWriteOperation(ClientOperation):
+    """Write: ``get-tag`` like BSR, then echo-validated dissemination."""
+
+    kind = "write"
+
+    def __init__(self, client_id: ProcessId, servers: Sequence[ProcessId],
+                 f: int, value: Any) -> None:
+        super().__init__(client_id, servers, f)
+        validate_mpr_config(self.n, f)
+        self.value = value
+        self._phase = "idle"
+        self._tag_replies = ReplyCollector(self.servers)
+        self._acks = ReplyCollector(self.servers)
+        self._tag: Optional[Tag] = None
+
+    def start(self) -> List[Envelope]:
+        self._phase = "get-tag"
+        self.rounds = 1
+        return self.broadcast(QueryTag(op_id=self.op_id))
+
+    def on_reply(self, sender: ProcessId, message: Any) -> List[Envelope]:
+        if not self.accepts(message) or self.done:
+            return []
+        if self._phase == "get-tag" and isinstance(message, TagReply):
+            if not isinstance(message.tag, Tag):
+                return []
+            self._tag_replies.add(sender, message)
+            if len(self._tag_replies) < self.quorum:
+                return []
+            tags = [reply.tag for reply in self._tag_replies.values()]
+            self._tag = kth_highest(tags, self.f + 1).next_for(self.client_id)
+            self._phase = "put-data"
+            # Acks only come back once 2f + 1 echoes validate the pair.
+            self.rounds = 2
+            return self.broadcast(MprWrite(op_id=self.op_id, tag=self._tag,
+                                           payload=self.value,
+                                           source=self.client_id))
+        if self._phase == "put-data" and isinstance(message, PutAck):
+            if message.tag == self._tag:
+                self._acks.add(sender, message)
+                if len(self._acks) >= self.quorum:
+                    self._complete(self._tag)
+        return []
+
+
+class MprReadOperation(ClientOperation):
+    """Read: pick the freshest ``f + 1``-witnessed pair, then write it
+    back before returning -- MPR's atomicity round."""
+
+    kind = "read"
+
+    def __init__(self, client_id: ProcessId, servers: Sequence[ProcessId],
+                 f: int, initial_value: Any = b"") -> None:
+        super().__init__(client_id, servers, f)
+        validate_mpr_config(self.n, f)
+        self.initial_value = initial_value
+        self._phase = "get-data"
+        #: server -> freshest (tag, value) heard from it (reply or push)
+        self._latest: Dict[ProcessId, TaggedValue] = {}
+        self._chosen: Optional[TaggedValue] = None
+        self._acks = ReplyCollector(self.servers)
+
+    def start(self) -> List[Envelope]:
+        self.rounds = 1
+        return self.broadcast(QueryData(op_id=self.op_id))
+
+    def on_reply(self, sender: ProcessId, message: Any) -> List[Envelope]:
+        if self.done or not self.accepts(message):
+            return []
+        if self._phase == "get-data":
+            if not isinstance(message, (DataReply, PushData)):
+                return []
+            if not isinstance(message.tag, Tag) or sender not in self.servers:
+                return []
+            pair = TaggedValue(message.tag, message.payload)
+            current = self._latest.get(sender)
+            if current is None or pair.tag > current.tag:
+                self._latest[sender] = pair
+            return self._try_select()
+        if self._phase == "write-back" and isinstance(message, PutAck):
+            if self._chosen is not None and message.tag == self._chosen.tag:
+                self._acks.add(sender, message)
+                if len(self._acks) >= self.quorum:
+                    self._complete(self._chosen.value)
+        return []
+
+    def _try_select(self) -> List[Envelope]:
+        if len(self._latest) < self.quorum:
+            return []
+        # Freshness bar: the (f+1)-th highest tag cannot be Byzantine-forged.
+        tags = [pair.tag for pair in self._latest.values()]
+        bar = kth_highest(tags, self.f + 1)
+        counts: Counter = Counter()
+        for pair in self._latest.values():
+            try:
+                counts[pair] += 1
+            except TypeError:
+                continue
+        threshold = witness_threshold(self.f)
+        witnessed = [pair for pair, count in counts.items()
+                     if count >= threshold and pair.tag >= bar]
+        if not witnessed:
+            return []
+        best = max(witnessed, key=lambda tv: tv.tag)
+        self._chosen = best
+        self._tag = best.tag
+        self._phase = "write-back"
+        self.rounds = 2
+        return self.broadcast(PutData(op_id=self.op_id, tag=best.tag,
+                                      payload=best.value))
+
+
+SPEC = register(ProtocolSpec(
+    name="mpr",
+    description="prior work: MPR signature-free atomic register",
+    quorum_rule="3f + 1",
+    min_servers=mpr_min_servers,
+    fault_model=BYZANTINE,
+    read_rounds="2",
+    make_server=lambda ctx: MPRServer(
+        ctx.server_id, ctx.servers, ctx.f, initial_value=ctx.initial_value),
+    make_write=lambda ctx: MprWriteOperation(
+        ctx.client_id, ctx.servers, ctx.f, ctx.value),
+    make_read=lambda ctx: MprReadOperation(
+        ctx.client_id, ctx.servers, ctx.f, initial_value=ctx.initial_value),
+    snapshot_ok=False,
+    peer_links=True,
+    read_phases={1: "get-data", 2: "write-back"},
+    message_phases={"MprWrite": "put-data", "MprEcho": "mpr-echo"},
+))

@@ -37,15 +37,11 @@ import random
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.baselines.abd import ABDReadOperation, ABDWriteOperation
-from repro.core.bcsr import BCSRReadOperation, BCSRWriteOperation, make_codec
-from repro.core.bsr import BSRReadOperation, BSRReaderState, BSRWriteOperation
 from repro.core.keys import key_error
 from repro.core.namespace import DEFAULT_REGISTER, NamespacedOperation
 from repro.core.messages import Throttled
 from repro.sharding.ring import Placement
 from repro.core.operation import ClientOperation
-from repro.core.regular import HistoryReadOperation, TwoRoundReadOperation
 from repro.errors import AuthenticationError, ConfigurationError, LivenessError, ProtocolError
 from repro.obs import (
     LogGate,
@@ -54,6 +50,7 @@ from repro.obs import (
     SamplingSink,
     phase_name,
 )
+from repro.protocols import OpContext, get_spec, runtime_names
 from repro.runtime.dispatch import BatchedConnection, OpDispatcher, OpState
 from repro.transport.auth import Authenticator
 from repro.transport.codec import (
@@ -65,7 +62,14 @@ from repro.types import ProcessId
 
 logger = logging.getLogger(__name__)
 
-CLIENT_ALGORITHMS = ("bsr", "bsr-history", "bsr-2round", "bcsr", "abd")
+
+def __getattr__(name: str):
+    # Compatibility view: the supported-algorithm tuple is now the
+    # registry's runtime listing, resolved lazily so importing this
+    # module never forces protocol registration order.
+    if name == "CLIENT_ALGORITHMS":
+        return runtime_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Supported wire encodings: ``v2`` is the binary codec with per-burst
 #: batch sealing, ``v1`` the JSON codec with one HMAC per frame.
@@ -123,11 +127,13 @@ class AsyncRegisterClient:
                  trace_sample: Optional[int] = None,
                  wire: str = "v2",
                  placement: Optional[Placement] = None) -> None:
-        if algorithm not in CLIENT_ALGORITHMS:
+        spec = get_spec(algorithm)
+        if not spec.runtime_ok:
             raise ConfigurationError(
                 f"algorithm {algorithm!r} not supported by the asyncio "
-                f"runtime; choose from {CLIENT_ALGORITHMS}"
+                f"runtime; choose from {runtime_names()}"
             )
+        self.spec = spec
         if wire not in WIRE_VERSIONS:
             raise ConfigurationError(
                 f"wire version {wire!r} not supported; choose from "
@@ -156,11 +162,13 @@ class AsyncRegisterClient:
         self.backoff_max = backoff_max
         self.drain_timeout = drain_timeout
         self.max_inflight = max_inflight
-        self.reader_state = BSRReaderState(initial_value)
-        self._register_states: "OrderedDict[str, BSRReaderState]" = OrderedDict()
-        self._codec = (make_codec(placement.group_size if placement is not None
-                                  else len(self.servers), f)
-                       if algorithm == "bcsr" else None)
+        self.reader_state = (spec.make_reader_state(initial_value)
+                             if spec.make_reader_state is not None else None)
+        self._register_states: "OrderedDict[str, Any]" = OrderedDict()
+        self._codec = (spec.make_codec(
+            placement.group_size if placement is not None
+            else len(self.servers), f)
+            if spec.make_codec is not None else None)
         self._connections: Dict[ProcessId, Tuple[asyncio.StreamReader,
                                                  asyncio.StreamWriter]] = {}
         self._senders: Dict[ProcessId, BatchedConnection] = {}
@@ -663,13 +671,15 @@ class AsyncRegisterClient:
             if state.retried:
                 self._counters["ops_retried"].inc()
 
-    def _reader_state_for(self, register: str) -> BSRReaderState:
+    def _reader_state_for(self, register: str) -> Any:
+        if self.spec.make_reader_state is None:
+            return None
         if not self.namespaced:
             return self.reader_state
         state = self._register_states.get(register)
         if state is None:
             state = self._register_states[register] = (
-                BSRReaderState(self.initial_value))
+                self.spec.make_reader_state(self.initial_value))
             if len(self._register_states) > MAX_KEY_STATES:
                 self._register_states.popitem(last=False)
         else:
@@ -744,13 +754,10 @@ class AsyncRegisterClient:
         """
         servers, f = self._servers_for(register), self.f
         async with self._write_lock_for(register):
-            if self.algorithm == "bcsr":
-                operation = BCSRWriteOperation(self.client_id, servers, f,
-                                               value, codec=self._codec)
-            elif self.algorithm == "abd":
-                operation = ABDWriteOperation(self.client_id, servers, f, value)
-            else:
-                operation = BSRWriteOperation(self.client_id, servers, f, value)
+            operation = self.spec.make_write(OpContext(
+                client_id=self.client_id, servers=tuple(servers), f=f,
+                value=value, initial_value=self.initial_value,
+                codec=self._codec))
             return await self._run_operation(
                 self._maybe_namespace(operation, register), servers=servers)
 
@@ -763,21 +770,10 @@ class AsyncRegisterClient:
         ``max_inflight``).
         """
         servers, f = self._servers_for(register), self.f
-        state = self._reader_state_for(register)
-        if self.algorithm == "bsr":
-            operation = BSRReadOperation(self.client_id, servers, f,
-                                         reader_state=state)
-        elif self.algorithm == "bsr-history":
-            operation = HistoryReadOperation(self.client_id, servers, f,
-                                             reader_state=state)
-        elif self.algorithm == "bsr-2round":
-            operation = TwoRoundReadOperation(self.client_id, servers, f,
-                                              reader_state=state)
-        elif self.algorithm == "bcsr":
-            operation = BCSRReadOperation(self.client_id, servers, f,
-                                          codec=self._codec,
-                                          initial_value=self.initial_value)
-        else:
-            operation = ABDReadOperation(self.client_id, servers, f)
+        operation = self.spec.make_read(OpContext(
+            client_id=self.client_id, servers=tuple(servers), f=f,
+            initial_value=self.initial_value,
+            reader_state=self._reader_state_for(register),
+            codec=self._codec))
         return await self._run_operation(
             self._maybe_namespace(operation, register), servers=servers)

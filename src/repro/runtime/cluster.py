@@ -5,34 +5,18 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Dict, Optional, Tuple, Union
 
-from repro.baselines.abd import ABDServer
 from repro.byzantine.behaviors import Behavior, make_behavior
 from repro.chaos.faults import FaultPlan
 from repro.chaos.proxy import ChaosProxy
-from repro.core.bcsr import BCSRServer, make_codec
-from repro.core.bsr import BSRServer
 from repro.core.namespace import NamespacedServer
-from repro.core.quorum import (
-    abd_min_servers,
-    bcsr_min_servers,
-    bsr_min_servers,
-)
-from repro.core.regular import RegularBSRServer
 from repro.errors import ConfigurationError
 from repro.obs import MetricRegistry
-from repro.runtime.client import CLIENT_ALGORITHMS, AsyncRegisterClient
+from repro.protocols import ServerContext, get_spec, runtime_names
+from repro.runtime.client import AsyncRegisterClient
 from repro.runtime.node import RegisterServerNode
 from repro.sharding import KeyspaceConfig, RegisterTable
 from repro.transport.auth import Authenticator, KeyChain
 from repro.types import ProcessId, server_id
-
-_MIN_SERVERS = {
-    "bsr": bsr_min_servers,
-    "bsr-history": bsr_min_servers,
-    "bsr-2round": bsr_min_servers,
-    "bcsr": bcsr_min_servers,
-    "abd": abd_min_servers,
-}
 
 
 class LocalCluster:
@@ -75,18 +59,17 @@ class LocalCluster:
                  keyspace: Optional[KeyspaceConfig] = None,
                  flight_sample: int = 64,
                  flight_capacity: int = 1024) -> None:
-        if algorithm not in CLIENT_ALGORITHMS:
+        spec = get_spec(algorithm)
+        if not spec.runtime_ok:
             raise ConfigurationError(
                 f"algorithm {algorithm!r} not supported by the asyncio "
-                f"runtime; choose from {CLIENT_ALGORITHMS}"
+                f"runtime; choose from {runtime_names()}"
             )
+        self.spec = spec
         self.algorithm = algorithm
         self.f = f
-        self.n = n if n is not None else _MIN_SERVERS[algorithm](f)
-        if self.n < _MIN_SERVERS[algorithm](f):
-            raise ConfigurationError(
-                f"{algorithm} requires n >= {_MIN_SERVERS[algorithm](f)}, got {self.n}"
-            )
+        self.n = n if n is not None else spec.min_servers(f)
+        spec.validate_config(self.n, f)
         self.host = host
         self.secret = secret
         self.initial_value = initial_value
@@ -100,9 +83,15 @@ class LocalCluster:
         #: namespacing -- nodes host a :class:`RegisterTable` and clients
         #: route each key to its quorum group.
         self.keyspace = keyspace
+        self._placement = None
         if keyspace is not None:
             keyspace.validate(algorithm, f, self.n)
+            self._placement = keyspace.placement(self.server_ids)
         self.namespaced = namespaced or keyspace is not None
+        if self.namespaced and not spec.namespaced_ok:
+            raise ConfigurationError(
+                f"algorithm {algorithm!r} does not support namespaced "
+                "deployments")
         self.snapshot_dir = snapshot_dir
         #: Bound every server's history list (GC; keeps snapshots small).
         self.max_history = max_history
@@ -126,25 +115,32 @@ class LocalCluster:
             (chaos_plan or FaultPlan(chaos_seed)) if self.chaos else None)
         self.nodes: Dict[ProcessId, RegisterServerNode] = {}
         self.proxies: Dict[ProcessId, ChaosProxy] = {}
-        self._codec = make_codec(self.n, f) if algorithm == "bcsr" else None
+        self._codec = (None if spec.make_codec is None
+                       else spec.make_codec(self.n, f))
         self._clients: list = []
 
     def _keychain_for(self, client_ids) -> KeyChain:
         return KeyChain.from_secret(self.secret, list(self.server_ids) + list(client_ids))
 
-    def _make_protocol(self, pid: ProcessId, index: int) -> Any:
-        if self.algorithm == "bsr":
-            return BSRServer(pid, initial_value=self.initial_value,
-                             max_history=self.max_history)
-        if self.algorithm in ("bsr-history", "bsr-2round"):
-            return RegularBSRServer(pid, initial_value=self.initial_value,
-                                    max_history=self.max_history)
-        if self.algorithm == "bcsr":
-            return BCSRServer(pid, index, self._codec,
-                              initial_value=self.initial_value,
-                              max_history=self.max_history)
-        return ABDServer(pid, initial_value=self.initial_value,
-                         max_history=self.max_history)
+    def _make_protocol(self, pid: ProcessId,
+                       register: Optional[str] = None) -> Any:
+        # Sharded keys run the protocol inside their quorum group: the
+        # per-key server's peer set (and coded-chunk index) comes from
+        # the group, not the fleet.
+        if register is not None and self._placement is not None:
+            servers = self._placement.servers_for(register)
+        else:
+            servers = tuple(self.server_ids)
+        ctx = ServerContext(
+            server_id=pid,
+            index=servers.index(pid) if pid in servers else 0,
+            servers=tuple(servers),
+            f=self.f,
+            initial_value=self.initial_value,
+            max_history=self.max_history,
+            codec=self._codec,
+        )
+        return self.spec.make_server(ctx)
 
     def _make_node(self, pid: ProcessId, index: int,
                    auth: Authenticator) -> RegisterServerNode:
@@ -153,8 +149,8 @@ class LocalCluster:
             # register, so the node itself stays behaviour-free.  A
             # keyspace upgrades the unbounded namespace wrapper to the
             # bounded, validated register table.
-            factory = (lambda name, pid=pid, index=index:
-                       self._make_protocol(pid, index))
+            factory = (lambda name, pid=pid:
+                       self._make_protocol(pid, register=name))
             if self.keyspace is not None:
                 protocol = RegisterTable(
                     pid, factory, behavior=self._behaviors.get(pid),
@@ -173,12 +169,12 @@ class LocalCluster:
                 flight_sample=self.flight_sample,
                 flight_capacity=self.flight_capacity)
         snapshot_path = None
-        if self.snapshot_dir is not None:
+        if self.snapshot_dir is not None and self.spec.snapshot_ok:
             import os
             os.makedirs(self.snapshot_dir, exist_ok=True)
             snapshot_path = os.path.join(self.snapshot_dir, f"{pid}.snapshot")
         return RegisterServerNode(
-            pid, self._make_protocol(pid, index), auth, host=self.host,
+            pid, self._make_protocol(pid), auth, host=self.host,
             port=0, behavior=self._behaviors.get(pid),
             snapshot_path=snapshot_path,
             max_connections=self.max_connections,
@@ -200,6 +196,15 @@ class LocalCluster:
                                    host=self.host, registry=self.registry)
                 await proxy.start()
                 self.proxies[pid] = proxy
+        if self.spec.peer_links:
+            # The server-to-server mesh dials real node addresses, not
+            # the chaos proxies: chaos interposes *client* links, while
+            # the broadcast layer's own loss tolerance is exercised by
+            # crash/partition faults at the node level.
+            peer_addrs = {pid: node.address
+                          for pid, node in self.nodes.items()}
+            for node in self.nodes.values():
+                node.set_peers(peer_addrs)
 
     async def stop(self) -> None:
         """Close all clients created via :meth:`client`, then all nodes."""
@@ -228,9 +233,8 @@ class LocalCluster:
         re-adopts whatever the snapshot preserved.
         """
         node = self.nodes[pid]
-        index = self.server_ids.index(pid)
         if not self.namespaced:
-            node.protocol = self._make_protocol(pid, index)
+            node.protocol = self._make_protocol(pid)
         await node.start()
 
     @property

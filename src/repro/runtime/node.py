@@ -5,9 +5,10 @@ from __future__ import annotations
 import asyncio
 import logging
 import os
+import random
 import time
-from collections import OrderedDict
-from typing import Any, Dict, Optional, Set
+from collections import OrderedDict, deque
+from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.core.messages import (
     HealthAck,
@@ -39,14 +40,140 @@ RETRY_WINDOW = 2048
 #: Bytes pulled from a connection per read syscall in the frame loop.
 READ_CHUNK = 64 * 1024
 
+#: Outbound payloads queued per peer link before the oldest are shed.
+#: Broadcast protocols tolerate message loss (that is their point), so
+#: shedding under a long partition beats unbounded buffering.
+PEER_QUEUE_LIMIT = 4096
+
+#: Encoded payloads parked for parties with no live connection.  Entries
+#: flush when the party next sends a frame; the cap bounds what a fleet
+#: of vanished clients can pin in memory.
+UNDELIVERED_LIMIT = 1024
+
+
+class _PeerLink:
+    """A lazily-dialed, self-healing outbound stream to one peer server.
+
+    Broadcast-based protocols (``rb``, ``rb2``, ``mpr``) emit envelopes
+    addressed to other *servers*.  Each such destination gets one of
+    these: payloads queue here, a background task dials the peer on
+    first use, seals queued payloads with the node's own identity and
+    writes them as batched frames.  A dead peer costs nothing but the
+    queue -- the task backs off, redials, and requeues what a broken
+    pipe may have lost, which is exactly the fair-lossy-link model the
+    protocols are built for (delivery is at-least-once attempted, never
+    guaranteed).
+    """
+
+    def __init__(self, node: "RegisterServerNode", peer_id: ProcessId) -> None:
+        self.node = node
+        self.peer_id = peer_id
+        self.queue: deque = deque()
+        self.closed = False
+        self._task: Optional[asyncio.Task] = None
+        self._wakeup: Optional[asyncio.Event] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    def send(self, payload: bytes) -> None:
+        """Queue one encoded payload; spawns the sender task if idle."""
+        if self.closed:
+            return
+        self.queue.append(payload)
+        while len(self.queue) > PEER_QUEUE_LIMIT:
+            self.queue.popleft()
+        if self._wakeup is None:
+            self._wakeup = asyncio.Event()
+        self._wakeup.set()
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def _run(self) -> None:
+        backoff = 0.05
+        while not self.closed:
+            if not self.queue:
+                self._wakeup.clear()
+                if self.queue:  # raced with a send()
+                    continue
+                try:
+                    await asyncio.wait_for(self._wakeup.wait(), timeout=30.0)
+                except asyncio.TimeoutError:
+                    if not self.queue:
+                        return  # idle link; send() respawns the task
+                continue
+            if self._writer is None:
+                host, port = self.node._peers[self.peer_id]
+                try:
+                    reader, self._writer = await asyncio.open_connection(
+                        host, port)
+                    # Peers never write back on this link (server traffic
+                    # flows over each side's own outbound link), but the
+                    # read side must be consumed for close detection.
+                    asyncio.get_running_loop().create_task(
+                        self._drain_reader(reader))
+                    backoff = 0.05
+                except OSError:
+                    await asyncio.sleep(backoff * (1.0 + random.random()))
+                    backoff = min(backoff * 2, 1.0)
+                    continue
+            batch = []
+            while self.queue and len(batch) < 64:
+                batch.append(self.queue.popleft())
+            try:
+                write_frames(self._writer, self.node.auth.seal_frames(
+                    self.node.server_id, batch,
+                    batch=self.node.wire == "v2"))
+                await self._writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                # The peer crashed mid-flight; requeue this batch (what
+                # reached the socket may be lost -- the protocols absorb
+                # both loss and duplication) and redial after a pause.
+                self.queue.extendleft(reversed(batch))
+                self._close_writer()
+                await asyncio.sleep(backoff * (1.0 + random.random()))
+                backoff = min(backoff * 2, 1.0)
+
+    async def _drain_reader(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while await reader.read(READ_CHUNK):
+                pass
+        except (ConnectionResetError, OSError):
+            pass
+
+    def _close_writer(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:  # pragma: no cover - teardown races
+                pass
+            self._writer = None
+
+    async def close(self) -> None:
+        self.closed = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._task = None
+        self._close_writer()
+
 
 class RegisterServerNode:
     """Host a server protocol (``handle(sender, msg) -> envelopes``) on TCP.
 
     Each inbound connection carries sealed frames; replies addressed to the
     requesting client go back over the same connection.  Envelopes addressed
-    to anyone else are dropped with a warning -- the runtime only supports
-    client-to-server protocols (see package docstring).
+    elsewhere are routed: to the node itself (a broadcast protocol counting
+    its own echo) they loop back through the protocol in place; to a peer
+    server (see :meth:`set_peers`) they go out over a dedicated
+    :class:`_PeerLink`; to any other party with a live inbound connection
+    they are written directly; and otherwise they are parked in a bounded
+    stash flushed when that party next sends a frame (a reader whose relay
+    raced ahead of its own request).  Only with no peers configured and no
+    route at all is an envelope dropped with a warning.
 
     A ``behavior`` may be supplied to make the node Byzantine: it receives
     the same hooks as in the simulator.
@@ -158,6 +285,29 @@ class RegisterServerNode:
         self._last_snapshot_at: Optional[float] = None
         #: Recently served ``(sender, op_id, type)`` triples, newest last.
         self._recent_frames: "OrderedDict[tuple, None]" = OrderedDict()
+        #: Peer server id -> (host, port); set via :meth:`set_peers` for
+        #: protocols whose servers talk to each other.
+        self._peers: Dict[ProcessId, Tuple[str, int]] = {}
+        self._peer_links: Dict[ProcessId, _PeerLink] = {}
+        #: Authenticated sender -> the writer of its latest connection,
+        #: for pushing server-initiated envelopes (relays, late acks).
+        self._parties: Dict[ProcessId, asyncio.StreamWriter] = {}
+        #: dest -> encoded payloads with no current route, newest dest
+        #: last; flushed into the reply batch when the party next writes.
+        self._undelivered: "OrderedDict[ProcessId, list]" = OrderedDict()
+        self._undelivered_count = 0
+
+    def set_peers(self, addresses: Dict[ProcessId, Tuple[str, int]]) -> None:
+        """Tell the node where its fellow servers listen.
+
+        Required for broadcast-based protocols (``spec.peer_links``):
+        envelopes the protocol addresses to these ids are delivered over
+        lazily-dialed outbound links instead of being dropped.  Peer
+        senders are also exempted from per-client rate limiting --
+        server-to-server echo storms are the protocol, not abuse.
+        """
+        self._peers = {pid: addr for pid, addr in addresses.items()
+                       if pid != self.server_id}
 
     @property
     def stats(self) -> Dict[str, int]:
@@ -231,6 +381,11 @@ class RegisterServerNode:
             self._server = None
         for writer in list(self._conn_writers):
             writer.close()
+        for link in list(self._peer_links.values()):
+            await link.close()
+        self._peer_links.clear()
+        self._parties.clear()
+        self._undelivered.clear()
         if self._checkpoint_lock is not None:
             # Let an in-flight snapshot write finish so a restart does not
             # race a stale file replacing a newer one.
@@ -269,6 +424,9 @@ class RegisterServerNode:
         finally:
             self._conn_writers.discard(writer)
             self._connections_gauge.set(len(self._conn_writers))
+            for pid, w in list(self._parties.items()):
+                if w is writer:
+                    del self._parties[pid]
             writer.close()
             try:
                 await writer.wait_closed()
@@ -331,7 +489,7 @@ class RegisterServerNode:
             needs_checkpoint = False
             for frame in frames:
                 self._c_wire_frames.inc()
-                if self._serve_frame(frame, replies, loop, received):
+                if self._serve_frame(frame, replies, loop, received, writer):
                     needs_checkpoint = True
             if needs_checkpoint:
                 # One durable snapshot per chunk (the checkpoint path
@@ -350,7 +508,8 @@ class RegisterServerNode:
 
     def _serve_frame(self, frame, replies: list,
                      loop: asyncio.AbstractEventLoop,
-                     received: Optional[float] = None) -> bool:
+                     received: Optional[float] = None,
+                     writer: Optional[asyncio.StreamWriter] = None) -> bool:
         """Verify one wire frame and serve every message it carries.
 
         Encoded reply payloads are appended to ``replies``; the
@@ -365,6 +524,16 @@ class RegisterServerNode:
             self._log.warning("bad-frame", "server %s dropping bad "
                               "frame: %s", self.server_id, exc)
             return False
+        if writer is not None:
+            # Remember where this authenticated party lives so pushed
+            # envelopes (relays to waiting readers, acks whose trigger
+            # arrived via a peer first) can reach it, and flush anything
+            # parked for it while it had no route.
+            self._parties[sender] = writer
+            parked = self._undelivered.pop(sender, None)
+            if parked:
+                self._undelivered_count -= len(parked)
+                replies.extend(parked)
         needs_checkpoint = False
         for payload in payloads:
             try:
@@ -435,7 +604,8 @@ class RegisterServerNode:
             replies.append(self._encode(ack))
             return False
         fl = self.flight
-        if self._buckets is not None and not self._buckets.allow(sender):
+        if (self._buckets is not None and sender not in self._peers
+                and not self._buckets.allow(sender)):
             self._counters["frames_throttled"].inc()
             throttle = Throttled(
                 op_id=getattr(message, "op_id", 0),
@@ -460,24 +630,20 @@ class RegisterServerNode:
         started = loop.time()
         history = getattr(self.protocol, "history", None)
         history_before = -1 if history is None else len(history)
-        envelopes = self.protocol.handle(sender, message)
-        if self.behavior is not None:
-            envelopes = self.behavior.on_message(
-                self.protocol, sender, message, envelopes
-            )
+        # Self-addressed envelopes (a broadcast server is one of its own
+        # peers) loop back through the protocol right here, so counting
+        # the node's own witness/echo never takes a network hop.
+        pending = deque(((sender, message),))
+        while pending:
+            src, msg = pending.popleft()
+            envelopes = self.protocol.handle(src, msg)
+            if self.behavior is not None:
+                envelopes = self.behavior.on_message(
+                    self.protocol, src, msg, envelopes
+                )
+            self._route_envelopes(sender, envelopes, replies, pending)
         mutated = (history is not None
                    and len(self.protocol.history) != history_before)
-        encode = self._encode
-        for dest, reply in envelopes:
-            if dest != sender:
-                self._log.warning(
-                    "misrouted-envelope",
-                    "server %s dropping envelope to %s (only "
-                    "client-to-server replies are routable)",
-                    self.server_id, dest,
-                )
-                continue
-            replies.append(encode(reply))
         # Key the histogram cache by the *inner* class for namespaced
         # wrappers: the phase depends only on the inner message type, so
         # keyed traffic caches one entry per protocol message class
@@ -508,6 +674,66 @@ class RegisterServerNode:
                     "repeat": repeated,
                 })
         return mutated
+
+    def _route_envelopes(self, origin: ProcessId, envelopes, replies: list,
+                         pending: deque) -> None:
+        """Send each ``(dest, message)`` envelope down its route.
+
+        ``origin`` is the party whose frame is being served.  Order
+        matters: a peer destination always takes the mesh link -- even
+        when the peer *is* the origin, because peers never read the
+        reply side of their outbound connections -- while the origin's
+        own replies ride the connection's reply batch for free.
+        """
+        encode = self._encode
+        for dest, reply in envelopes:
+            if dest == self.server_id:
+                pending.append((self.server_id, reply))
+            elif dest in self._peers:
+                link = self._peer_links.get(dest)
+                if link is None:
+                    link = self._peer_links[dest] = _PeerLink(self, dest)
+                link.send(encode(reply))
+            elif dest == origin:
+                replies.append(encode(reply))
+            else:
+                self._push_to_party(dest, encode(reply))
+
+    def _push_to_party(self, dest: ProcessId, payload: bytes) -> None:
+        """Deliver a server-initiated envelope to a non-peer party.
+
+        A live inbound connection gets the frame immediately; otherwise
+        the payload is parked until that party next sends us anything
+        (the reply batch flushes the stash).  This covers the race where
+        a write validates via peer echoes before the writer's own frame
+        reaches this server -- the ack would otherwise evaporate.
+        """
+        writer = self._parties.get(dest)
+        if writer is not None and not writer.is_closing():
+            try:
+                write_frames(writer, self.auth.seal_frames(
+                    self.server_id, [payload], batch=self.wire == "v2"))
+                return
+            except (ConnectionResetError, OSError):  # pragma: no cover
+                pass
+        if not self._peers:
+            # No mesh configured: a stray destination is a protocol bug,
+            # same as before peer routing existed.
+            self._log.warning(
+                "misrouted-envelope",
+                "server %s dropping envelope to %s (no route)",
+                self.server_id, dest,
+            )
+            return
+        stash = self._undelivered.get(dest)
+        if stash is None:
+            stash = self._undelivered[dest] = []
+        stash.append(payload)
+        self._undelivered.move_to_end(dest)
+        self._undelivered_count += 1
+        while self._undelivered_count > UNDELIVERED_LIMIT and self._undelivered:
+            _, dropped = self._undelivered.popitem(last=False)
+            self._undelivered_count -= len(dropped)
 
     def _frame_phase(self, message: Any) -> str:
         """Protocol phase an inbound frame belongs to (for histograms)."""

@@ -21,12 +21,21 @@ layer uses it too); it is re-exported here for convenience.
 from repro.core.keys import MAX_KEY_LENGTH, key_error, key_name, valid_key
 from repro.sharding.ring import (
     DEFAULT_VNODES,
-    GROUP_FLOORS,
     HashRing,
     KeyspaceConfig,
     Placement,
 )
 from repro.sharding.table import RegisterTable
+
+
+def __getattr__(name: str):
+    # GROUP_FLOORS is a lazy registry view in repro.sharding.ring;
+    # forward the laziness so importing this package never drags the
+    # protocol registry in eagerly.
+    if name == "GROUP_FLOORS":
+        from repro.sharding import ring
+        return ring.GROUP_FLOORS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "DEFAULT_VNODES",

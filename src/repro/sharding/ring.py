@@ -37,24 +37,21 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.keys import MAX_KEY_LENGTH, key_error
-from repro.core.quorum import (
-    abd_min_servers,
-    bcsr_min_servers,
-    bsr_min_servers,
-)
 from repro.errors import ConfigurationError
 from repro.types import ProcessId
 
-#: Per-algorithm group-size floors: each group is a self-contained
-#: deployment of the per-register protocol, so the paper's bounds apply
-#: to the *group*, not the whole fleet.
-GROUP_FLOORS = {
-    "bsr": bsr_min_servers,
-    "bsr-history": bsr_min_servers,
-    "bsr-2round": bsr_min_servers,
-    "bcsr": bcsr_min_servers,
-    "abd": abd_min_servers,
-}
+
+def __getattr__(name: str):
+    # Lazy compatibility view over the protocol registry (importing it
+    # eagerly here would be circular: protocols -> obs is fine, but this
+    # module is imported by the client before protocols exists).  Each
+    # group is a self-contained deployment of the per-register protocol,
+    # so the paper's bounds apply to the *group*, not the whole fleet.
+    if name == "GROUP_FLOORS":
+        from repro.protocols import specs
+        return {spec.name: spec.min_servers for spec in specs()
+                if spec.namespaced_ok}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Default vnodes per physical node: enough for <2% load imbalance at
 #: tens of nodes while keeping ring construction trivially cheap.
@@ -123,22 +120,23 @@ class KeyspaceConfig:
         (e.g. BSR's ``4f + 1 > 3f``) so each key's register is safe and
         semi-fast against ``f`` Byzantine servers.
         """
-        floor = GROUP_FLOORS.get(algorithm)
-        if floor is None:
+        from repro.protocols import get_spec
+        spec = get_spec(algorithm)
+        if not spec.namespaced_ok:
             raise ConfigurationError(
                 f"algorithm {algorithm!r} does not support sharded "
-                f"keyspaces; choose from {sorted(GROUP_FLOORS)}")
-        if self.group_size < floor(f):
+                "keyspaces")
+        if self.group_size < spec.min_servers(f):
             raise ConfigurationError(
-                f"{algorithm} groups need >= {floor(f)} servers for f={f}, "
-                f"got group_size={self.group_size}")
+                f"{algorithm} groups need >= {spec.min_servers(f)} servers "
+                f"for f={f}, got group_size={self.group_size}")
         if self.group_size > n:
             raise ConfigurationError(
                 f"group_size {self.group_size} exceeds the fleet size {n}")
-        if algorithm == "bcsr" and self.group_size != n:
+        if spec.group_spans_fleet and self.group_size != n:
             raise ConfigurationError(
-                "bcsr shards require group_size == n: coded chunks are "
-                "index-aligned to the server list, which only the full "
+                f"{algorithm} shards require group_size == n: coded chunks "
+                "are index-aligned to the server list, which only the full "
                 "fleet preserves")
 
     # -- serialisation -----------------------------------------------------

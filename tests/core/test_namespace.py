@@ -155,9 +155,16 @@ def test_namespaced_tags_are_per_register():
     assert second.value.num == 1
 
 
-def test_rb_baseline_rejects_namespacing():
-    with pytest.raises(ConfigurationError):
-        RegisterSystem("rb", f=1, namespaced=True)
+def test_rb_baseline_namespacing():
+    # The per-key factory gives every register its own broadcast
+    # instance, so the old namespacing prohibition is gone.
+    system = RegisterSystem("rb", f=1, seed=5, namespaced=True)
+    system.write(b"a-value", writer=0, at=0.0, register="a")
+    read_a = system.read(reader=0, at=10.0, register="a")
+    read_b = system.read(reader=0, at=20.0, register="b")
+    system.run()
+    assert read_a.value == b"a-value"
+    assert read_b.value == b""
 
 
 def test_namespaced_reader_state_is_per_register():

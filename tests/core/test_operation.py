@@ -1,5 +1,9 @@
 """Unit tests for the operation base class and reply collector."""
 
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.core.messages import QueryTag, TagReply
@@ -25,6 +29,50 @@ SERVERS = ["s000", "s001", "s002", "s003", "s004"]
 def test_op_ids_are_unique_and_increasing():
     first, second = next_op_id(), next_op_id()
     assert second > first
+
+
+_CHILD_SNIPPET = """
+import sys
+sys.path.insert(0, {src!r})
+import os
+from repro.core.operation import next_op_id
+ids = [next_op_id() for _ in range(5)]
+print(os.getpid(), *ids)
+"""
+
+
+def _spawn_op_id_child():
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD_SNIPPET.format(src=os.path.abspath(src))],
+        capture_output=True, text=True, check=True,
+    ).stdout.split()
+    return int(out[0]), [int(x) for x in out[1:]]
+
+
+def test_op_ids_disjoint_across_processes():
+    # Regression: a bare count(1) numbered operations 1, 2, 3, ... in every
+    # process, so two load-rig workers (or a --procs cluster and its client)
+    # minted colliding op_ids and the flight recorder stitched records from
+    # different operations into one bogus trace.
+    pid_a, ids_a = _spawn_op_id_child()
+    pid_b, ids_b = _spawn_op_id_child()
+    assert pid_a != pid_b
+    assert not set(ids_a) & set(ids_b)
+    # The pid lives in the high bits: each process's range is disjoint.
+    assert (ids_a[0] >> 40) == (pid_a & 0xFFFFF)
+    assert (ids_b[0] >> 40) == (pid_b & 0xFFFFF)
+    # ... and disjoint from this (parent) process's range too.
+    assert (next_op_id() >> 40) == (os.getpid() & 0xFFFFF)
+
+
+def test_op_id_offset_preserves_sampling_alignment():
+    # The tracer samples with op_id % sample; the per-process offset is a
+    # multiple of every power-of-two sample rate, so low-bit counting is
+    # unchanged: the k-th op in any process has the same residue as before.
+    _, ids = _spawn_op_id_child()
+    for sample in (2, 16, 64):
+        assert [i % sample for i in ids] == [(k + 1) % sample for k in range(5)]
 
 
 def test_operation_requires_more_than_f_servers():

@@ -49,10 +49,23 @@ def test_keyed_soak_determinism():
         assert result.safety.ok
 
 
-def test_keyed_soak_rejects_single_register_only_algorithms():
+def test_keyed_soak_rejects_unknown_algorithms():
     from repro.errors import ConfigurationError
     with pytest.raises(ConfigurationError):
-        run(run_soak(algorithm="rb", keys=5))
+        run(run_soak(algorithm="no-such-algo", keys=5))
+
+
+def test_keyed_soak_runs_peer_links_algorithms():
+    """The registry's per-key factories lifted the old rb prohibition:
+    each key gets its own broadcast instance over its placement group."""
+    result = run(run_soak(
+        algorithm="rb", f=1, schedule="flaky-links", ops=10,
+        read_ratio=0.5, seed=29, start=0.2, period=0.3, timeout=12.0,
+        keys=5, zipf_s=1.0,
+    ))
+    assert result.errors == [], f"liveness failures: {result.errors}"
+    assert result.safety.ok, str(result.safety)
+    assert result.keys == 5
 
 
 @pytest.mark.soak

@@ -146,11 +146,11 @@ def test_wrong_secret_client_is_ignored():
 
 def test_unsupported_algorithm_rejected():
     with pytest.raises(ConfigurationError):
-        LocalCluster("rb", f=1)
+        LocalCluster("no-such-algo", f=1)
     with pytest.raises(ConfigurationError):
         AsyncRegisterClient("c", {}, 1,
                             Authenticator(KeyChain.from_secret(b"s")),
-                            algorithm="rb")
+                            algorithm="no-such-algo")
 
 
 def test_cluster_rejects_below_bound():

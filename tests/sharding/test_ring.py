@@ -105,7 +105,9 @@ def test_bcsr_requires_full_fleet_groups():
 
 def test_config_rejects_unsupported_algorithm():
     with pytest.raises(ConfigurationError):
-        KeyspaceConfig(group_size=5).validate("rb", 1, 5)
+        KeyspaceConfig(group_size=5).validate("no-such-algo", 1, 5)
+    # rb shards now: each key's group runs its own broadcast instance.
+    KeyspaceConfig(group_size=4).validate("rb", 1, 5)
 
 
 def test_config_roundtrips_through_dict():

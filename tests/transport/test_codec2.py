@@ -18,6 +18,8 @@ from repro.core.messages import (
     HealthAck,
     HealthPing,
     HistoryReply,
+    MprEcho,
+    MprWrite,
     PushData,
     PutAck,
     PutData,
@@ -29,6 +31,8 @@ from repro.core.messages import (
     RBEcho,
     RBReady,
     RBSend,
+    Rb2Send,
+    Rb2Witness,
     StatsAck,
     StatsPing,
     TagHistoryReply,
@@ -73,6 +77,11 @@ SAMPLES = {
     "RBSend": RBSend(op_id=13, tag=TAG, payload=b"rb", source="w001"),
     "RBEcho": RBEcho(op_id=14, tag=TAG, payload=b"rb", source="s000"),
     "RBReady": RBReady(op_id=15, tag=TAG, payload=None, source="s001"),
+    "Rb2Send": Rb2Send(op_id=25, tag=TAG, payload=b"ir2", source="w002"),
+    "Rb2Witness": Rb2Witness(op_id=26, tag=TAG, payload=b"ir2",
+                             source="w002"),
+    "MprWrite": MprWrite(op_id=27, tag=TAG, payload=b"mpr", source="w003"),
+    "MprEcho": MprEcho(op_id=28, tag=TAG, payload=None, source="w003"),
     "PushData": PushData(op_id=16, tag=TAG, payload=b"push"),
     "HealthPing": HealthPing(op_id=17),
     "HealthAck": HealthAck(op_id=18, node_id="s000", history_len=3,
